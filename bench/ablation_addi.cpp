@@ -1,0 +1,54 @@
+// Ablation 2 (DESIGN.md §5): the cost of dropping the offset immediate.
+// ld.ro-family instructions carry the key where a regular load carries its
+// address offset, so loads with a folded offset need one extra addi
+// (Section III-C). This bench counts the inserted addi instructions and
+// also measures the c.ld.ro compressed-encoding code-size optimization.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace roload;
+
+int main() {
+  const double scale = bench::BenchScale();
+  std::printf("Ablation: ld.ro offset-drop cost and c.ld.ro size win "
+              "(scale=%.2f)\n\n", scale);
+  std::printf("%-24s | %8s | %10s | %12s | %12s\n", "benchmark", "ld.ro",
+              "extra addi", "code bytes", "code w/ c.ld.ro");
+  bench::PrintRule(84);
+
+  for (const auto& spec : workloads::SpecCppSubset(scale)) {
+    const ir::Module module = workloads::Generate(spec);
+
+    core::BuildOptions vcall;
+    vcall.defense = core::Defense::kVCall;
+    auto wide = core::Build(module, vcall);
+    if (!wide.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   wide.status().ToString().c_str());
+      return 1;
+    }
+
+    core::BuildOptions compressed = vcall;
+    compressed.codegen.use_compressed_roload = true;
+    compressed.vcall.key_groups = 16;  // keys must fit 5 bits for c.ld.ro
+    auto narrow = core::Build(module, compressed);
+    if (!narrow.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   narrow.status().ToString().c_str());
+      return 1;
+    }
+
+    std::printf("%-24s | %8llu | %10llu | %12llu | %12llu\n",
+                spec.name.c_str(),
+                static_cast<unsigned long long>(
+                    wide->codegen.roload_instructions),
+                static_cast<unsigned long long>(
+                    wide->codegen.extra_addi_for_roload),
+                static_cast<unsigned long long>(wide->code_bytes),
+                static_cast<unsigned long long>(narrow->code_bytes));
+  }
+  std::printf("\n(c.ld.ro halves each eligible ld.ro from 4 to 2 bytes; its "
+              "5-bit key field requires <= 32 key groups.)\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablations 3 + 4 (DESIGN.md §5): hardware design choices.
+//  * Key width sweep: the PTE reserves 10 bits; narrower keys cost fewer
+//    flip-flops/LUTs but distinguish fewer types.
+//  * Parallel vs serial check: the paper ANDs the ROLoad check with the
+//    conventional permission logic in parallel; evaluating it serially
+//    lengthens the local path.
+#include <cstdio>
+
+#include "hw/tlb_datapath.h"
+
+using namespace roload;
+
+int main() {
+  std::printf("Ablation: TLB key width vs hardware cost\n\n");
+  std::printf("%8s | %8s | %8s | %10s | %8s\n", "key bits", "d-LUT",
+              "d-FF", "keys", "Fmax");
+
+  hw::TlbDatapathConfig base_config;
+  const hw::MapResult base = MapNetlist(BuildTlbDatapath(base_config));
+  for (unsigned bits : {4u, 6u, 8u, 10u, 16u}) {
+    hw::TlbDatapathConfig config;
+    config.with_roload = true;
+    config.key_bits = bits;
+    const hw::MapResult mapped = MapNetlist(BuildTlbDatapath(config));
+    std::printf("%8u | %8d | %8d | %10u | %8.2f\n", bits,
+                static_cast<int>(mapped.luts) - static_cast<int>(base.luts),
+                static_cast<int>(mapped.flip_flops) -
+                    static_cast<int>(base.flip_flops),
+                1u << bits, mapped.fmax_mhz);
+  }
+
+  std::printf("\nAblation: parallel vs serial ROLoad check (local TLB "
+              "datapath, no core floor)\n\n");
+  hw::MapperConfig local;
+  local.core_floor_levels = 0;  // expose the datapath's own depth
+  {
+    hw::TlbDatapathConfig config;
+    const hw::MapResult mapped = MapNetlist(BuildTlbDatapath(config), local);
+    std::printf("  %-16s depth %u levels, local path %.3f ns\n",
+                "baseline:", mapped.depth_levels, mapped.critical_path_ns);
+  }
+  for (bool serial : {false, true}) {
+    hw::TlbDatapathConfig config;
+    config.with_roload = true;
+    config.serial_check = serial;
+    const hw::MapResult mapped = MapNetlist(BuildTlbDatapath(config), local);
+    std::printf("  %-16s depth %u levels, local path %.3f ns\n",
+                serial ? "serial check:" : "parallel check:",
+                mapped.depth_levels, mapped.critical_path_ns);
+  }
+  std::printf("\n(The paper's design runs both checks in parallel and ANDs "
+              "the outputs,\nkeeping the permission path length unchanged.)\n");
+  return 0;
+}

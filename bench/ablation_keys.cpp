@@ -1,0 +1,54 @@
+// Ablation 1 (DESIGN.md §5): vtable key granularity. The paper notes that
+// ICall's *unified* vtable key has better TLB/cache locality than VCall's
+// per-class keys. This sweep varies the number of vtable key groups used
+// by VCall from 1 (unified) up to per-hierarchy and reports the runtime
+// overhead and the extra keyed pages. Expected shape: fewer key groups ->
+// lower overhead and fewer pages, at the price of a coarser allowlist
+// (cross-hierarchy reuse inside a shared key group is not blocked).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace roload;
+
+int main() {
+  const double scale = bench::BenchScale();
+  std::printf("Ablation: VCall key groups vs overhead (scale=%.2f)\n\n",
+              scale);
+  std::printf("%-24s | %10s | %8s | %9s | %10s\n", "benchmark",
+              "key groups", "time%", "mem%", "ld.ro runs");
+  bench::PrintRule(76);
+
+  for (const auto& spec : workloads::SpecCppSubset(scale)) {
+    const ir::Module module = workloads::Generate(spec);
+    core::BuildOptions base_options;
+    auto base = core::CompileAndRun(module, base_options,
+                                    core::SystemVariant::kFullRoload);
+    if (!base.ok() || !base->completed) {
+      std::fprintf(stderr, "baseline failed\n");
+      return 1;
+    }
+    for (unsigned groups : {1u, 2u, 4u, 16u, 64u}) {
+      core::BuildOptions options;
+      options.defense = core::Defense::kVCall;
+      options.vcall.key_groups = groups;
+      auto metrics = core::CompileAndRun(module, options,
+                                         core::SystemVariant::kFullRoload);
+      if (!metrics.ok() || !metrics->completed ||
+          metrics->exit_code != base->exit_code) {
+        std::fprintf(stderr, "hardened run failed/diverged\n");
+        return 1;
+      }
+      std::printf("%-24s | %10u | %8.3f | %9.4f | %10llu\n",
+                  spec.name.c_str(), groups,
+                  core::OverheadPercent(static_cast<double>(base->cycles),
+                                        static_cast<double>(metrics->cycles)),
+                  core::OverheadPercent(
+                      static_cast<double>(base->peak_mem_kib),
+                      static_cast<double>(metrics->peak_mem_kib)),
+                  static_cast<unsigned long long>(metrics->roload_loads));
+    }
+    bench::PrintRule(76);
+  }
+  return 0;
+}

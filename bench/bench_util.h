@@ -1,0 +1,53 @@
+// Shared helpers for the table/figure reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/toolchain.h"
+#include "workloads/spec_like.h"
+
+namespace roload::bench {
+
+// Workload scale: multiplies hot-loop iteration counts. Override with the
+// ROLOAD_BENCH_SCALE environment variable (1.0 ~ a few million simulated
+// instructions per benchmark; the paper's runs are ~6 days of FPGA time,
+// ours are seconds of simulation — all reported numbers are relative).
+inline double BenchScale(double default_scale = 0.5) {
+  const char* env = std::getenv("ROLOAD_BENCH_SCALE");
+  if (env != nullptr) {
+    const double value = std::atof(env);
+    if (value > 0) return value;
+  }
+  return default_scale;
+}
+
+// Runs one workload under one defense on one system variant; aborts the
+// process on toolchain errors (benches have no meaningful recovery).
+inline core::RunMetrics MustRun(const ir::Module& module,
+                                core::Defense defense,
+                                core::SystemVariant variant) {
+  core::BuildOptions options;
+  options.defense = defense;
+  auto metrics = core::CompileAndRun(module, options, variant);
+  if (!metrics.ok()) {
+    std::fprintf(stderr, "bench run failed: %s\n",
+                 metrics.status().ToString().c_str());
+    std::exit(1);
+  }
+  if (!metrics->completed) {
+    std::fprintf(stderr, "bench run did not complete (defense %s)\n",
+                 core::DefenseName(defense).data());
+    std::exit(1);
+  }
+  return *metrics;
+}
+
+inline void PrintRule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+}  // namespace roload::bench

@@ -1,0 +1,122 @@
+// Microbenchmarks (google-benchmark) for the simulator substrates: TLB
+// translation (hit and ROLoad-check paths), instruction decode, cache
+// access, and netlist technology mapping. These guard the simulator's own
+// performance, which bounds how much workload the table/figure benches can
+// afford.
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.h"
+#include "hw/tlb_datapath.h"
+#include "isa/encoding.h"
+#include "kernel/address_space.h"
+#include "mem/phys_memory.h"
+#include "tlb/tlb.h"
+
+namespace {
+
+using namespace roload;
+
+struct TlbFixture {
+  TlbFixture() : memory(16 * 1024 * 1024), frames(16, 4000),
+                 space(&memory, &frames), tlb(tlb::TlbConfig{}, &memory) {
+    kernel::PageProt ro = kernel::PageProt::Ro(111);
+    ROLOAD_CHECK(space.Map(0x10000, 8, ro).ok());
+    kernel::PageProt rw = kernel::PageProt::Rw();
+    ROLOAD_CHECK(space.Map(0x20000, 8, rw).ok());
+  }
+  mem::PhysMemory memory;
+  kernel::FrameAllocator frames;
+  kernel::AddressSpace space;
+  tlb::Tlb tlb;
+};
+
+void BM_TlbHitLoad(benchmark::State& state) {
+  TlbFixture fixture;
+  // Warm the entry.
+  fixture.tlb.Translate(fixture.space.root_ppn(), 0x20000,
+                        tlb::AccessType::kLoad, 0);
+  for (auto _ : state) {
+    auto result = fixture.tlb.Translate(fixture.space.root_ppn(), 0x20008,
+                                        tlb::AccessType::kLoad, 0);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TlbHitLoad);
+
+void BM_TlbHitRoLoad(benchmark::State& state) {
+  TlbFixture fixture;
+  fixture.tlb.Translate(fixture.space.root_ppn(), 0x10000,
+                        tlb::AccessType::kRoLoad, 111);
+  for (auto _ : state) {
+    auto result = fixture.tlb.Translate(fixture.space.root_ppn(), 0x10008,
+                                        tlb::AccessType::kRoLoad, 111);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TlbHitRoLoad);
+
+void BM_TlbMissWalk(benchmark::State& state) {
+  TlbFixture fixture;
+  std::uint64_t page = 0;
+  for (auto _ : state) {
+    fixture.tlb.Flush();
+    auto result = fixture.tlb.Translate(
+        fixture.space.root_ppn(), 0x10000 + (page++ % 8) * 4096,
+        tlb::AccessType::kLoad, 0);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TlbMissWalk);
+
+void BM_DecodeAlu(benchmark::State& state) {
+  const std::uint32_t word = isa::Encode(
+      isa::Instruction{.op = isa::Opcode::kAdd, .rd = 1, .rs1 = 2, .rs2 = 3});
+  for (auto _ : state) {
+    auto inst = isa::Decode(word);
+    benchmark::DoNotOptimize(inst);
+  }
+}
+BENCHMARK(BM_DecodeAlu);
+
+void BM_DecodeRoLoad(benchmark::State& state) {
+  const std::uint32_t word = isa::Encode(isa::Instruction{
+      .op = isa::Opcode::kLdRo, .rd = 10, .rs1 = 10, .key = 111});
+  for (auto _ : state) {
+    auto inst = isa::Decode(word);
+    benchmark::DoNotOptimize(inst);
+  }
+}
+BENCHMARK(BM_DecodeRoLoad);
+
+void BM_CacheHit(benchmark::State& state) {
+  cache::Cache cache(cache::CacheConfig{});
+  cache.Access(0x1000, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Access(0x1000, false));
+  }
+}
+BENCHMARK(BM_CacheHit);
+
+void BM_CacheMissSweep(benchmark::State& state) {
+  cache::Cache cache(cache::CacheConfig{});
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Access(addr, false));
+    addr += 64 * 512;  // new set+tag every time
+  }
+}
+BENCHMARK(BM_CacheMissSweep);
+
+void BM_MapTlbDatapath(benchmark::State& state) {
+  hw::TlbDatapathConfig config;
+  config.with_roload = true;
+  const hw::Netlist netlist = BuildTlbDatapath(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MapNetlist(netlist));
+  }
+}
+BENCHMARK(BM_MapTlbDatapath);
+
+}  // namespace
+
+BENCHMARK_MAIN();

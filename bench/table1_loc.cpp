@@ -1,0 +1,92 @@
+// Table I: lines of code of each ROLoad component.
+//
+// The paper's counts are *deltas* against existing code bases (Rocket
+// Chip, Linux, LLVM): processor 59, kernel 121, compiler 270, total 450.
+// We built every substrate from scratch, so we report two columns: the
+// total LoC of each of our components, and the ROLoad-specific LoC within
+// them (lines in source files that implement or reference the extension,
+// counted by marker scan) — the latter is the apples-to-apples analogue of
+// the paper's delta.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using std::filesystem::path;
+
+namespace {
+
+struct Component {
+  const char* label;
+  std::vector<const char*> dirs;
+  int paper_total;
+};
+
+int CountLines(const path& file, bool roload_only, int* roload_lines) {
+  std::ifstream in(file);
+  int total = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++total;
+    if (roload_lines != nullptr) {
+      for (const char* marker :
+           {"RoLoad", "roload_key", "ld.ro", "kRoLoad", "roload_md",
+            "has_roload", "is_roload", ".rodata.key", "roload_aware",
+            "roload_enabled", "key_bits", "PteKey", "pte_key", "page_key"}) {
+        if (line.find(marker) != std::string::npos) {
+          ++*roload_lines;
+          break;
+        }
+      }
+    }
+  }
+  (void)roload_only;
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Source root: first argument, or the compile-time default.
+  const path root = argc > 1 ? path(argv[1]) : path(ROLOAD_SOURCE_DIR);
+
+  const std::vector<Component> components = {
+      {"RISC-V Processor (isa/tlb/cpu/mem/cache)",
+       {"src/isa", "src/tlb", "src/cpu", "src/mem", "src/cache"}, 59},
+      {"Kernel (kernel)", {"src/kernel"}, 121},
+      {"Compiler back-end (ir/passes/backend/asmtool)",
+       {"src/ir", "src/passes", "src/backend", "src/asmtool"}, 270},
+  };
+
+  std::printf("Table I: lines of code per ROLoad component\n\n");
+  std::printf("%-46s | %9s | %13s | %11s\n", "component", "our total",
+              "our ROLoad LoC", "paper delta");
+  int grand_total = 0, grand_ro = 0, grand_paper = 0;
+  for (const Component& component : components) {
+    int total = 0, ro = 0;
+    for (const char* dir : component.dirs) {
+      const path base = root / dir;
+      if (!std::filesystem::exists(base)) continue;
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(base)) {
+        if (!entry.is_regular_file()) continue;
+        const auto ext = entry.path().extension();
+        if (ext != ".cpp" && ext != ".h") continue;
+        total += CountLines(entry.path(), true, &ro);
+      }
+    }
+    std::printf("%-46s | %9d | %13d | %11d\n", component.label, total, ro,
+                component.paper_total);
+    grand_total += total;
+    grand_ro += ro;
+    grand_paper += component.paper_total;
+  }
+  std::printf("%-46s | %9d | %13d | %11d\n", "total", grand_total, grand_ro,
+              grand_paper);
+  std::printf("\nThe paper modifies existing code bases (Rocket Chip / "
+              "Linux / LLVM), so its numbers count only the ROLoad delta;\n"
+              "our middle column is the comparable measure, the left "
+              "column is the from-scratch substrate size.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Generic allowlist protection (Section IV-C): "all allowlist-based
+// defenses can be enhanced by ROLoad". Here the allowlist is a table of
+// format-string pointers — a classic sensitive operand: if an attacker can
+// swap a format pointer for a crafted one, printf-style processing becomes
+// an exploit primitive.
+//
+// The AllowlistProtectPass moves the table into a keyed read-only page and
+// turns the table load into ld.ro. The attack (corrupting the index's
+// *target* by aiming the computed pointer at a writable fake table) then
+// faults instead of being consumed.
+//
+// Build and run:  ./build/examples/allowlist_guard
+#include <cstdio>
+
+#include "core/toolchain.h"
+#include "ir/builder.h"
+#include "passes/passes.h"
+
+using namespace roload;
+
+namespace {
+
+constexpr int kFmtAllowlistId = 7;
+
+// The victim: picks a format pointer from fmt_table[i] where the *index
+// slot* lives in writable memory (attacker-reachable), then "uses" it.
+ir::Module MakeProgram() {
+  ir::Module module;
+  module.name = "fmt_guard";
+
+  ir::Global table;
+  table.name = "fmt_table";
+  table.read_only = true;  // already const in the source program
+  table.quads.push_back(ir::GlobalInit{0, "fmt_a"});
+  table.quads.push_back(ir::GlobalInit{0, "fmt_b"});
+  module.globals.push_back(table);
+
+  ir::Global fmt_a;
+  fmt_a.name = "fmt_a";
+  fmt_a.read_only = true;
+  fmt_a.quads.push_back(ir::GlobalInit{0x3e3e3e, ""});  // ">>>" bytes
+  module.globals.push_back(fmt_a);
+  ir::Global fmt_b;
+  fmt_b.name = "fmt_b";
+  fmt_b.read_only = true;
+  fmt_b.quads.push_back(ir::GlobalInit{0x212121, ""});
+  module.globals.push_back(fmt_b);
+
+  // Attacker-writable state: the pointer the program will dereference.
+  ir::Global slot;
+  slot.name = "fmt_slot";
+  slot.quads.push_back(ir::GlobalInit{0, "fmt_table"});
+  module.globals.push_back(slot);
+
+  ir::FunctionBuilder b(&module, "main", "i64()", 0);
+  const int slot_addr = b.AddrOf("fmt_slot");
+  const int table_ptr = b.Load(slot_addr);  // where the table "is"
+  // The sensitive load: fetch the format pointer from the allowlist.
+  const int fmt = b.Load(table_ptr, 8, 8, ir::Trait::kAllowlistLoad,
+                         kFmtAllowlistId);
+  const int first_bytes = b.Load(fmt);  // "use" the format
+  b.Ret(b.BinImm(ir::BinOp::kAnd, first_bytes, 63));
+  module.RecomputeAddressTaken();
+  return module;
+}
+
+}  // namespace
+
+int main() {
+  passes::AllowlistOptions guard;
+  guard.rules.push_back(passes::AllowlistRule{
+      .global_name = "fmt_table",
+      .key = 555,
+      .trait = ir::Trait::kAllowlistLoad,
+      .trait_id = kFmtAllowlistId,
+  });
+
+  for (bool hardened : {false, true}) {
+    ir::Module module = MakeProgram();
+    if (hardened) {
+      Status status = passes::AllowlistProtectPass(&module, guard);
+      if (!status.ok()) {
+        std::printf("pass failed: %s\n", status.ToString().c_str());
+        return 1;
+      }
+    }
+    auto build = core::Build(std::move(module), core::BuildOptions{});
+    if (!build.ok()) {
+      std::printf("build failed: %s\n", build.status().ToString().c_str());
+      return 1;
+    }
+
+    core::System system;
+    if (!system.Load(build->image).ok()) return 1;
+
+    // Run to steady state... this victim is short; attack before start:
+    // redirect fmt_slot at a writable fake table holding an attacker
+    // "format" — the arbitrary-write primitive.
+    const std::uint64_t slot = build->image.symbols.at("fmt_slot");
+    const std::uint64_t fake = build->image.symbols.at("fmt_slot") + 16;
+    // (reuse the writable .data page: plant a fake entry right after)
+    system.cpu().DebugWriteVirt(fake + 8, 8, fake);  // fake[1] -> itself
+    system.cpu().DebugWriteVirt(slot, 8, fake);
+    const kernel::RunResult run = system.Run();
+
+    std::printf("%-10s : ", hardened ? "ld.ro" : "plain ld");
+    if (run.kind == kernel::ExitKind::kExited) {
+      std::printf("completed, exit=%lld  (attacker-controlled format "
+                  "consumed!)\n",
+                  static_cast<long long>(run.exit_code));
+    } else {
+      std::printf("killed by signal %d%s — corrupted format rejected\n",
+                  run.signal,
+                  run.roload_violation ? " [ROLoad key-check fault]" : "");
+    }
+  }
+  std::printf("\nOne rule in AllowlistProtectPass covers any immutable "
+              "legitimate-value set: format strings, jump tables,\nconfig "
+              "blocks, device-operation structures — the paper's Section "
+              "IV-C generalization.\n");
+  return 0;
+}

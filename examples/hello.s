@@ -1,0 +1,33 @@
+# Sample guest program for the CLI tools:
+#   ./build/tools/rasm examples/hello.s -o hello.rimg --list
+#   ./build/tools/rrun hello.rimg --stats
+#   ./build/tools/rdis hello.rimg
+#
+# Prints a greeting, then proves pointee integrity: the secret is read
+# through ld.ro with the matching key and the program exits 0 on success.
+.section .text
+_start:
+  # write(1, msg, 21)
+  li a0, 1
+  la a1, msg
+  li a2, 21
+  li a7, 64
+  ecall
+
+  # keyed allowlist read
+  la t0, secret
+  ld.ro t1, (t0), 77
+  li t2, 1337
+  sub a0, t1, t2
+  snez a0, a0
+
+  li a7, 93
+  ecall
+
+.section .rodata
+msg:
+  .asciz "hello from roload vm\n"
+
+.section .rodata.key.77
+secret:
+  .quad 1337

@@ -1,0 +1,107 @@
+// Quickstart: the smallest end-to-end tour of the ROLoad stack.
+//
+// 1. Write a program against the mini compiler IR (the role of Clang in
+//    the paper's toolchain), marking one load as sensitive.
+// 2. Harden it with the ICall pass (ld.ro + keyed read-only allowlist).
+// 3. Run it on the three system variants of Section V-B and watch what
+//    happens: only the fully ROLoad-enabled system runs the hardened
+//    binary; the unhardened build runs everywhere.
+//
+// Build and run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/toolchain.h"
+#include "ir/builder.h"
+
+using namespace roload;
+
+namespace {
+
+// A program that calls `double_it` through a function pointer stored in
+// writable memory and exits with the result: exit code 84.
+ir::Module MakeProgram() {
+  ir::Module module;
+  module.name = "quickstart";
+  const int fn_type = module.InternFnType("i64(i64)");
+
+  ir::Global slot;
+  slot.name = "fn_slot";
+  slot.quads.push_back(ir::GlobalInit{0, "double_it"});
+  module.globals.push_back(slot);
+
+  {
+    ir::FunctionBuilder b(&module, "double_it", "i64(i64)", 1);
+    b.Ret(b.BinImm(ir::BinOp::kMul, b.Param(0), 2));
+  }
+  {
+    ir::FunctionBuilder b(&module, "main", "i64()", 0);
+    const int slot_addr = b.AddrOf("fn_slot");
+    // The sensitive load: a function pointer read from corruptible memory.
+    const int fn = b.Load(slot_addr, 0, 8, ir::Trait::kFnPtrLoad, fn_type);
+    const int result = b.ICall(fn, {b.Const(42)}, fn_type);
+    b.Ret(result);
+  }
+  module.RecomputeAddressTaken();
+  return module;
+}
+
+const char* VariantName(core::SystemVariant variant) {
+  switch (variant) {
+    case core::SystemVariant::kBaseline:
+      return "baseline system          ";
+    case core::SystemVariant::kProcessorModified:
+      return "processor-modified system";
+    case core::SystemVariant::kFullRoload:
+      return "processor+kernel modified";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  const ir::Module program = MakeProgram();
+
+  std::printf("== Unhardened build (plain ld) ==\n");
+  for (auto variant :
+       {core::SystemVariant::kBaseline, core::SystemVariant::kProcessorModified,
+        core::SystemVariant::kFullRoload}) {
+    core::BuildOptions options;  // Defense::kNone
+    auto metrics = core::CompileAndRun(program, options, variant);
+    if (!metrics.ok()) {
+      std::printf("error: %s\n", metrics.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  %s : exit=%lld (%s), %llu instructions, %llu cycles\n",
+                VariantName(variant),
+                static_cast<long long>(metrics->exit_code),
+                metrics->completed ? "completed" : "killed",
+                static_cast<unsigned long long>(metrics->instructions),
+                static_cast<unsigned long long>(metrics->cycles));
+  }
+
+  std::printf("\n== ICall-hardened build (ld.ro through a keyed GFPT) ==\n");
+  for (auto variant :
+       {core::SystemVariant::kBaseline, core::SystemVariant::kProcessorModified,
+        core::SystemVariant::kFullRoload}) {
+    core::BuildOptions options;
+    options.defense = core::Defense::kICall;
+    auto metrics = core::CompileAndRun(program, options, variant);
+    if (!metrics.ok()) {
+      std::printf("error: %s\n", metrics.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  %s : exit=%lld (%s), %llu ld.ro executed\n",
+                VariantName(variant),
+                static_cast<long long>(metrics->exit_code),
+                metrics->completed ? "completed" : "killed",
+                static_cast<unsigned long long>(metrics->roload_loads));
+  }
+  std::printf("\nThe hardened binary needs both the ld.ro-capable core "
+              "(decode) and the roload-aware kernel (page keys): on the\n"
+              "baseline core the encoding is an illegal instruction, and "
+              "on the unmodified kernel the allowlist pages were never\n"
+              "tagged, so the key check faults — exactly the deployment "
+              "matrix of Section V-B.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Two-pass assembler for the RV64 subset, including the ROLoad-family
+// mnemonics and the `.rodata.key.<K>` keyed allowlist sections. It plays
+// the role of the assembler + static linker of the paper's toolchain: the
+// output is a directly loadable LinkImage.
+//
+// Supported syntax (one statement per line, '#' comments):
+//   label:
+//   .section .text|.rodata|.rodata.key.<K>|.data|.bss
+//   .align <n>            (power-of-two byte alignment)
+//   .globl <sym>          (accepted, no-op: all symbols are global)
+//   .quad/.word/.half/.byte <expr>[, ...]   expr = int literal or symbol
+//   .zero <n>
+//   .asciz "text"
+//   addi a0, a1, -4    /  ld a0, 8(sp)  /  sd a0, 8(sp)
+//   ld.ro a0, (a1), 111   /  c.ld.ro a0, (a1), 7
+//   beq a0, a1, label  /  jal ra, label
+//   pseudo: li, la, mv, not, neg, j, jr, call, ret, tail, nop,
+//           beqz, bnez, blez, bgez, bltz, bgtz, seqz, snez
+//
+// Layout: sections are placed in source order starting at kDefaultBase,
+// each page-aligned (the -z separate-code behaviour the paper requires is
+// implicit: code and read-only data never share a page).
+#pragma once
+
+#include <string_view>
+
+#include "asmtool/image.h"
+#include "support/status.h"
+
+namespace roload::asmtool {
+
+inline constexpr std::uint64_t kDefaultBase = 0x10000;
+
+struct AssemblerOptions {
+  std::uint64_t base_vaddr = kDefaultBase;
+  // Entry symbol; falls back to image start when absent.
+  std::string entry_symbol = "_start";
+};
+
+// Assembles `source` into a loadable image. Errors carry line numbers.
+StatusOr<LinkImage> Assemble(std::string_view source,
+                             const AssemblerOptions& options = {});
+
+}  // namespace roload::asmtool

@@ -1,0 +1,53 @@
+#include "asmtool/image.h"
+
+#include "mem/phys_memory.h"
+#include "support/bits.h"
+#include "support/strings.h"
+
+namespace roload::asmtool {
+
+const Section* LinkImage::FindSection(const std::string& name) const {
+  for (const Section& section : sections) {
+    if (section.name == name) return &section;
+  }
+  return nullptr;
+}
+
+std::uint64_t LinkImage::MappedBytes() const {
+  std::uint64_t total = 0;
+  for (const Section& section : sections) {
+    total += AlignUp(section.size, mem::kPageSize);
+  }
+  return total;
+}
+
+std::uint64_t LinkImage::CodeBytes() const {
+  std::uint64_t total = 0;
+  for (const Section& section : sections) {
+    if (section.perms.exec) total += section.size;
+  }
+  return total;
+}
+
+SectionAttrs AttrsForSectionName(const std::string& name) {
+  SectionAttrs attrs;
+  if (StartsWith(name, ".text")) {
+    attrs.perms = SectionPerms{.read = true, .write = false, .exec = true};
+    return attrs;
+  }
+  if (StartsWith(name, ".rodata.key.")) {
+    attrs.perms = SectionPerms{.read = true, .write = false, .exec = false};
+    auto key = ParseInt(std::string_view(name).substr(12));
+    attrs.key = key && *key >= 0 ? static_cast<std::uint32_t>(*key) : 0;
+    return attrs;
+  }
+  if (StartsWith(name, ".rodata")) {
+    attrs.perms = SectionPerms{.read = true, .write = false, .exec = false};
+    return attrs;
+  }
+  // .data, .bss and anything unknown default to read-write data.
+  attrs.perms = SectionPerms{.read = true, .write = true, .exec = false};
+  return attrs;
+}
+
+}  // namespace roload::asmtool

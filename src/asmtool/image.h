@@ -1,0 +1,55 @@
+// Link image: the executable format shared by the assembler (producer) and
+// the kernel loader (consumer). A deliberately small stand-in for ELF: a
+// list of page-aligned sections with permissions, page keys, contents and a
+// symbol table.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace roload::asmtool {
+
+struct SectionPerms {
+  bool read = true;
+  bool write = false;
+  bool exec = false;
+
+  bool operator==(const SectionPerms&) const = default;
+};
+
+struct Section {
+  std::string name;
+  std::uint64_t vaddr = 0;
+  std::uint64_t size = 0;            // total size incl. zero-filled tail
+  std::vector<std::uint8_t> bytes;   // initialized prefix (<= size)
+  SectionPerms perms;
+  std::uint32_t key = 0;             // ROLoad page key (0 = untagged)
+};
+
+// A linked, loadable program image.
+struct LinkImage {
+  std::vector<Section> sections;
+  std::map<std::string, std::uint64_t> symbols;
+  std::uint64_t entry = 0;
+
+  const Section* FindSection(const std::string& name) const;
+  // Sum of section sizes rounded up to whole pages (static memory image).
+  std::uint64_t MappedBytes() const;
+  // Total size of sections whose name marks them executable (.text*).
+  std::uint64_t CodeBytes() const;
+};
+
+// Section name → attributes policy used by the assembler and by tests:
+//   .text*          R-X
+//   .rodata         R--  key 0
+//   .rodata.key.<K> R--  key K   (the ROLoad allowlist sections)
+//   .data* / .bss*  RW-  key 0
+struct SectionAttrs {
+  SectionPerms perms;
+  std::uint32_t key = 0;
+};
+SectionAttrs AttrsForSectionName(const std::string& name);
+
+}  // namespace roload::asmtool

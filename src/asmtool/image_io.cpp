@@ -1,0 +1,178 @@
+#include "asmtool/image_io.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace roload::asmtool {
+namespace {
+
+constexpr char kMagic[4] = {'R', 'I', 'M', 'G'};
+
+void PutU32(std::string* out, std::uint32_t value) {
+  for (int b = 0; b < 4; ++b) {
+    out->push_back(static_cast<char>(value >> (8 * b)));
+  }
+}
+
+void PutU64(std::string* out, std::uint64_t value) {
+  for (int b = 0; b < 8; ++b) {
+    out->push_back(static_cast<char>(value >> (8 * b)));
+  }
+}
+
+void PutString(std::string* out, const std::string& text) {
+  PutU32(out, static_cast<std::uint32_t>(text.size()));
+  out->append(text);
+}
+
+// Cursor-based reader with bounds checking.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool TakeU32(std::uint32_t* value) {
+    if (cursor_ + 4 > bytes_.size()) return false;
+    *value = 0;
+    for (int b = 0; b < 4; ++b) {
+      *value |= static_cast<std::uint32_t>(
+                    static_cast<std::uint8_t>(bytes_[cursor_ + b]))
+                << (8 * b);
+    }
+    cursor_ += 4;
+    return true;
+  }
+
+  bool TakeU64(std::uint64_t* value) {
+    if (cursor_ + 8 > bytes_.size()) return false;
+    *value = 0;
+    for (int b = 0; b < 8; ++b) {
+      *value |= static_cast<std::uint64_t>(
+                    static_cast<std::uint8_t>(bytes_[cursor_ + b]))
+                << (8 * b);
+    }
+    cursor_ += 8;
+    return true;
+  }
+
+  bool TakeBytes(std::size_t count, std::string* out) {
+    if (cursor_ + count > bytes_.size()) return false;
+    out->assign(bytes_.substr(cursor_, count));
+    cursor_ += count;
+    return true;
+  }
+
+  bool TakeString(std::string* out) {
+    std::uint32_t length = 0;
+    if (!TakeU32(&length)) return false;
+    // Sanity bound: no field in a sane image exceeds 16 MiB.
+    if (length > (16u << 20)) return false;
+    return TakeBytes(length, out);
+  }
+
+ private:
+  std::string_view bytes_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace
+
+std::string SerializeImage(const LinkImage& image) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  PutU32(&out, kImageFormatVersion);
+  PutU64(&out, image.entry);
+  PutU32(&out, static_cast<std::uint32_t>(image.sections.size()));
+  for (const Section& section : image.sections) {
+    PutString(&out, section.name);
+    PutU64(&out, section.vaddr);
+    PutU64(&out, section.size);
+    const std::uint8_t perms =
+        static_cast<std::uint8_t>((section.perms.read ? 1 : 0) |
+                                  (section.perms.write ? 2 : 0) |
+                                  (section.perms.exec ? 4 : 0));
+    out.push_back(static_cast<char>(perms));
+    PutU32(&out, section.key);
+    PutU64(&out, section.bytes.size());
+    out.append(reinterpret_cast<const char*>(section.bytes.data()),
+               section.bytes.size());
+  }
+  PutU32(&out, static_cast<std::uint32_t>(image.symbols.size()));
+  for (const auto& [name, value] : image.symbols) {
+    PutString(&out, name);
+    PutU64(&out, value);
+  }
+  return out;
+}
+
+StatusOr<LinkImage> DeserializeImage(std::string_view bytes) {
+  auto malformed = [](const char* what) {
+    return Status::InvalidArgument(std::string("malformed image: ") + what);
+  };
+  if (bytes.size() < 4 || std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    return malformed("bad magic");
+  }
+  Reader reader(bytes.substr(4));
+  std::uint32_t version = 0;
+  if (!reader.TakeU32(&version) || version != kImageFormatVersion) {
+    return malformed("unsupported version");
+  }
+  LinkImage image;
+  if (!reader.TakeU64(&image.entry)) return malformed("entry");
+  std::uint32_t section_count = 0;
+  if (!reader.TakeU32(&section_count) || section_count > 4096) {
+    return malformed("section count");
+  }
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    Section section;
+    if (!reader.TakeString(&section.name)) return malformed("section name");
+    if (!reader.TakeU64(&section.vaddr)) return malformed("vaddr");
+    if (!reader.TakeU64(&section.size)) return malformed("size");
+    std::string perms_byte;
+    if (!reader.TakeBytes(1, &perms_byte)) return malformed("perms");
+    const auto perms = static_cast<std::uint8_t>(perms_byte[0]);
+    section.perms.read = perms & 1;
+    section.perms.write = perms & 2;
+    section.perms.exec = perms & 4;
+    if (!reader.TakeU32(&section.key)) return malformed("key");
+    std::uint64_t init_len = 0;
+    if (!reader.TakeU64(&init_len) || init_len > section.size) {
+      return malformed("init length");
+    }
+    std::string init;
+    if (!reader.TakeBytes(init_len, &init)) return malformed("init bytes");
+    section.bytes.assign(init.begin(), init.end());
+    image.sections.push_back(std::move(section));
+  }
+  std::uint32_t symbol_count = 0;
+  if (!reader.TakeU32(&symbol_count) || symbol_count > (1u << 20)) {
+    return malformed("symbol count");
+  }
+  for (std::uint32_t i = 0; i < symbol_count; ++i) {
+    std::string name;
+    std::uint64_t value = 0;
+    if (!reader.TakeString(&name) || !reader.TakeU64(&value)) {
+      return malformed("symbol");
+    }
+    image.symbols[name] = value;
+  }
+  return image;
+}
+
+Status SaveImage(const LinkImage& image, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Internal("cannot open for writing: " + path);
+  const std::string bytes = SerializeImage(image);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<LinkImage> LoadImage(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return DeserializeImage(bytes);
+}
+
+}  // namespace roload::asmtool

@@ -1,0 +1,29 @@
+// Binary serialization of LinkImage: the ".rimg" executable container the
+// CLI tools (rasm/rrun/rdis) exchange — a minimal ELF stand-in.
+//
+// Format (little-endian):
+//   magic "RIMG" | u32 version | u64 entry
+//   u32 #sections, then per section:
+//     u32 name_len | name | u64 vaddr | u64 size | u8 perms(R|W<<1|X<<2)
+//     u32 key | u64 init_len | init bytes
+//   u32 #symbols, then per symbol: u32 name_len | name | u64 value
+#pragma once
+
+#include <string>
+
+#include "asmtool/image.h"
+#include "support/status.h"
+
+namespace roload::asmtool {
+
+inline constexpr std::uint32_t kImageFormatVersion = 1;
+
+// In-memory encode/decode (used by the file functions and by tests).
+std::string SerializeImage(const LinkImage& image);
+StatusOr<LinkImage> DeserializeImage(std::string_view bytes);
+
+// File I/O.
+Status SaveImage(const LinkImage& image, const std::string& path);
+StatusOr<LinkImage> LoadImage(const std::string& path);
+
+}  // namespace roload::asmtool

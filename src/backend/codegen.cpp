@@ -1,0 +1,534 @@
+#include "backend/codegen.h"
+
+#include <sstream>
+
+#include "isa/opcodes.h"
+#include "support/bits.h"
+#include "support/strings.h"
+
+namespace roload::backend {
+namespace {
+
+using ir::BinOp;
+using ir::Instr;
+using ir::InstrKind;
+
+// Emits one function. Virtual registers live in stack slots; operands are
+// staged through t0/t1, indirect-call targets through t2 (a deliberately
+// simple, always-correct allocation — the evaluation reports overheads
+// relative to a baseline lowered identically, so shapes are preserved).
+class FunctionEmitter {
+ public:
+  FunctionEmitter(const ir::Module& module, const ir::Function& fn,
+                  const CodegenOptions& options, std::ostringstream& out,
+                  CodegenResult& result)
+      : module_(module), fn_(fn), options_(options), out_(out),
+        result_(result) {}
+
+  Status Emit();
+
+ private:
+  // Counts how often each vreg is read (as src1/src2/arg) in the function;
+  // used by the load/icall fusion peephole.
+  std::vector<unsigned> CountReads() const;
+  std::int64_t SlotOffset(int vreg) const { return 8 * vreg; }
+  std::uint64_t FrameSize() const {
+    return AlignUp(8 * static_cast<std::uint64_t>(fn_.num_vregs) + 8, 16);
+  }
+
+  void Line(const std::string& text) { out_ << "  " << text << "\n"; }
+  void LoadSlot(const char* reg, int vreg) {
+    Line(StrFormat("ld %s, %lld(sp)", reg,
+                   static_cast<long long>(SlotOffset(vreg))));
+  }
+  void StoreSlot(const char* reg, int vreg) {
+    Line(StrFormat("sd %s, %lld(sp)", reg,
+                   static_cast<long long>(SlotOffset(vreg))));
+  }
+  std::string LocalLabel(const std::string& label) const {
+    return ".L_" + fn_.name + "_" + label;
+  }
+
+  Status EmitInstr(const Instr& instr);
+  Status EmitBin(const Instr& instr);
+  Status EmitLoad(const Instr& instr);
+
+  // Set when the previous instruction was a roload-md load feeding only
+  // the upcoming indirect call: the target is already in t2, checked.
+  bool icall_target_in_t2_ = false;
+
+  const ir::Module& module_;
+  const ir::Function& fn_;
+  const CodegenOptions& options_;
+  std::ostringstream& out_;
+  CodegenResult& result_;
+};
+
+const char* LoadMnemonic(unsigned width, bool sign_extend) {
+  switch (width) {
+    case 1:
+      return sign_extend ? "lb" : "lbu";
+    case 2:
+      return sign_extend ? "lh" : "lhu";
+    case 4:
+      return sign_extend ? "lw" : "lwu";
+    default:
+      return "ld";
+  }
+}
+
+const char* RoLoadMnemonic(unsigned width) {
+  switch (width) {
+    case 1:
+      return "lb.ro";
+    case 2:
+      return "lh.ro";
+    case 4:
+      return "lw.ro";
+    default:
+      return "ld.ro";
+  }
+}
+
+const char* StoreMnemonic(unsigned width) {
+  switch (width) {
+    case 1:
+      return "sb";
+    case 2:
+      return "sh";
+    case 4:
+      return "sw";
+    default:
+      return "sd";
+  }
+}
+
+Status FunctionEmitter::EmitBin(const Instr& instr) {
+  // Immediate forms where the ISA has one and the value fits.
+  if (instr.kind == InstrKind::kBinImm && FitsSigned(instr.imm, 12)) {
+    const char* imm_op = nullptr;
+    switch (instr.bin_op) {
+      case BinOp::kAdd:
+        imm_op = "addi";
+        break;
+      case BinOp::kAnd:
+        imm_op = "andi";
+        break;
+      case BinOp::kOr:
+        imm_op = "ori";
+        break;
+      case BinOp::kXor:
+        imm_op = "xori";
+        break;
+      case BinOp::kSlt:
+        imm_op = "slti";
+        break;
+      case BinOp::kSltu:
+        imm_op = "sltiu";
+        break;
+      case BinOp::kShl:
+        imm_op = "slli";
+        break;
+      case BinOp::kShr:
+        imm_op = "srli";
+        break;
+      case BinOp::kSar:
+        imm_op = "srai";
+        break;
+      default:
+        break;
+    }
+    if (imm_op != nullptr &&
+        (instr.bin_op != BinOp::kShl || (instr.imm >= 0 && instr.imm < 64)) &&
+        (instr.bin_op != BinOp::kShr || (instr.imm >= 0 && instr.imm < 64)) &&
+        (instr.bin_op != BinOp::kSar || (instr.imm >= 0 && instr.imm < 64))) {
+      LoadSlot("t0", instr.src1);
+      Line(StrFormat("%s t0, t0, %lld", imm_op,
+                     static_cast<long long>(instr.imm)));
+      StoreSlot("t0", instr.dst);
+      return Status::Ok();
+    }
+  }
+
+  LoadSlot("t0", instr.src1);
+  if (instr.kind == InstrKind::kBinImm) {
+    Line(StrFormat("li t1, %lld", static_cast<long long>(instr.imm)));
+  } else {
+    LoadSlot("t1", instr.src2);
+  }
+  switch (instr.bin_op) {
+    case BinOp::kAdd:
+      Line("add t0, t0, t1");
+      break;
+    case BinOp::kSub:
+      Line("sub t0, t0, t1");
+      break;
+    case BinOp::kMul:
+      Line("mul t0, t0, t1");
+      break;
+    case BinOp::kDiv:
+      Line("div t0, t0, t1");
+      break;
+    case BinOp::kRem:
+      Line("rem t0, t0, t1");
+      break;
+    case BinOp::kAnd:
+      Line("and t0, t0, t1");
+      break;
+    case BinOp::kOr:
+      Line("or t0, t0, t1");
+      break;
+    case BinOp::kXor:
+      Line("xor t0, t0, t1");
+      break;
+    case BinOp::kShl:
+      Line("sll t0, t0, t1");
+      break;
+    case BinOp::kShr:
+      Line("srl t0, t0, t1");
+      break;
+    case BinOp::kSar:
+      Line("sra t0, t0, t1");
+      break;
+    case BinOp::kSlt:
+      Line("slt t0, t0, t1");
+      break;
+    case BinOp::kSltu:
+      Line("sltu t0, t0, t1");
+      break;
+    case BinOp::kEq:
+      Line("sub t0, t0, t1");
+      Line("seqz t0, t0");
+      break;
+    case BinOp::kNe:
+      Line("sub t0, t0, t1");
+      Line("snez t0, t0");
+      break;
+  }
+  StoreSlot("t0", instr.dst);
+  return Status::Ok();
+}
+
+Status FunctionEmitter::EmitLoad(const Instr& instr) {
+  LoadSlot("t0", instr.src1);
+  if (instr.has_roload_md) {
+    // The ROLoad machine pass: ld + roload-md -> ld.ro. The instruction
+    // carries no offset immediate, so a folded offset costs one addi.
+    if (instr.imm != 0) {
+      if (!FitsSigned(instr.imm, 12)) {
+        return Status::InvalidArgument("roload offset exceeds 12 bits");
+      }
+      Line(StrFormat("addi t0, t0, %lld",
+                     static_cast<long long>(instr.imm)));
+      ++result_.extra_addi_for_roload;
+    }
+    if (options_.use_compressed_roload && instr.width == 8 &&
+        instr.roload_key < isa::kNumCompressedKeys) {
+      // t0/t1 are not RVC registers; stage through a0-range registers.
+      // We use s1 (x9) and a5 (x15), both in the compressed register set.
+      Line("mv s1, t0");
+      Line(StrFormat("c.ld.ro a5, (s1), %u", instr.roload_key));
+      Line("mv t1, a5");
+    } else {
+      Line(StrFormat("%s t1, (t0), %u", RoLoadMnemonic(instr.width),
+                     instr.roload_key));
+    }
+    ++result_.roload_instructions;
+  } else {
+    if (!FitsSigned(instr.imm, 12)) {
+      return Status::InvalidArgument("load offset exceeds 12 bits");
+    }
+    Line(StrFormat("%s t1, %lld(t0)",
+                   LoadMnemonic(instr.width, instr.sign_extend),
+                   static_cast<long long>(instr.imm)));
+  }
+  StoreSlot("t1", instr.dst);
+  return Status::Ok();
+}
+
+Status FunctionEmitter::EmitInstr(const Instr& instr) {
+  switch (instr.kind) {
+    case InstrKind::kConst:
+      Line(StrFormat("li t0, %lld", static_cast<long long>(instr.imm)));
+      StoreSlot("t0", instr.dst);
+      return Status::Ok();
+    case InstrKind::kAddrOf:
+      Line("la t0, " + instr.symbol);
+      if (instr.imm != 0) {
+        if (!FitsSigned(instr.imm, 12)) {
+          return Status::InvalidArgument("addrof offset exceeds 12 bits");
+        }
+        Line(StrFormat("addi t0, t0, %lld",
+                       static_cast<long long>(instr.imm)));
+      }
+      StoreSlot("t0", instr.dst);
+      return Status::Ok();
+    case InstrKind::kBin:
+    case InstrKind::kBinImm:
+      return EmitBin(instr);
+    case InstrKind::kLoad:
+      return EmitLoad(instr);
+    case InstrKind::kStore:
+      LoadSlot("t0", instr.src1);
+      LoadSlot("t1", instr.src2);
+      if (!FitsSigned(instr.imm, 12)) {
+        return Status::InvalidArgument("store offset exceeds 12 bits");
+      }
+      Line(StrFormat("%s t1, %lld(t0)", StoreMnemonic(instr.width),
+                     static_cast<long long>(instr.imm)));
+      return Status::Ok();
+    case InstrKind::kBr:
+      Line("j " + LocalLabel(instr.label));
+      return Status::Ok();
+    case InstrKind::kCondBr:
+      LoadSlot("t0", instr.src1);
+      Line("bnez t0, " + LocalLabel(instr.label));
+      Line("j " + LocalLabel(instr.false_label));
+      return Status::Ok();
+    case InstrKind::kCall: {
+      for (std::size_t i = 0; i < instr.args.size(); ++i) {
+        Line(StrFormat("ld a%zu, %lld(sp)", i,
+                       static_cast<long long>(SlotOffset(instr.args[i]))));
+      }
+      Line("call " + instr.symbol);
+      if (instr.dst >= 0) StoreSlot("a0", instr.dst);
+      return Status::Ok();
+    }
+    case InstrKind::kICall: {
+      if (icall_target_in_t2_) {
+        icall_target_in_t2_ = false;
+      } else {
+        LoadSlot("t2", instr.src1);
+      }
+      for (std::size_t i = 0; i < instr.args.size(); ++i) {
+        Line(StrFormat("ld a%zu, %lld(sp)", i,
+                       static_cast<long long>(SlotOffset(instr.args[i]))));
+      }
+      Line("jalr ra, 0(t2)");
+      if (instr.dst >= 0) StoreSlot("a0", instr.dst);
+      return Status::Ok();
+    }
+    case InstrKind::kRet: {
+      if (instr.src1 >= 0) LoadSlot("a0", instr.src1);
+      const std::uint64_t frame = FrameSize();
+      Line(StrFormat("ld ra, %llu(sp)",
+                     static_cast<unsigned long long>(frame - 8)));
+      Line(StrFormat("addi sp, sp, %llu",
+                     static_cast<unsigned long long>(frame)));
+      Line("ret");
+      return Status::Ok();
+    }
+    case InstrKind::kCfiLabel:
+      // Handled at function entry; ignore here.
+      return Status::Ok();
+  }
+  return Status::Internal("unhandled instr kind");
+}
+
+Status FunctionEmitter::Emit() {
+  out_ << fn_.name << ":\n";
+
+  // The classic-CFI ID word: an instruction that is architecturally a
+  // no-op (lui with rd = zero), placed at the function entry so callers
+  // can validate the target by loading it.
+  const auto& entry = fn_.blocks.front();
+  if (!entry.instrs.empty() &&
+      entry.instrs.front().kind == InstrKind::kCfiLabel) {
+    Line(StrFormat("lui zero, 0x%llx",
+                   static_cast<unsigned long long>(
+                       entry.instrs.front().imm)));
+    ++result_.cfi_id_words;
+  }
+
+  const std::uint64_t frame = FrameSize();
+  if (!FitsSigned(static_cast<std::int64_t>(frame), 12)) {
+    return Status::InvalidArgument("frame too large: " + fn_.name);
+  }
+  Line(StrFormat("addi sp, sp, -%llu",
+                 static_cast<unsigned long long>(frame)));
+  Line(StrFormat("sd ra, %llu(sp)",
+                 static_cast<unsigned long long>(frame - 8)));
+  for (unsigned i = 0; i < fn_.num_params; ++i) {
+    Line(StrFormat("sd a%u, %lld(sp)", i,
+                   static_cast<long long>(SlotOffset(static_cast<int>(i)))));
+  }
+
+  const std::vector<unsigned> reads = CountReads();
+  for (const ir::Block& block : fn_.blocks) {
+    out_ << LocalLabel(block.label) << ":\n";
+    for (std::size_t i = 0; i < block.instrs.size(); ++i) {
+      const Instr& instr = block.instrs[i];
+      // Fusion peephole for the ICall hardening pattern (Listing 3): a
+      // roload-md load whose sole consumer is the next indirect call is
+      // emitted straight into t2 with no spill round-trip, so the hardened
+      // call costs exactly one extra ld.ro over the baseline.
+      if (instr.kind == InstrKind::kLoad && instr.has_roload_md &&
+          instr.width == 8 && instr.imm == 0 &&
+          i + 1 < block.instrs.size() &&
+          block.instrs[i + 1].kind == InstrKind::kICall &&
+          block.instrs[i + 1].src1 == instr.dst && instr.dst >= 0 &&
+          reads[static_cast<std::size_t>(instr.dst)] == 1) {
+        LoadSlot("t2", instr.src1);
+        Line(StrFormat("%s t2, (t2), %u", RoLoadMnemonic(instr.width),
+                       instr.roload_key));
+        ++result_.roload_instructions;
+        icall_target_in_t2_ = true;
+        continue;
+      }
+      ROLOAD_RETURN_IF_ERROR(EmitInstr(instr));
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<unsigned> FunctionEmitter::CountReads() const {
+  std::vector<unsigned> reads(
+      static_cast<std::size_t>(fn_.num_vregs > 0 ? fn_.num_vregs : 1), 0);
+  auto bump = [&reads](int vreg) {
+    if (vreg >= 0 && static_cast<std::size_t>(vreg) < reads.size()) {
+      ++reads[static_cast<std::size_t>(vreg)];
+    }
+  };
+  for (const ir::Block& block : fn_.blocks) {
+    for (const Instr& instr : block.instrs) {
+      switch (instr.kind) {
+        case InstrKind::kStore:
+          bump(instr.src1);
+          bump(instr.src2);
+          break;
+        case InstrKind::kRet:
+        case InstrKind::kCondBr:
+        case InstrKind::kLoad:
+          bump(instr.src1);
+          break;
+        case InstrKind::kBin:
+          bump(instr.src1);
+          bump(instr.src2);
+          break;
+        case InstrKind::kBinImm:
+          bump(instr.src1);
+          break;
+        case InstrKind::kICall:
+          bump(instr.src1);
+          break;
+        default:
+          break;
+      }
+      for (int arg : instr.args) bump(arg);
+    }
+  }
+  return reads;
+}
+
+void EmitGlobals(const ir::Module& module, std::ostringstream& out) {
+  // Group read-only globals by key so each keyed group lands in its own
+  // .rodata.key.<K> section (its own read-only pages).
+  auto emit_global = [&out](const ir::Global& global) {
+    out << "  .align 3\n" << global.name << ":\n";
+    for (const ir::GlobalInit& init : global.quads) {
+      if (!init.symbol.empty()) {
+        out << "  .quad " << init.symbol << "\n";
+      } else {
+        out << "  .quad " << init.value << "\n";
+      }
+    }
+    if (global.zero_bytes > 0) {
+      out << "  .zero " << global.zero_bytes << "\n";
+    }
+  };
+
+  bool any_rw = false;
+  for (const ir::Global& global : module.globals) {
+    if (!global.read_only) any_rw = true;
+  }
+  if (any_rw) {
+    out << ".section .data\n";
+    for (const ir::Global& global : module.globals) {
+      if (!global.read_only) emit_global(global);
+    }
+  }
+
+  bool any_plain_ro = false;
+  for (const ir::Global& global : module.globals) {
+    if (global.read_only && global.key == 0) any_plain_ro = true;
+  }
+  if (any_plain_ro) {
+    out << ".section .rodata\n";
+    for (const ir::Global& global : module.globals) {
+      if (global.read_only && global.key == 0) emit_global(global);
+    }
+  }
+
+  std::vector<std::uint32_t> keys;
+  for (const ir::Global& global : module.globals) {
+    if (global.read_only && global.key != 0) {
+      bool seen = false;
+      for (std::uint32_t key : keys) seen = seen || key == global.key;
+      if (!seen) keys.push_back(global.key);
+    }
+  }
+  for (std::uint32_t key : keys) {
+    out << ".section .rodata.key." << key << "\n";
+    for (const ir::Global& global : module.globals) {
+      if (global.read_only && global.key == key) emit_global(global);
+    }
+  }
+}
+
+// Runtime stubs: process entry and the intrinsic calls (__rt_*) the IR may
+// reference. Mirrors the crt0+libc sliver the paper's musl provides.
+void EmitRuntime(std::ostringstream& out) {
+  out << R"(.section .text
+_start:
+  call main
+  li a7, 93
+  ecall
+__rt_exit:
+  li a7, 93
+  ecall
+__rt_abort:
+  li a0, 134
+  li a7, 93
+  ecall
+__rt_write:
+  mv a2, a1
+  mv a1, a0
+  li a0, 1
+  li a7, 64
+  ecall
+  ret
+__rt_brk:
+  li a7, 214
+  ecall
+  ret
+__rt_mmap:
+  li a7, 222
+  ecall
+  ret
+__rt_mprotect:
+  li a7, 226
+  ecall
+  ret
+)";
+}
+
+}  // namespace
+
+StatusOr<CodegenResult> Generate(const ir::Module& module,
+                                 const CodegenOptions& options) {
+  ROLOAD_RETURN_IF_ERROR(ir::Verify(module));
+  CodegenResult result;
+  std::ostringstream out;
+  out << "# module: " << module.name << "\n";
+  EmitRuntime(out);
+  out << ".section .text\n";
+  for (const ir::Function& fn : module.functions) {
+    FunctionEmitter emitter(module, fn, options, out, result);
+    ROLOAD_RETURN_IF_ERROR(emitter.Emit());
+  }
+  EmitGlobals(module, out);
+  result.assembly = out.str();
+  return result;
+}
+
+}  // namespace roload::backend

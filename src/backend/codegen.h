@@ -1,0 +1,34 @@
+// Code generation: lowers an IR module to assembly text for the roload
+// assembler. This plays the role of the paper's LLVM RISC-V back-end,
+// including the ROLoad machine pass: any IR load carrying roload-md
+// metadata is emitted as an ld.ro-family instruction, inserting the extra
+// addi when the load had a folded address offset (ld.ro carries no offset
+// immediate).
+#pragma once
+
+#include <string>
+
+#include "ir/ir.h"
+#include "support/status.h"
+
+namespace roload::backend {
+
+struct CodegenOptions {
+  // Emit c.ld.ro (2-byte) instead of ld.ro when the key fits 5 bits and
+  // the registers allow it — the program-size optimization of Section III.
+  bool use_compressed_roload = false;
+};
+
+struct CodegenResult {
+  std::string assembly;
+  // Static instrumentation counters (reported by the benches).
+  std::uint64_t roload_instructions = 0;
+  std::uint64_t extra_addi_for_roload = 0;
+  std::uint64_t cfi_id_words = 0;
+};
+
+// Lowers `module` to assembly. The module must pass ir::Verify.
+StatusOr<CodegenResult> Generate(const ir::Module& module,
+                                 const CodegenOptions& options = {});
+
+}  // namespace roload::backend

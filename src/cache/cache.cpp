@@ -1,0 +1,78 @@
+#include "cache/cache.h"
+
+#include "support/bits.h"
+#include "support/status.h"
+
+namespace roload::cache {
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  ROLOAD_CHECK(IsPowerOfTwo(config.line_bytes));
+  ROLOAD_CHECK(config.ways > 0);
+  const std::uint64_t lines_total = config.size_bytes / config.line_bytes;
+  ROLOAD_CHECK(lines_total % config.ways == 0);
+  num_sets_ = static_cast<unsigned>(lines_total / config.ways);
+  ROLOAD_CHECK(IsPowerOfTwo(num_sets_));
+  lines_.resize(lines_total);
+}
+
+unsigned Cache::Access(std::uint64_t phys_addr, bool write) {
+  const std::uint64_t line_addr = phys_addr / config_.line_bytes;
+  if (last_line_ != nullptr && line_addr == last_line_addr_ &&
+      last_line_->valid) {
+    ++stats_.hits;
+    last_line_->lru_tick = ++tick_;
+    last_line_->dirty = last_line_->dirty || write;
+    return config_.hit_cycles;
+  }
+  const unsigned set = static_cast<unsigned>(line_addr & (num_sets_ - 1));
+  const std::uint64_t tag = line_addr / num_sets_;
+  Line* base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+
+  for (unsigned way = 0; way < config_.ways; ++way) {
+    Line& line = base[way];
+    if (line.valid && line.tag == tag) {
+      ++stats_.hits;
+      line.lru_tick = ++tick_;
+      line.dirty = line.dirty || write;
+      last_line_ = &line;
+      last_line_addr_ = line_addr;
+      return config_.hit_cycles;
+    }
+  }
+
+  ++stats_.misses;
+  Line* victim = base;
+  for (unsigned way = 0; way < config_.ways; ++way) {
+    Line& line = base[way];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (line.lru_tick < victim->lru_tick) victim = &line;
+  }
+  unsigned cycles = config_.hit_cycles + config_.miss_cycles;
+  if (victim->valid && victim->dirty) {
+    ++stats_.writebacks;
+    cycles += config_.writeback_cycles;
+  }
+  victim->valid = true;
+  victim->dirty = write;
+  victim->tag = tag;
+  victim->lru_tick = ++tick_;
+  // The shortcut may now alias the evicted line; re-point it.
+  last_line_ = victim;
+  last_line_addr_ = line_addr;
+  return cycles;
+}
+
+void Cache::Flush() {
+  for (Line& line : lines_) {
+    line.valid = false;
+    line.dirty = false;
+  }
+  last_line_ = nullptr;
+  last_line_addr_ = ~std::uint64_t{0};
+  ++stats_.flushes;
+}
+
+}  // namespace roload::cache

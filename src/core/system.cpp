@@ -1,0 +1,27 @@
+#include "core/system.h"
+
+namespace roload::core {
+
+System::System(const SystemConfig& config) : config_(config) {
+  memory_ = std::make_unique<mem::PhysMemory>(config.memory_bytes);
+
+  cpu::CpuConfig cpu_config = config.cpu;
+  cpu_config.roload_enabled =
+      config.variant != SystemVariant::kBaseline;
+  cpu_ = std::make_unique<cpu::Cpu>(cpu_config, memory_.get());
+
+  kernel::KernelConfig kernel_config;
+  kernel_config.roload_aware = config.variant == SystemVariant::kFullRoload;
+  kernel_ = std::make_unique<kernel::Kernel>(kernel_config, memory_.get(),
+                                             cpu_.get());
+}
+
+Status System::Load(const asmtool::LinkImage& image) {
+  return kernel_->Load(image);
+}
+
+kernel::RunResult System::Run(std::uint64_t max_instructions) {
+  return kernel_->Run(max_instructions);
+}
+
+}  // namespace roload::core

@@ -1,0 +1,53 @@
+// The top-level ROLoad system API: a whole simulated machine (CPU + MMU +
+// caches + kernel) in one object, configurable as any of the three system
+// variants the paper evaluates (Section V-B):
+//   * kBaseline           — unmodified processor, unmodified kernel
+//   * kProcessorModified  — ld.ro-capable processor, unmodified kernel
+//   * kFullRoload         — ld.ro-capable processor + roload-aware kernel
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "asmtool/image.h"
+#include "cpu/cpu.h"
+#include "kernel/kernel.h"
+#include "mem/phys_memory.h"
+
+namespace roload::core {
+
+enum class SystemVariant : std::uint8_t {
+  kBaseline,
+  kProcessorModified,
+  kFullRoload,
+};
+
+struct SystemConfig {
+  SystemVariant variant = SystemVariant::kFullRoload;
+  std::uint64_t memory_bytes = 64ull * 1024 * 1024;
+  cpu::CpuConfig cpu;  // cache/TLB geometry defaults match Table II
+};
+
+class System {
+ public:
+  explicit System(const SystemConfig& config = {});
+
+  // Loads a program image into a fresh process and prepares the CPU.
+  Status Load(const asmtool::LinkImage& image);
+
+  // Runs the loaded process to completion (or the instruction limit).
+  kernel::RunResult Run(std::uint64_t max_instructions = 1ull << 34);
+
+  cpu::Cpu& cpu() { return *cpu_; }
+  kernel::Kernel& kernel() { return *kernel_; }
+  mem::PhysMemory& memory() { return *memory_; }
+  SystemVariant variant() const { return config_.variant; }
+
+ private:
+  SystemConfig config_;
+  std::unique_ptr<mem::PhysMemory> memory_;
+  std::unique_ptr<cpu::Cpu> cpu_;
+  std::unique_ptr<kernel::Kernel> kernel_;
+};
+
+}  // namespace roload::core

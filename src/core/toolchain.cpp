@@ -1,0 +1,93 @@
+#include "core/toolchain.h"
+
+#include "asmtool/assembler.h"
+
+namespace roload::core {
+
+std::string_view DefenseName(Defense defense) {
+  switch (defense) {
+    case Defense::kNone:
+      return "none";
+    case Defense::kVCall:
+      return "VCall";
+    case Defense::kVTint:
+      return "VTint";
+    case Defense::kICall:
+      return "ICall";
+    case Defense::kClassicCfi:
+      return "CFI";
+  }
+  return "?";
+}
+
+StatusOr<BuildResult> Build(ir::Module module, const BuildOptions& options) {
+  switch (options.defense) {
+    case Defense::kNone:
+      break;
+    case Defense::kVCall:
+      ROLOAD_RETURN_IF_ERROR(
+          passes::VCallProtectPass(&module, options.vcall));
+      break;
+    case Defense::kVTint:
+      ROLOAD_RETURN_IF_ERROR(passes::VTintPass(&module));
+      break;
+    case Defense::kICall:
+      ROLOAD_RETURN_IF_ERROR(passes::ICallCfiPass(&module, options.icall));
+      break;
+    case Defense::kClassicCfi:
+      ROLOAD_RETURN_IF_ERROR(passes::ClassicCfiPass(&module, options.cfi));
+      break;
+  }
+
+  auto codegen = backend::Generate(module, options.codegen);
+  if (!codegen.ok()) return codegen.status();
+
+  auto image = asmtool::Assemble(codegen->assembly);
+  if (!image.ok()) return image.status();
+
+  BuildResult result;
+  result.codegen = *codegen;
+  result.image_bytes = image->MappedBytes();
+  result.code_bytes = image->CodeBytes();
+  result.image = *std::move(image);
+  return result;
+}
+
+StatusOr<RunMetrics> CompileAndRun(const ir::Module& module,
+                                   const BuildOptions& options,
+                                   SystemVariant variant,
+                                   std::uint64_t max_instructions) {
+  auto build = Build(module, options);
+  if (!build.ok()) return build.status();
+
+  SystemConfig config;
+  config.variant = variant;
+  System system(config);
+  ROLOAD_RETURN_IF_ERROR(system.Load(build->image));
+  const kernel::RunResult run = system.Run(max_instructions);
+
+  RunMetrics metrics;
+  metrics.cycles = run.cycles;
+  metrics.instructions = run.instructions;
+  metrics.roload_loads = system.cpu().stats().roload_loads;
+  metrics.peak_mem_kib = run.peak_mem_kib;
+  metrics.image_bytes = build->image_bytes;
+  metrics.exit_code = run.exit_code;
+  metrics.completed = run.kind == kernel::ExitKind::kExited;
+  metrics.roload_violation = run.roload_violation;
+  metrics.stdout_text = run.stdout_text;
+  metrics.dtlb_miss_rate =
+      static_cast<double>(system.cpu().dtlb_stats().misses) /
+      static_cast<double>(system.cpu().dtlb_stats().hits +
+                          system.cpu().dtlb_stats().misses + 1);
+  metrics.dcache_miss_rate = system.cpu().dcache_stats().MissRate();
+  metrics.icache_miss_rate = system.cpu().icache_stats().MissRate();
+  return metrics;
+}
+
+double OverheadPercent(double base, double value) {
+  if (base == 0.0) return 0.0;
+  return (value - base) / base * 100.0;
+}
+
+}  // namespace roload::core

@@ -1,0 +1,75 @@
+// Toolchain: compile an IR module under a chosen defense, assemble, and
+// optionally run it on a chosen system variant. This is the one-call API
+// the benches, examples and tests use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "asmtool/image.h"
+#include "backend/codegen.h"
+#include "core/system.h"
+#include "ir/ir.h"
+#include "passes/passes.h"
+
+namespace roload::core {
+
+// Which hardening (if any) to apply before lowering.
+enum class Defense : std::uint8_t {
+  kNone,
+  kVCall,       // Section IV-A, ROLoad-based vtable protection
+  kVTint,       // software baseline for kVCall
+  kICall,       // Section IV-B, ROLoad type-based forward-edge CFI
+  kClassicCfi,  // software label-based baseline for kICall
+};
+
+std::string_view DefenseName(Defense defense);
+
+struct BuildOptions {
+  Defense defense = Defense::kNone;
+  backend::CodegenOptions codegen;
+  passes::VCallProtectOptions vcall;
+  passes::ICallCfiOptions icall;
+  passes::ClassicCfiOptions cfi;
+};
+
+struct BuildResult {
+  asmtool::LinkImage image;
+  backend::CodegenResult codegen;
+  // Static memory image (all sections, page-rounded), the figure-3/5
+  // memory-overhead numerator.
+  std::uint64_t image_bytes = 0;
+  std::uint64_t code_bytes = 0;
+};
+
+// Applies the defense passes to a copy of `module`, lowers, assembles.
+StatusOr<BuildResult> Build(ir::Module module, const BuildOptions& options);
+
+// Per-run metrics for the evaluation harness.
+struct RunMetrics {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t roload_loads = 0;
+  std::uint64_t peak_mem_kib = 0;
+  std::uint64_t image_bytes = 0;
+  std::int64_t exit_code = 0;
+  bool completed = false;          // exited normally
+  bool roload_violation = false;   // killed by the ROLoad fault path
+  std::string stdout_text;
+  double dtlb_miss_rate = 0.0;
+  double dcache_miss_rate = 0.0;
+  double icache_miss_rate = 0.0;
+};
+
+// Builds `module` under `defense` and runs it on a fresh system of
+// `variant`. The workhorse of every table/figure bench.
+StatusOr<RunMetrics> CompileAndRun(const ir::Module& module,
+                                   const BuildOptions& options,
+                                   SystemVariant variant,
+                                   std::uint64_t max_instructions = 1ull
+                                                                    << 34);
+
+// Relative overhead helper: (value - base) / base * 100, in percent.
+double OverheadPercent(double base, double value);
+
+}  // namespace roload::core

@@ -1,0 +1,123 @@
+// RV64 processor core model: in-order fetch/decode/execute with L1
+// caches, I/D TLBs and the ROLoad extension. The core is the analogue of
+// the modified Rocket Core: when `roload_enabled` is false the decoder
+// rejects ROLoad-family encodings (illegal instruction), exactly like the
+// unmodified baseline processor.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "cache/cache.h"
+#include "isa/encoding.h"
+#include "isa/instruction.h"
+#include "isa/registers.h"
+#include "isa/traps.h"
+#include "mem/phys_memory.h"
+#include "tlb/tlb.h"
+
+namespace roload::cpu {
+
+struct CpuConfig {
+  bool roload_enabled = true;
+  cache::CacheConfig icache;
+  cache::CacheConfig dcache;
+  tlb::TlbConfig itlb;
+  tlb::TlbConfig dtlb;
+  unsigned mul_cycles = 3;
+  unsigned div_cycles = 20;
+  unsigned taken_branch_cycles = 1;  // redirect penalty
+};
+
+// What happened during one Step().
+enum class StepEvent : std::uint8_t {
+  kRetired,  // one instruction retired normally
+  kTrap,     // a trap is pending (see pending_trap())
+  kEcall,    // environment call; kernel services it then calls AckEcall()
+};
+
+struct CpuStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t roload_loads = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t taken_branches = 0;
+  std::uint64_t indirect_jumps = 0;
+};
+
+class Cpu {
+ public:
+  Cpu(const CpuConfig& config, mem::PhysMemory* memory);
+
+  // Architectural state.
+  std::uint64_t pc() const { return pc_; }
+  void set_pc(std::uint64_t pc) { pc_ = pc; }
+  std::uint64_t reg(unsigned index) const { return regs_[index]; }
+  void set_reg(unsigned index, std::uint64_t value);
+
+  // Address translation root (satp.PPN analogue). The kernel sets this on
+  // process switch and must FlushTlbs() after page-table edits.
+  void set_root_ppn(std::uint64_t root_ppn) { root_ppn_ = root_ppn; }
+  std::uint64_t root_ppn() const { return root_ppn_; }
+  void FlushTlbs();
+
+  // Executes one instruction. On kTrap the faulting pc stays in pc() and
+  // the trap is in pending_trap(); the kernel decides what to do. On
+  // kEcall pc() has already advanced past the ecall.
+  StepEvent Step();
+
+  const isa::Trap& pending_trap() const { return pending_trap_; }
+
+  const CpuStats& stats() const { return stats_; }
+  void ResetStats();
+  const tlb::TlbStats& itlb_stats() const { return itlb_.stats(); }
+  const tlb::TlbStats& dtlb_stats() const { return dtlb_.stats(); }
+  const cache::CacheStats& icache_stats() const { return icache_.stats(); }
+  const cache::CacheStats& dcache_stats() const { return dcache_.stats(); }
+
+  const CpuConfig& config() const { return config_; }
+
+  // Per-retired-instruction trace hook (pc, decoded instruction). Used by
+  // the rrun --trace tool and the debugger-style tests; null disables.
+  using TraceHook = std::function<void(std::uint64_t pc,
+                                       const isa::Instruction& inst)>;
+  void set_trace_hook(TraceHook hook) { trace_hook_ = std::move(hook); }
+
+  // Direct (debug/kernel) access to guest memory through the page tables,
+  // bypassing caches and permission checks. Used by the loader, the syscall
+  // layer, and the attack-injection harness (which models an arbitrary
+  // read/write primitive). Returns false when unmapped.
+  bool DebugReadVirt(std::uint64_t virt_addr, unsigned bytes,
+                     std::uint64_t* value);
+  bool DebugWriteVirt(std::uint64_t virt_addr, unsigned bytes,
+                      std::uint64_t value);
+
+ private:
+  // Fetches and decodes the parcel at pc_. Returns false with a pending
+  // trap recorded on failure.
+  bool FetchDecode(isa::Instruction* inst, unsigned* cycles);
+  // Executes a memory access; returns false with pending trap on fault.
+  bool MemAccess(const isa::Instruction& inst, std::uint64_t virt_addr,
+                 bool write, std::uint64_t* value, unsigned* cycles);
+
+  void RaiseTrap(isa::TrapCause cause, std::uint64_t tval);
+
+  CpuConfig config_;
+  mem::PhysMemory* memory_;
+  cache::Cache icache_;
+  cache::Cache dcache_;
+  tlb::Tlb itlb_;
+  tlb::Tlb dtlb_;
+
+  std::array<std::uint64_t, isa::kNumRegs> regs_{};
+  std::uint64_t pc_ = 0;
+  std::uint64_t root_ppn_ = 0;
+  isa::Trap pending_trap_{isa::TrapCause::kIllegalInstruction, 0};
+  CpuStats stats_;
+  TraceHook trace_hook_;
+};
+
+}  // namespace roload::cpu

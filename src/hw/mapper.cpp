@@ -1,0 +1,144 @@
+#include "hw/mapper.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "support/status.h"
+
+namespace roload::hw {
+namespace {
+
+bool IsCombinational(GateKind kind) {
+  switch (kind) {
+    case GateKind::kBuf:
+    case GateKind::kNot:
+    case GateKind::kAnd:
+    case GateKind::kOr:
+    case GateKind::kXor:
+    case GateKind::kXnor:
+    case GateKind::kMux2:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsLeaf(GateKind kind) {
+  return kind == GateKind::kInput || kind == GateKind::kFlipFlopQ ||
+         kind == GateKind::kConst0 || kind == GateKind::kConst1;
+}
+
+}  // namespace
+
+MapResult MapNetlist(const Netlist& netlist, const MapperConfig& config) {
+  const unsigned n = netlist.num_gates();
+  // Greedy cone packing in topological order (gates are already in
+  // topological order by construction). For each combinational gate we
+  // track the set of "cut leaves" (LUT inputs) of the cone rooted at it and
+  // its LUT depth. When merging the operand cones would exceed k inputs,
+  // the larger operand cones are sealed into LUTs of their own (becoming
+  // single leaves), which is the classic level-limited packing heuristic.
+  std::vector<std::set<Signal>> leaves(n);
+  std::vector<unsigned> depth(n, 0);       // LUT levels below this signal
+  std::vector<bool> sealed(n, false);      // signal is a LUT output
+  std::vector<unsigned> fanout(n, 0);
+  unsigned luts = 0;
+
+  for (Signal s = 0; s < static_cast<Signal>(n); ++s) {
+    for (Signal input : netlist.gate(s).inputs) {
+      ++fanout[static_cast<std::size_t>(input)];
+    }
+  }
+  // FF D-inputs also consume their driver.
+  for (const Netlist::FlipFlop& ff : netlist.flip_flops()) {
+    if (ff.d >= 0) ++fanout[static_cast<std::size_t>(ff.d)];
+  }
+  for (const auto& [name, signal] : netlist.outputs()) {
+    (void)name;
+    ++fanout[static_cast<std::size_t>(signal)];
+  }
+
+  auto seal = [&](Signal s) {
+    const auto index = static_cast<std::size_t>(s);
+    if (sealed[index] || IsLeaf(netlist.gate(s).kind)) return;
+    sealed[index] = true;
+    ++luts;
+    depth[index] += 1;
+    leaves[index] = {s};
+  };
+
+  for (Signal s = 0; s < static_cast<Signal>(n); ++s) {
+    const auto index = static_cast<std::size_t>(s);
+    const Gate& gate = netlist.gate(s);
+    if (IsLeaf(gate.kind)) {
+      leaves[index] = {s};
+      depth[index] = 0;
+      continue;
+    }
+    if (!IsCombinational(gate.kind)) continue;
+
+    // Multi-fanout cones are sealed so their logic is not duplicated.
+    for (Signal input : gate.inputs) {
+      if (fanout[static_cast<std::size_t>(input)] > 1) seal(input);
+    }
+
+    std::set<Signal> merged;
+    unsigned level = 0;
+    for (Signal input : gate.inputs) {
+      merged.insert(leaves[static_cast<std::size_t>(input)].begin(),
+                    leaves[static_cast<std::size_t>(input)].end());
+      level = std::max(level, depth[static_cast<std::size_t>(input)]);
+    }
+    if (merged.size() > config.lut_inputs) {
+      // Seal the deepest/biggest operand cones until the merge fits.
+      std::vector<Signal> operands(gate.inputs.begin(), gate.inputs.end());
+      std::sort(operands.begin(), operands.end(), [&](Signal a, Signal b) {
+        return leaves[static_cast<std::size_t>(a)].size() >
+               leaves[static_cast<std::size_t>(b)].size();
+      });
+      for (Signal op : operands) {
+        if (merged.size() <= config.lut_inputs) break;
+        seal(op);
+        merged.clear();
+        level = 0;
+        for (Signal input : gate.inputs) {
+          merged.insert(leaves[static_cast<std::size_t>(input)].begin(),
+                        leaves[static_cast<std::size_t>(input)].end());
+          level = std::max(level, depth[static_cast<std::size_t>(input)]);
+        }
+      }
+      ROLOAD_CHECK(merged.size() <= config.lut_inputs);
+    }
+    leaves[index] = std::move(merged);
+    depth[index] = level;
+  }
+
+  // Seal every signal that feeds an FF or a primary output.
+  unsigned max_depth = 0;
+  auto finalize = [&](Signal s) {
+    seal(s);
+    max_depth = std::max(max_depth, depth[static_cast<std::size_t>(s)]);
+  };
+  for (const Netlist::FlipFlop& ff : netlist.flip_flops()) {
+    if (ff.d >= 0) finalize(ff.d);
+  }
+  for (const auto& [name, signal] : netlist.outputs()) {
+    (void)name;
+    finalize(signal);
+  }
+
+  MapResult result;
+  result.luts = luts;
+  result.flip_flops = netlist.num_flip_flops();
+  result.depth_levels = std::max(max_depth, config.core_floor_levels);
+  result.critical_path_ns = config.ns_clk_to_q_plus_setup +
+                            result.depth_levels * config.ns_per_lut_level +
+                            config.ns_routing_per_lut * luts;
+  const double period_ns = 1000.0 / config.target_mhz;
+  result.worst_slack_ns = period_ns - result.critical_path_ns;
+  result.fmax_mhz = 1000.0 / result.critical_path_ns;
+  return result;
+}
+
+}  // namespace roload::hw

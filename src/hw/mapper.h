@@ -1,0 +1,42 @@
+// Technology mapper + static timing analyzer: maps a gate netlist onto
+// k-input LUTs (k = 6 for the Kintex-7 target) with a greedy cone-packing
+// heuristic and reports LUT count, FF count, logic depth, worst setup
+// slack and Fmax against the paper's 125 MHz synthesis target.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/netlist.h"
+
+namespace roload::hw {
+
+struct MapperConfig {
+  unsigned lut_inputs = 6;  // Kintex-7 fracturable LUT6
+  // Timing model, calibrated so the baseline Rocket-core path matches the
+  // published numbers (F_target = 125 MHz, slack 0.119 ns).
+  double ns_per_lut_level = 0.551;  // LUT + local routing
+  double ns_clk_to_q_plus_setup = 0.62;
+  double target_mhz = 125.0;
+  // Depth of the longest path elsewhere in the core (the TLB check is ANDed
+  // into an existing permission path; the core's global critical path has
+  // this many levels when the local logic is shallower).
+  unsigned core_floor_levels = 13;
+  // Placement/congestion term: bigger netlists route slightly worse. This
+  // reproduces the sub-level Fmax deltas real tools report when logic is
+  // added off the critical path.
+  double ns_routing_per_lut = 9.2e-5;
+};
+
+struct MapResult {
+  unsigned luts = 0;
+  unsigned flip_flops = 0;
+  unsigned depth_levels = 0;     // LUT levels on the longest path
+  double critical_path_ns = 0.0;
+  double worst_slack_ns = 0.0;   // vs 1/target_mhz
+  double fmax_mhz = 0.0;
+};
+
+// Maps the netlist and runs STA.
+MapResult MapNetlist(const Netlist& netlist, const MapperConfig& config = {});
+
+}  // namespace roload::hw

@@ -1,0 +1,76 @@
+// Gate-level models of the D-TLB lookup + permission-check datapath, in
+// both the baseline and ROLoad variants, plus calibrated block inventories
+// for the rest of the Rocket core and the whole FPGA system. Together they
+// regenerate Table III: the *delta* between the two variants comes entirely
+// from synthesized structure (key storage flip-flops, key match mux +
+// comparator, read-only qualification, new-instruction decode), while the
+// unmodified remainder of the core/system is a calibrated constant.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/mapper.h"
+#include "hw/netlist.h"
+
+namespace roload::hw {
+
+struct TlbDatapathConfig {
+  unsigned entries = 32;     // Table II: 32-entry D-TLB
+  unsigned vpn_bits = 27;    // Sv39 virtual page number
+  unsigned ppn_bits = 28;    // physical page number stored per entry
+  unsigned flag_bits = 8;    // V R W X U G A D
+  unsigned key_bits = 10;    // ROLoad PTE key field (top reserved bits)
+  bool with_roload = false;
+  // Ablation: evaluate the ROLoad check in series after the permission
+  // logic instead of in parallel (the paper ANDs the outputs in parallel).
+  bool serial_check = false;
+};
+
+// Builds the datapath netlist. Primary inputs: lookup VPN, access-type
+// (is_store / is_fetch / is_roload), instruction key. Primary outputs:
+// hit, translated PPN bits, access-allowed. Flip-flops hold the TLB
+// entries (tags, PPNs, flags, and keys when with_roload).
+Netlist BuildTlbDatapath(const TlbDatapathConfig& config);
+
+// Builds just the ROLoad permission-check function as a pure combinational
+// netlist: inputs readable, writable, user, page_key[n], inst_key[n];
+// output allow. Used for exhaustive equivalence checks against
+// tlb::RoLoadCheck.
+Netlist BuildRoLoadCheckNetlist(unsigned key_bits);
+
+// Decode-stage delta: recognizing ld.ro-family (custom-0 major opcode +
+// funct3) and c.ld.ro (compressed quadrant 0, funct3 100) from a 32-bit
+// parcel, extracting the 10-bit key, and pipelining it to the memory
+// stage. Only built for the ROLoad variant.
+Netlist BuildRoLoadDecodeDelta();
+
+// Calibrated inventory (Table III reproduction): synthesizes both TLB
+// variants (+ decode delta for ROLoad) and adds the published constants
+// for the untouched remainder of the core/system.
+struct TableIIIRow {
+  unsigned core_luts = 0;
+  unsigned core_ffs = 0;
+  unsigned system_luts = 0;
+  unsigned system_ffs = 0;
+  double worst_slack_ns = 0.0;
+  double fmax_mhz = 0.0;
+};
+
+struct TableIII {
+  TableIIIRow without_ldro;
+  TableIIIRow with_ldro;
+  double core_lut_increase_percent = 0.0;
+  double core_ff_increase_percent = 0.0;
+  double system_lut_increase_percent = 0.0;
+  double system_ff_increase_percent = 0.0;
+};
+
+TableIII ComputeTableIII(const MapperConfig& mapper = {});
+
+// Paper-published baseline constants used for calibration (Table III).
+inline constexpr unsigned kPaperCoreLuts = 20722;
+inline constexpr unsigned kPaperCoreFfs = 11855;
+inline constexpr unsigned kPaperSystemLuts = 37428;
+inline constexpr unsigned kPaperSystemFfs = 29913;
+
+}  // namespace roload::hw

@@ -1,0 +1,150 @@
+#include "ir/builder.h"
+
+#include "support/status.h"
+
+namespace roload::ir {
+
+FunctionBuilder::FunctionBuilder(Module* module, std::string name,
+                                 const std::string& type_name,
+                                 unsigned num_params)
+    : module_(module) {
+  Function fn;
+  fn.name = std::move(name);
+  fn.type_id = module->InternFnType(type_name);
+  fn.num_params = num_params;
+  fn.num_vregs = static_cast<int>(num_params);
+  module->functions.push_back(std::move(fn));
+  fn_ = &module->functions.back();
+  SetBlock("entry");
+}
+
+void FunctionBuilder::SetBlock(const std::string& label) {
+  for (Block& block : fn_->blocks) {
+    if (block.label == label) {
+      current_ = label;
+      return;
+    }
+  }
+  fn_->blocks.push_back(Block{label, {}});
+  current_ = label;
+}
+
+Instr& FunctionBuilder::Append(Instr instr) {
+  for (Block& block : fn_->blocks) {
+    if (block.label == current_) {
+      block.instrs.push_back(std::move(instr));
+      return block.instrs.back();
+    }
+  }
+  FatalError("FunctionBuilder: no current block");
+}
+
+int FunctionBuilder::Const(std::int64_t value) {
+  Instr instr;
+  instr.kind = InstrKind::kConst;
+  instr.dst = NewReg();
+  instr.imm = value;
+  return Append(instr).dst;
+}
+
+int FunctionBuilder::AddrOf(const std::string& symbol, std::int64_t offset) {
+  Instr instr;
+  instr.kind = InstrKind::kAddrOf;
+  instr.dst = NewReg();
+  instr.symbol = symbol;
+  instr.imm = offset;
+  return Append(instr).dst;
+}
+
+int FunctionBuilder::Bin(BinOp op, int lhs, int rhs) {
+  Instr instr;
+  instr.kind = InstrKind::kBin;
+  instr.bin_op = op;
+  instr.dst = NewReg();
+  instr.src1 = lhs;
+  instr.src2 = rhs;
+  return Append(instr).dst;
+}
+
+int FunctionBuilder::BinImm(BinOp op, int lhs, std::int64_t rhs) {
+  Instr instr;
+  instr.kind = InstrKind::kBinImm;
+  instr.bin_op = op;
+  instr.dst = NewReg();
+  instr.src1 = lhs;
+  instr.imm = rhs;
+  return Append(instr).dst;
+}
+
+int FunctionBuilder::Load(int addr, std::int64_t offset, unsigned width,
+                          Trait trait, int trait_id) {
+  Instr instr;
+  instr.kind = InstrKind::kLoad;
+  instr.dst = NewReg();
+  instr.src1 = addr;
+  instr.imm = offset;
+  instr.width = width;
+  instr.trait = trait;
+  instr.trait_id = trait_id;
+  return Append(instr).dst;
+}
+
+void FunctionBuilder::Store(int addr, int value, std::int64_t offset,
+                            unsigned width) {
+  Instr instr;
+  instr.kind = InstrKind::kStore;
+  instr.src1 = addr;
+  instr.src2 = value;
+  instr.imm = offset;
+  instr.width = width;
+  Append(instr);
+}
+
+void FunctionBuilder::Br(const std::string& label) {
+  Instr instr;
+  instr.kind = InstrKind::kBr;
+  instr.label = label;
+  Append(instr);
+}
+
+void FunctionBuilder::CondBr(int cond, const std::string& true_label,
+                             const std::string& false_label) {
+  Instr instr;
+  instr.kind = InstrKind::kCondBr;
+  instr.src1 = cond;
+  instr.label = true_label;
+  instr.false_label = false_label;
+  Append(instr);
+}
+
+int FunctionBuilder::Call(const std::string& callee, std::vector<int> args,
+                          bool has_result) {
+  Instr instr;
+  instr.kind = InstrKind::kCall;
+  instr.symbol = callee;
+  instr.args = std::move(args);
+  instr.dst = has_result ? NewReg() : -1;
+  return Append(instr).dst;
+}
+
+int FunctionBuilder::ICall(int target, std::vector<int> args, int type_id,
+                           bool has_result, bool is_vcall) {
+  Instr instr;
+  instr.kind = InstrKind::kICall;
+  instr.src1 = target;
+  instr.args = std::move(args);
+  instr.trait = Trait::kICall;
+  instr.trait_id = type_id;
+  instr.is_vcall = is_vcall;
+  instr.dst = has_result ? NewReg() : -1;
+  return Append(instr).dst;
+}
+
+void FunctionBuilder::Ret(int value) {
+  Instr instr;
+  instr.kind = InstrKind::kRet;
+  instr.src1 = value;
+  Append(instr);
+}
+
+}  // namespace roload::ir

@@ -1,0 +1,53 @@
+// Convenience builder for constructing IR functions; used by the workload
+// generators and by tests.
+#pragma once
+
+#include <string>
+
+#include "ir/ir.h"
+
+namespace roload::ir {
+
+class FunctionBuilder {
+ public:
+  FunctionBuilder(Module* module, std::string name,
+                  const std::string& type_name, unsigned num_params);
+
+  Function* function() { return fn_; }
+  Module* module() { return module_; }
+
+  // Creates a new virtual register.
+  int NewReg() { return fn_->num_vregs++; }
+  // Parameter i is virtual register i.
+  int Param(unsigned index) const { return static_cast<int>(index); }
+
+  // Starts (or switches to) the block with `label`, creating it on demand.
+  void SetBlock(const std::string& label);
+  std::string current_block() const { return current_; }
+
+  int Const(std::int64_t value);
+  int AddrOf(const std::string& symbol, std::int64_t offset = 0);
+  int Bin(BinOp op, int lhs, int rhs);
+  int BinImm(BinOp op, int lhs, std::int64_t rhs);
+  int Load(int addr, std::int64_t offset = 0, unsigned width = 8,
+           Trait trait = Trait::kNone, int trait_id = 0);
+  void Store(int addr, int value, std::int64_t offset = 0,
+             unsigned width = 8);
+  void Br(const std::string& label);
+  void CondBr(int cond, const std::string& true_label,
+              const std::string& false_label);
+  int Call(const std::string& callee, std::vector<int> args,
+           bool has_result = true);
+  int ICall(int target, std::vector<int> args, int type_id,
+            bool has_result = true, bool is_vcall = false);
+  void Ret(int value = -1);
+
+ private:
+  Instr& Append(Instr instr);
+
+  Module* module_;
+  Function* fn_;
+  std::string current_;
+};
+
+}  // namespace roload::ir

@@ -1,0 +1,37 @@
+// Reference IR interpreter: executes a module directly, with the same
+// arithmetic semantics as the RV64 target (wrapping 64-bit ops, RISC-V
+// division edge cases, sign/zero extension on narrow loads).
+//
+// Purpose: differential testing. For any module M (hardened or not),
+//   Interpret(M)  ==  exit code of CompileAndRun(M)
+// must hold — one oracle covering codegen, the assembler, the loader, the
+// MMU and the CPU in a single equality. ROLoad metadata is functionally
+// transparent here (the interpreter has no attacker), matching the
+// hardening passes' semantics-preservation contract.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/ir.h"
+#include "support/status.h"
+
+namespace roload::ir {
+
+struct InterpOptions {
+  // Step budget: aborts runaway programs (verifier can't prove halting).
+  std::uint64_t max_steps = 200'000'000;
+};
+
+struct InterpResult {
+  std::int64_t return_value = 0;  // main's return value (the exit code)
+  bool aborted = false;           // __rt_abort was called
+  std::uint64_t steps = 0;        // IR instructions executed
+};
+
+// Interprets `module` starting at main(). Errors on malformed modules,
+// out-of-bounds memory traffic, icalls to non-function addresses, or step
+// exhaustion.
+StatusOr<InterpResult> Interpret(const Module& module,
+                                 const InterpOptions& options = {});
+
+}  // namespace roload::ir

@@ -1,0 +1,355 @@
+#include "ir/ir.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace roload::ir {
+
+int Module::InternFnType(const std::string& type_name) {
+  for (std::size_t i = 0; i < fn_type_names.size(); ++i) {
+    if (fn_type_names[i] == type_name) return static_cast<int>(i);
+  }
+  fn_type_names.push_back(type_name);
+  return static_cast<int>(fn_type_names.size() - 1);
+}
+
+int Module::InternClass(const std::string& class_name) {
+  for (std::size_t i = 0; i < class_names.size(); ++i) {
+    if (class_names[i] == class_name) return static_cast<int>(i);
+  }
+  class_names.push_back(class_name);
+  return static_cast<int>(class_names.size() - 1);
+}
+
+Function* Module::FindFunction(const std::string& name) {
+  for (Function& fn : functions) {
+    if (fn.name == name) return &fn;
+  }
+  return nullptr;
+}
+
+const Function* Module::FindFunction(const std::string& name) const {
+  for (const Function& fn : functions) {
+    if (fn.name == name) return &fn;
+  }
+  return nullptr;
+}
+
+Global* Module::FindGlobal(const std::string& name) {
+  for (Global& global : globals) {
+    if (global.name == name) return &global;
+  }
+  return nullptr;
+}
+
+void Module::RecomputeAddressTaken() {
+  std::set<std::string> taken;
+  for (const Global& global : globals) {
+    for (const GlobalInit& init : global.quads) {
+      if (!init.symbol.empty()) taken.insert(init.symbol);
+    }
+  }
+  for (const Function& fn : functions) {
+    for (const Block& block : fn.blocks) {
+      for (const Instr& instr : block.instrs) {
+        if (instr.kind == InstrKind::kAddrOf) taken.insert(instr.symbol);
+      }
+    }
+  }
+  for (Function& fn : functions) {
+    fn.address_taken = taken.contains(fn.name);
+  }
+}
+
+namespace {
+
+bool IsTerminator(InstrKind kind) {
+  return kind == InstrKind::kBr || kind == InstrKind::kCondBr ||
+         kind == InstrKind::kRet;
+}
+
+Status VerifyFunction(const Module& module, const Function& fn) {
+  auto err = [&](const std::string& message) {
+    return Status::InvalidArgument("function '" + fn.name + "': " + message);
+  };
+  if (fn.blocks.empty()) return err("no blocks");
+  if (fn.num_params > 8) return err("more than 8 parameters");
+  if (fn.type_id < 0 ||
+      fn.type_id >= static_cast<int>(module.fn_type_names.size())) {
+    return err("bad type id");
+  }
+
+  std::set<std::string> labels;
+  for (const Block& block : fn.blocks) {
+    if (!labels.insert(block.label).second) {
+      return err("duplicate block label " + block.label);
+    }
+  }
+
+  auto check_vreg = [&](int vreg, bool allow_none) -> bool {
+    if (vreg == -1) return allow_none;
+    return vreg >= 0 && vreg < fn.num_vregs;
+  };
+
+  for (const Block& block : fn.blocks) {
+    if (block.instrs.empty()) return err("empty block " + block.label);
+    for (std::size_t i = 0; i < block.instrs.size(); ++i) {
+      const Instr& instr = block.instrs[i];
+      const bool last = i + 1 == block.instrs.size();
+      if (IsTerminator(instr.kind) != last) {
+        return err("terminator placement in block " + block.label);
+      }
+      switch (instr.kind) {
+        case InstrKind::kConst:
+        case InstrKind::kAddrOf:
+          if (!check_vreg(instr.dst, false)) return err("bad dst");
+          break;
+        case InstrKind::kBin:
+          if (!check_vreg(instr.dst, false) ||
+              !check_vreg(instr.src1, false) ||
+              !check_vreg(instr.src2, false)) {
+            return err("bad bin operands");
+          }
+          break;
+        case InstrKind::kBinImm:
+          if (!check_vreg(instr.dst, false) ||
+              !check_vreg(instr.src1, false)) {
+            return err("bad binimm operands");
+          }
+          break;
+        case InstrKind::kLoad:
+          if (!check_vreg(instr.dst, false) ||
+              !check_vreg(instr.src1, false)) {
+            return err("bad load operands");
+          }
+          if (instr.width != 1 && instr.width != 2 && instr.width != 4 &&
+              instr.width != 8) {
+            return err("bad load width");
+          }
+          if (instr.has_roload_md && instr.roload_key == 0) {
+            return err("roload-md with key 0");
+          }
+          break;
+        case InstrKind::kStore:
+          if (!check_vreg(instr.src1, false) ||
+              !check_vreg(instr.src2, false)) {
+            return err("bad store operands");
+          }
+          if (instr.width != 1 && instr.width != 2 && instr.width != 4 &&
+              instr.width != 8) {
+            return err("bad store width");
+          }
+          break;
+        case InstrKind::kBr:
+          if (!labels.contains(instr.label)) {
+            return err("br to unknown label " + instr.label);
+          }
+          break;
+        case InstrKind::kCondBr:
+          if (!check_vreg(instr.src1, false)) return err("bad condbr cond");
+          if (!labels.contains(instr.label) ||
+              !labels.contains(instr.false_label)) {
+            return err("condbr to unknown label");
+          }
+          break;
+        case InstrKind::kCall: {
+          if (instr.args.size() > 8) return err("too many call args");
+          if (!check_vreg(instr.dst, true)) return err("bad call dst");
+          for (int arg : instr.args) {
+            if (!check_vreg(arg, false)) return err("bad call arg");
+          }
+          // "__rt_*" names are runtime intrinsics provided by the backend.
+          if (!StartsWith(instr.symbol, "__rt_") &&
+              module.FindFunction(instr.symbol) == nullptr) {
+            return err("call to unknown function " + instr.symbol);
+          }
+          break;
+        }
+        case InstrKind::kICall:
+          if (instr.args.size() > 8) return err("too many icall args");
+          if (!check_vreg(instr.dst, true) ||
+              !check_vreg(instr.src1, false)) {
+            return err("bad icall operands");
+          }
+          break;
+        case InstrKind::kRet:
+          if (!check_vreg(instr.src1, true)) return err("bad ret operand");
+          break;
+        case InstrKind::kCfiLabel:
+          if (instr.imm < 0 || instr.imm > 0xFFFFF) {
+            return err("cfi label id exceeds 20 bits");
+          }
+          break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::string_view BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+      return "add";
+    case BinOp::kSub:
+      return "sub";
+    case BinOp::kMul:
+      return "mul";
+    case BinOp::kDiv:
+      return "div";
+    case BinOp::kRem:
+      return "rem";
+    case BinOp::kAnd:
+      return "and";
+    case BinOp::kOr:
+      return "or";
+    case BinOp::kXor:
+      return "xor";
+    case BinOp::kShl:
+      return "shl";
+    case BinOp::kShr:
+      return "shr";
+    case BinOp::kSar:
+      return "sar";
+    case BinOp::kSlt:
+      return "slt";
+    case BinOp::kSltu:
+      return "sltu";
+    case BinOp::kEq:
+      return "eq";
+    case BinOp::kNe:
+      return "ne";
+  }
+  return "?";
+}
+
+void PrintInstr(std::ostringstream& out, const Instr& instr) {
+  out << "    ";
+  switch (instr.kind) {
+    case InstrKind::kConst:
+      out << "v" << instr.dst << " = const " << instr.imm;
+      break;
+    case InstrKind::kAddrOf:
+      out << "v" << instr.dst << " = addrof @" << instr.symbol;
+      if (instr.imm != 0) out << " + " << instr.imm;
+      break;
+    case InstrKind::kBin:
+      out << "v" << instr.dst << " = " << BinOpName(instr.bin_op) << " v"
+          << instr.src1 << ", v" << instr.src2;
+      break;
+    case InstrKind::kBinImm:
+      out << "v" << instr.dst << " = " << BinOpName(instr.bin_op) << " v"
+          << instr.src1 << ", " << instr.imm;
+      break;
+    case InstrKind::kLoad:
+      out << "v" << instr.dst << " = load i" << instr.width * 8 << " [v"
+          << instr.src1;
+      if (instr.imm != 0) out << " + " << instr.imm;
+      out << "]";
+      if (instr.has_roload_md) {
+        out << " !roload-md key=" << instr.roload_key;
+      }
+      break;
+    case InstrKind::kStore:
+      out << "store i" << instr.width * 8 << " [v" << instr.src1;
+      if (instr.imm != 0) out << " + " << instr.imm;
+      out << "], v" << instr.src2;
+      break;
+    case InstrKind::kBr:
+      out << "br " << instr.label;
+      break;
+    case InstrKind::kCondBr:
+      out << "condbr v" << instr.src1 << ", " << instr.label << ", "
+          << instr.false_label;
+      break;
+    case InstrKind::kCall:
+      if (instr.dst >= 0) out << "v" << instr.dst << " = ";
+      out << "call @" << instr.symbol << "(";
+      for (std::size_t i = 0; i < instr.args.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << "v" << instr.args[i];
+      }
+      out << ")";
+      break;
+    case InstrKind::kICall:
+      if (instr.dst >= 0) out << "v" << instr.dst << " = ";
+      out << "icall v" << instr.src1 << "(";
+      for (std::size_t i = 0; i < instr.args.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << "v" << instr.args[i];
+      }
+      out << ") type=" << instr.trait_id;
+      break;
+    case InstrKind::kRet:
+      out << "ret";
+      if (instr.src1 >= 0) out << " v" << instr.src1;
+      break;
+    case InstrKind::kCfiLabel:
+      out << "cfi_label " << instr.imm;
+      break;
+  }
+  out << "\n";
+}
+
+}  // namespace
+
+Status Verify(const Module& module) {
+  std::set<std::string> names;
+  for (const Function& fn : module.functions) {
+    if (!names.insert(fn.name).second) {
+      return Status::InvalidArgument("duplicate function " + fn.name);
+    }
+  }
+  for (const Global& global : module.globals) {
+    if (!names.insert(global.name).second) {
+      return Status::InvalidArgument("duplicate global " + global.name);
+    }
+  }
+  for (const Function& fn : module.functions) {
+    ROLOAD_RETURN_IF_ERROR(VerifyFunction(module, fn));
+  }
+  return Status::Ok();
+}
+
+std::string Print(const Module& module) {
+  std::ostringstream out;
+  out << "module " << module.name << "\n";
+  for (const Global& global : module.globals) {
+    out << "global @" << global.name << (global.read_only ? " ro" : " rw");
+    if (global.key != 0) out << " key=" << global.key;
+    if (global.trait == GlobalTrait::kVTable) {
+      out << " vtable(" << module.class_names[global.trait_id] << ")";
+    }
+    if (global.trait == GlobalTrait::kGfpt) {
+      out << " gfpt(" << module.fn_type_names[global.trait_id] << ")";
+    }
+    out << " = [";
+    for (std::size_t i = 0; i < global.quads.size(); ++i) {
+      if (i > 0) out << ", ";
+      if (!global.quads[i].symbol.empty()) {
+        out << "@" << global.quads[i].symbol;
+      } else {
+        out << global.quads[i].value;
+      }
+    }
+    out << "]";
+    if (global.zero_bytes != 0) out << " zero=" << global.zero_bytes;
+    out << "\n";
+  }
+  for (const Function& fn : module.functions) {
+    out << "func @" << fn.name << " type="
+        << module.fn_type_names[fn.type_id] << " params=" << fn.num_params
+        << " vregs=" << fn.num_vregs
+        << (fn.address_taken ? " address_taken" : "") << " {\n";
+    for (const Block& block : fn.blocks) {
+      out << "  " << block.label << ":\n";
+      for (const Instr& instr : block.instrs) PrintInstr(out, instr);
+    }
+    out << "}\n";
+  }
+  return out.str();
+}
+
+}  // namespace roload::ir

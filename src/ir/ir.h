@@ -1,0 +1,160 @@
+// Mini compiler IR, the analogue of the LLVM IR layer in the paper's
+// toolchain. Programs (our SPEC-like workloads) are built in this IR, the
+// hardening passes in src/passes rewrite it, and src/backend lowers it to
+// assembly for the simulated RV64 core.
+//
+// Two paper-specific features:
+//  * Load instructions can carry "ROLoad-md" metadata (`has_roload_md` +
+//    `roload_key`), the exact interface the paper adds to LLVM: a load so
+//    annotated is emitted as an ld.ro-family instruction by the backend.
+//  * Sensitive operations are discoverable: loads and indirect calls carry
+//    a `trait` recording what the frontend knew (vptr load, vtable-entry
+//    load with class id, function-pointer load/call with type id), which is
+//    what the LLVM passes recover by pattern matching.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+namespace roload::ir {
+
+// Binary ALU operations (all 64-bit; comparisons produce 0/1).
+enum class BinOp : std::uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kRem,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kShr,   // logical
+  kSar,   // arithmetic
+  kSlt,   // signed <
+  kSltu,  // unsigned <
+  kEq,
+  kNe,
+};
+
+// What the frontend knows about a load / indirect call site.
+enum class Trait : std::uint8_t {
+  kNone,
+  kVPtrLoad,        // loads an object's vtable pointer (trait_id = class)
+  kVTableEntryLoad, // loads a function pointer out of a vtable
+  kFnPtrLoad,       // loads a plain function pointer (trait_id = fn type)
+  kICall,           // indirect call through a function pointer
+  kAllowlistLoad,   // loads from a user-designated allowlist (trait_id =
+                    // application-defined allowlist id; Section IV-C)
+};
+
+enum class InstrKind : std::uint8_t {
+  kConst,    // dst = imm
+  kAddrOf,   // dst = &symbol + imm
+  kBin,      // dst = src1 <op> src2
+  kBinImm,   // dst = src1 <op> imm
+  kLoad,     // dst = *(src1 + imm)            [width, sign_extend, md]
+  kStore,    // *(src1 + imm) = src2           [width]
+  kBr,       // goto label
+  kCondBr,   // if (src1 != 0) goto label else goto false_label
+  kCall,     // dst = symbol(args...)
+  kICall,    // dst = (*src1)(args...)         [trait_id = fn type]
+  kRet,      // return src1 (or void when src1 < 0)
+  kCfiLabel, // CFI ID marker at function entry (imm = 20-bit ID)
+};
+
+struct Instr {
+  InstrKind kind = InstrKind::kConst;
+  BinOp bin_op = BinOp::kAdd;
+  int dst = -1;   // virtual register, -1 = none
+  int src1 = -1;
+  int src2 = -1;
+  std::int64_t imm = 0;
+  unsigned width = 8;        // loads/stores: access bytes (1/2/4/8)
+  bool sign_extend = true;   // loads narrower than 8 bytes
+  std::string symbol;        // kAddrOf / kCall
+  std::vector<int> args;     // kCall / kICall, at most 8
+  std::string label;         // kBr / kCondBr true target
+  std::string false_label;   // kCondBr false target
+
+  // Sensitive-operation bookkeeping.
+  Trait trait = Trait::kNone;
+  int trait_id = 0;  // class id or function-type id, per trait
+  // kICall only: true when this call is a C++ virtual dispatch whose target
+  // was produced by a kVTableEntryLoad (such calls are protected through
+  // the vtable load, not through GFPT indirection).
+  bool is_vcall = false;
+
+  // ROLoad-md metadata (set by hardening passes on kLoad).
+  bool has_roload_md = false;
+  std::uint32_t roload_key = 0;
+};
+
+struct Block {
+  std::string label;
+  std::vector<Instr> instrs;
+};
+
+// One element of a global's initialized image: either a literal or the
+// address of a symbol (function or global).
+struct GlobalInit {
+  std::int64_t value = 0;
+  std::string symbol;  // non-empty -> address of symbol
+};
+
+enum class GlobalTrait : std::uint8_t {
+  kNone,
+  kVTable,  // trait_id = class id
+  kGfpt,    // trait_id = fn type id (created by the ICall pass)
+};
+
+struct Global {
+  std::string name;
+  bool read_only = false;
+  std::vector<GlobalInit> quads;  // 8-byte little-endian units
+  std::uint64_t zero_bytes = 0;   // zero-filled tail after quads
+  std::uint32_t key = 0;          // rodata page key (0 = plain .rodata)
+  GlobalTrait trait = GlobalTrait::kNone;
+  int trait_id = 0;
+};
+
+struct Function {
+  std::string name;
+  int type_id = 0;  // index into Module::fn_type_names
+  unsigned num_params = 0;  // passed in a0..a7; vregs 0..n-1 on entry
+  int num_vregs = 0;
+  bool address_taken = false;
+  std::vector<Block> blocks;  // blocks[0] is the entry
+};
+
+struct Module {
+  std::string name;
+  std::vector<std::string> fn_type_names;  // e.g. "i64(i64,i64)"
+  std::vector<std::string> class_names;    // C++ classes with vtables
+  std::vector<Global> globals;
+  std::vector<Function> functions;
+
+  // Interning helpers (return stable indices).
+  int InternFnType(const std::string& type_name);
+  int InternClass(const std::string& class_name);
+
+  Function* FindFunction(const std::string& name);
+  const Function* FindFunction(const std::string& name) const;
+  Global* FindGlobal(const std::string& name);
+
+  // Marks functions referenced by kAddrOf or global initializers as
+  // address-taken. Hardening passes rely on this.
+  void RecomputeAddressTaken();
+};
+
+// Structural validity: operands in range, labels resolve, widths legal,
+// args <= 8, entry block exists, terminators only at block ends.
+Status Verify(const Module& module);
+
+// Human-readable dump (stable, used in tests).
+std::string Print(const Module& module);
+
+}  // namespace roload::ir

@@ -1,0 +1,58 @@
+#include "isa/disasm.h"
+
+#include "isa/registers.h"
+#include "support/strings.h"
+
+namespace roload::isa {
+
+std::string Disassemble(const Instruction& inst) {
+  const std::string name(OpcodeName(inst.op));
+  switch (OpcodeFormat(inst.op)) {
+    case Format::kR:
+      return StrFormat("%s %s, %s, %s", name.c_str(),
+                       RegName(inst.rd).data(), RegName(inst.rs1).data(),
+                       RegName(inst.rs2).data());
+    case Format::kI:
+      if (inst.op == Opcode::kJalr) {
+        return StrFormat("jalr %s, %lld(%s)", RegName(inst.rd).data(),
+                         static_cast<long long>(inst.imm),
+                         RegName(inst.rs1).data());
+      }
+      [[fallthrough]];
+    case Format::kIShift:
+      return StrFormat("%s %s, %s, %lld", name.c_str(),
+                       RegName(inst.rd).data(), RegName(inst.rs1).data(),
+                       static_cast<long long>(inst.imm));
+    case Format::kILoad:
+      return StrFormat("%s %s, %lld(%s)", name.c_str(),
+                       RegName(inst.rd).data(),
+                       static_cast<long long>(inst.imm),
+                       RegName(inst.rs1).data());
+    case Format::kS:
+      return StrFormat("%s %s, %lld(%s)", name.c_str(),
+                       RegName(inst.rs2).data(),
+                       static_cast<long long>(inst.imm),
+                       RegName(inst.rs1).data());
+    case Format::kB:
+      return StrFormat("%s %s, %s, %lld", name.c_str(),
+                       RegName(inst.rs1).data(), RegName(inst.rs2).data(),
+                       static_cast<long long>(inst.imm));
+    case Format::kU:
+      return StrFormat("%s %s, 0x%llx", name.c_str(),
+                       RegName(inst.rd).data(),
+                       static_cast<unsigned long long>(inst.imm) & 0xFFFFF);
+    case Format::kJ:
+      return StrFormat("%s %s, %lld", name.c_str(), RegName(inst.rd).data(),
+                       static_cast<long long>(inst.imm));
+    case Format::kSystem:
+      return name;
+    case Format::kRoLoad:
+    case Format::kCRoLoad:
+      return StrFormat("%s %s, (%s), %u", name.c_str(),
+                       RegName(inst.rd).data(), RegName(inst.rs1).data(),
+                       inst.key);
+  }
+  return name;
+}
+
+}  // namespace roload::isa

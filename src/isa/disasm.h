@@ -1,0 +1,14 @@
+// Disassembler: renders decoded instructions back to assembler syntax.
+#pragma once
+
+#include <string>
+
+#include "isa/instruction.h"
+
+namespace roload::isa {
+
+// Renders `inst` in the syntax accepted by the roload assembler, e.g.
+// "addi a0, a1, -4", "ld a0, 8(sp)", "ld.ro a0, (a0), 111".
+std::string Disassemble(const Instruction& inst);
+
+}  // namespace roload::isa

@@ -1,0 +1,533 @@
+#include "isa/encoding.h"
+
+#include "isa/registers.h"
+#include "support/bits.h"
+#include "support/status.h"
+
+namespace roload::isa {
+namespace {
+
+// funct3/funct7 selectors for the standard encodings we implement.
+struct RSel {
+  std::uint32_t funct3;
+  std::uint32_t funct7;
+};
+
+std::optional<RSel> RSelector(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd:
+      return RSel{0b000, 0b0000000};
+    case Opcode::kSub:
+      return RSel{0b000, 0b0100000};
+    case Opcode::kSll:
+      return RSel{0b001, 0b0000000};
+    case Opcode::kSlt:
+      return RSel{0b010, 0b0000000};
+    case Opcode::kSltu:
+      return RSel{0b011, 0b0000000};
+    case Opcode::kXor:
+      return RSel{0b100, 0b0000000};
+    case Opcode::kSrl:
+      return RSel{0b101, 0b0000000};
+    case Opcode::kSra:
+      return RSel{0b101, 0b0100000};
+    case Opcode::kOr:
+      return RSel{0b110, 0b0000000};
+    case Opcode::kAnd:
+      return RSel{0b111, 0b0000000};
+    case Opcode::kMul:
+      return RSel{0b000, 0b0000001};
+    case Opcode::kDiv:
+      return RSel{0b100, 0b0000001};
+    case Opcode::kDivu:
+      return RSel{0b101, 0b0000001};
+    case Opcode::kRem:
+      return RSel{0b110, 0b0000001};
+    case Opcode::kRemu:
+      return RSel{0b111, 0b0000001};
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<RSel> R32Selector(Opcode op) {
+  switch (op) {
+    case Opcode::kAddw:
+      return RSel{0b000, 0b0000000};
+    case Opcode::kSubw:
+      return RSel{0b000, 0b0100000};
+    case Opcode::kSllw:
+      return RSel{0b001, 0b0000000};
+    case Opcode::kSrlw:
+      return RSel{0b101, 0b0000000};
+    case Opcode::kSraw:
+      return RSel{0b101, 0b0100000};
+    case Opcode::kMulw:
+      return RSel{0b000, 0b0000001};
+    case Opcode::kDivw:
+      return RSel{0b100, 0b0000001};
+    case Opcode::kRemw:
+      return RSel{0b110, 0b0000001};
+    default:
+      return std::nullopt;
+  }
+}
+
+std::uint32_t EncodeR(std::uint32_t major, RSel sel, const Instruction& i) {
+  return major | (i.rd << 7) | (sel.funct3 << 12) | (i.rs1 << 15) |
+         (i.rs2 << 20) | (sel.funct7 << 25);
+}
+
+std::uint32_t EncodeI(std::uint32_t major, std::uint32_t funct3,
+                      const Instruction& i) {
+  ROLOAD_CHECK(FitsSigned(i.imm, 12));
+  return major | (i.rd << 7) | (funct3 << 12) | (i.rs1 << 15) |
+         (static_cast<std::uint32_t>(i.imm & 0xFFF) << 20);
+}
+
+std::uint32_t EncodeS(std::uint32_t funct3, const Instruction& i) {
+  ROLOAD_CHECK(FitsSigned(i.imm, 12));
+  const std::uint32_t imm = static_cast<std::uint32_t>(i.imm & 0xFFF);
+  return 0b0100011 | ((imm & 0x1F) << 7) | (funct3 << 12) | (i.rs1 << 15) |
+         (i.rs2 << 20) | ((imm >> 5) << 25);
+}
+
+std::uint32_t EncodeB(std::uint32_t funct3, const Instruction& i) {
+  ROLOAD_CHECK(FitsSigned(i.imm, 13) && (i.imm & 1) == 0);
+  const std::uint32_t imm = static_cast<std::uint32_t>(i.imm & 0x1FFE);
+  std::uint32_t word = 0b1100011 | (funct3 << 12) | (i.rs1 << 15) |
+                       (i.rs2 << 20);
+  word |= ((imm >> 11) & 1) << 7;
+  word |= ((imm >> 1) & 0xF) << 8;
+  word |= ((imm >> 5) & 0x3F) << 25;
+  word |= ((imm >> 12) & 1) << 31;
+  return word;
+}
+
+std::uint32_t EncodeU(std::uint32_t major, const Instruction& i) {
+  // imm holds the value placed in bits [31:12].
+  ROLOAD_CHECK(FitsSigned(i.imm, 20) || FitsUnsigned(i.imm, 20));
+  return major | (i.rd << 7) |
+         (static_cast<std::uint32_t>(i.imm & 0xFFFFF) << 12);
+}
+
+std::uint32_t EncodeJ(const Instruction& i) {
+  ROLOAD_CHECK(FitsSigned(i.imm, 21) && (i.imm & 1) == 0);
+  const std::uint32_t imm = static_cast<std::uint32_t>(i.imm & 0x1FFFFE);
+  std::uint32_t word = 0b1101111 | (i.rd << 7);
+  word |= ((imm >> 12) & 0xFF) << 12;
+  word |= ((imm >> 11) & 1) << 20;
+  word |= ((imm >> 1) & 0x3FF) << 21;
+  word |= ((imm >> 20) & 1) << 31;
+  return word;
+}
+
+std::uint32_t LoadFunct3(Opcode op) {
+  switch (op) {
+    case Opcode::kLb:
+      return 0b000;
+    case Opcode::kLh:
+      return 0b001;
+    case Opcode::kLw:
+      return 0b010;
+    case Opcode::kLd:
+      return 0b011;
+    case Opcode::kLbu:
+      return 0b100;
+    case Opcode::kLhu:
+      return 0b101;
+    case Opcode::kLwu:
+      return 0b110;
+    default:
+      FatalError("not a regular load");
+  }
+}
+
+std::uint32_t StoreFunct3(Opcode op) {
+  switch (op) {
+    case Opcode::kSb:
+      return 0b000;
+    case Opcode::kSh:
+      return 0b001;
+    case Opcode::kSw:
+      return 0b010;
+    case Opcode::kSd:
+      return 0b011;
+    default:
+      FatalError("not a store");
+  }
+}
+
+std::uint32_t BranchFunct3(Opcode op) {
+  switch (op) {
+    case Opcode::kBeq:
+      return 0b000;
+    case Opcode::kBne:
+      return 0b001;
+    case Opcode::kBlt:
+      return 0b100;
+    case Opcode::kBge:
+      return 0b101;
+    case Opcode::kBltu:
+      return 0b110;
+    case Opcode::kBgeu:
+      return 0b111;
+    default:
+      FatalError("not a branch");
+  }
+}
+
+// ROLoad funct3: access width selector, matching the regular load widths.
+std::uint32_t RoLoadFunct3(Opcode op) {
+  switch (op) {
+    case Opcode::kLbRo:
+      return 0b000;
+    case Opcode::kLhRo:
+      return 0b001;
+    case Opcode::kLwRo:
+      return 0b010;
+    case Opcode::kLdRo:
+      return 0b011;
+    default:
+      FatalError("not a ROLoad");
+  }
+}
+
+}  // namespace
+
+std::uint32_t Encode(const Instruction& i) {
+  ROLOAD_CHECK(i.rd < kNumRegs && i.rs1 < kNumRegs && i.rs2 < kNumRegs);
+  switch (i.op) {
+    case Opcode::kAddi:
+      return EncodeI(0b0010011, 0b000, i);
+    case Opcode::kSlti:
+      return EncodeI(0b0010011, 0b010, i);
+    case Opcode::kSltiu:
+      return EncodeI(0b0010011, 0b011, i);
+    case Opcode::kXori:
+      return EncodeI(0b0010011, 0b100, i);
+    case Opcode::kOri:
+      return EncodeI(0b0010011, 0b110, i);
+    case Opcode::kAndi:
+      return EncodeI(0b0010011, 0b111, i);
+    case Opcode::kSlli: {
+      ROLOAD_CHECK(i.imm >= 0 && i.imm < 64);
+      Instruction t = i;
+      return EncodeI(0b0010011, 0b001, t);
+    }
+    case Opcode::kSrli: {
+      ROLOAD_CHECK(i.imm >= 0 && i.imm < 64);
+      return EncodeI(0b0010011, 0b101, i);
+    }
+    case Opcode::kSrai: {
+      ROLOAD_CHECK(i.imm >= 0 && i.imm < 64);
+      Instruction t = i;
+      t.imm |= 0x400;  // funct6=010000 marker in imm[11:6]
+      return EncodeI(0b0010011, 0b101, t);
+    }
+    case Opcode::kAddiw:
+      return EncodeI(0b0011011, 0b000, i);
+    case Opcode::kSlliw:
+      ROLOAD_CHECK(i.imm >= 0 && i.imm < 32);
+      return EncodeI(0b0011011, 0b001, i);
+    case Opcode::kSrliw:
+      ROLOAD_CHECK(i.imm >= 0 && i.imm < 32);
+      return EncodeI(0b0011011, 0b101, i);
+    case Opcode::kSraiw: {
+      ROLOAD_CHECK(i.imm >= 0 && i.imm < 32);
+      Instruction t = i;
+      t.imm |= 0x400;
+      return EncodeI(0b0011011, 0b101, t);
+    }
+    case Opcode::kLui:
+      return EncodeU(0b0110111, i);
+    case Opcode::kAuipc:
+      return EncodeU(0b0010111, i);
+    case Opcode::kJal:
+      return EncodeJ(i);
+    case Opcode::kJalr:
+      return EncodeI(0b1100111, 0b000, i);
+    case Opcode::kEcall:
+      return 0b1110011;
+    case Opcode::kEbreak:
+      return 0b1110011 | (1u << 20);
+    case Opcode::kFence:
+      return 0b0001111;
+    default:
+      break;
+  }
+  if (auto sel = RSelector(i.op)) return EncodeR(0b0110011, *sel, i);
+  if (auto sel = R32Selector(i.op)) return EncodeR(0b0111011, *sel, i);
+  if (IsRoLoad(i.op) && i.op != Opcode::kCLdRo) {
+    ROLOAD_CHECK(i.key < kNumPageKeys);
+    Instruction t = i;
+    t.imm = static_cast<std::int64_t>(i.key);
+    return EncodeI(kRoLoadMajorOpcode, RoLoadFunct3(i.op), t);
+  }
+  if (i.op == Opcode::kCLdRo) {
+    ROLOAD_CHECK(i.key < kNumCompressedKeys);
+    ROLOAD_CHECK(i.rd >= 8 && i.rd < 16 && i.rs1 >= 8 && i.rs1 < 16);
+    std::uint32_t word = 0b00;                      // quadrant 0
+    word |= 0b100u << 13;                           // reserved funct3 slot
+    word |= (static_cast<std::uint32_t>(i.rd) - 8) << 2;
+    word |= (static_cast<std::uint32_t>(i.rs1) - 8) << 7;
+    word |= ((i.key >> 2) & 0x7) << 10;             // key[4:2]
+    word |= (i.key & 0x3) << 5;                     // key[1:0]
+    return word;
+  }
+  if (IsLoad(i.op)) return EncodeI(0b0000011, LoadFunct3(i.op), i);
+  if (IsStore(i.op)) return EncodeS(StoreFunct3(i.op), i);
+  if (IsBranch(i.op)) return EncodeB(BranchFunct3(i.op), i);
+  FatalError("Encode: unhandled opcode");
+}
+
+unsigned ParcelLength(std::uint16_t low16) {
+  return (low16 & 0b11) == 0b11 ? 4 : 2;
+}
+
+namespace {
+
+std::optional<Instruction> DecodeCompressed(std::uint16_t raw) {
+  // Only c.ld.ro is implemented from the compressed space; everything else
+  // in quadrants 0-2 is treated as unsupported (illegal) by this core.
+  const std::uint32_t quadrant = raw & 0b11;
+  const std::uint32_t funct3 = (raw >> 13) & 0b111;
+  if (quadrant != 0b00 || funct3 != 0b100) return std::nullopt;
+  Instruction inst;
+  inst.op = Opcode::kCLdRo;
+  inst.length = 2;
+  inst.rd = static_cast<std::uint8_t>(((raw >> 2) & 0x7) + 8);
+  inst.rs1 = static_cast<std::uint8_t>(((raw >> 7) & 0x7) + 8);
+  inst.key = (((raw >> 10) & 0x7) << 2) | ((raw >> 5) & 0x3);
+  return inst;
+}
+
+std::optional<Opcode> RFromSelector(std::uint32_t funct3,
+                                    std::uint32_t funct7, bool is32) {
+  const Opcode candidates[] = {
+      Opcode::kAdd,  Opcode::kSub,  Opcode::kSll,  Opcode::kSlt,
+      Opcode::kSltu, Opcode::kXor,  Opcode::kSrl,  Opcode::kSra,
+      Opcode::kOr,   Opcode::kAnd,  Opcode::kMul,  Opcode::kDiv,
+      Opcode::kDivu, Opcode::kRem,  Opcode::kRemu, Opcode::kAddw,
+      Opcode::kSubw, Opcode::kSllw, Opcode::kSrlw, Opcode::kSraw,
+      Opcode::kMulw, Opcode::kDivw, Opcode::kRemw};
+  for (Opcode op : candidates) {
+    auto sel = is32 ? R32Selector(op) : RSelector(op);
+    if (sel && sel->funct3 == funct3 && sel->funct7 == funct7) return op;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Instruction> Decode(std::uint32_t raw) {
+  if (ParcelLength(static_cast<std::uint16_t>(raw)) == 2) {
+    return DecodeCompressed(static_cast<std::uint16_t>(raw));
+  }
+
+  Instruction inst;
+  inst.length = 4;
+  const std::uint32_t major = raw & 0x7F;
+  inst.rd = static_cast<std::uint8_t>((raw >> 7) & 0x1F);
+  const std::uint32_t funct3 = (raw >> 12) & 0x7;
+  inst.rs1 = static_cast<std::uint8_t>((raw >> 15) & 0x1F);
+  inst.rs2 = static_cast<std::uint8_t>((raw >> 20) & 0x1F);
+  const std::uint32_t funct7 = (raw >> 25) & 0x7F;
+  const std::int64_t imm_i = SignExtend(raw >> 20, 12);
+
+  switch (major) {
+    case 0b0010011:  // OP-IMM
+      inst.imm = imm_i;
+      switch (funct3) {
+        case 0b000:
+          inst.op = Opcode::kAddi;
+          return inst;
+        case 0b010:
+          inst.op = Opcode::kSlti;
+          return inst;
+        case 0b011:
+          inst.op = Opcode::kSltiu;
+          return inst;
+        case 0b100:
+          inst.op = Opcode::kXori;
+          return inst;
+        case 0b110:
+          inst.op = Opcode::kOri;
+          return inst;
+        case 0b111:
+          inst.op = Opcode::kAndi;
+          return inst;
+        case 0b001:
+          inst.op = Opcode::kSlli;
+          inst.imm = imm_i & 0x3F;
+          return inst;
+        case 0b101:
+          inst.op = (imm_i & 0x400) != 0 ? Opcode::kSrai : Opcode::kSrli;
+          inst.imm = imm_i & 0x3F;
+          return inst;
+      }
+      return std::nullopt;
+    case 0b0011011:  // OP-IMM-32
+      inst.imm = imm_i;
+      switch (funct3) {
+        case 0b000:
+          inst.op = Opcode::kAddiw;
+          return inst;
+        case 0b001:
+          inst.op = Opcode::kSlliw;
+          inst.imm = imm_i & 0x1F;
+          return inst;
+        case 0b101:
+          inst.op = (imm_i & 0x400) != 0 ? Opcode::kSraiw : Opcode::kSrliw;
+          inst.imm = imm_i & 0x1F;
+          return inst;
+      }
+      return std::nullopt;
+    case 0b0110011:  // OP
+      if (auto op = RFromSelector(funct3, funct7, /*is32=*/false)) {
+        inst.op = *op;
+        return inst;
+      }
+      return std::nullopt;
+    case 0b0111011:  // OP-32
+      if (auto op = RFromSelector(funct3, funct7, /*is32=*/true)) {
+        inst.op = *op;
+        return inst;
+      }
+      return std::nullopt;
+    case 0b0110111:
+      inst.op = Opcode::kLui;
+      inst.imm = static_cast<std::int64_t>(SignExtend(raw >> 12, 20));
+      return inst;
+    case 0b0010111:
+      inst.op = Opcode::kAuipc;
+      inst.imm = static_cast<std::int64_t>(SignExtend(raw >> 12, 20));
+      return inst;
+    case 0b0000011:  // LOAD
+      inst.imm = imm_i;
+      switch (funct3) {
+        case 0b000:
+          inst.op = Opcode::kLb;
+          return inst;
+        case 0b001:
+          inst.op = Opcode::kLh;
+          return inst;
+        case 0b010:
+          inst.op = Opcode::kLw;
+          return inst;
+        case 0b011:
+          inst.op = Opcode::kLd;
+          return inst;
+        case 0b100:
+          inst.op = Opcode::kLbu;
+          return inst;
+        case 0b101:
+          inst.op = Opcode::kLhu;
+          return inst;
+        case 0b110:
+          inst.op = Opcode::kLwu;
+          return inst;
+      }
+      return std::nullopt;
+    case kRoLoadMajorOpcode: {  // ROLoad family (custom-0)
+      inst.key = static_cast<std::uint32_t>(raw >> 20) & (kNumPageKeys - 1);
+      inst.imm = 0;  // no address offset by design
+      switch (funct3) {
+        case 0b000:
+          inst.op = Opcode::kLbRo;
+          return inst;
+        case 0b001:
+          inst.op = Opcode::kLhRo;
+          return inst;
+        case 0b010:
+          inst.op = Opcode::kLwRo;
+          return inst;
+        case 0b011:
+          inst.op = Opcode::kLdRo;
+          return inst;
+      }
+      return std::nullopt;
+    }
+    case 0b0100011: {  // STORE
+      const std::uint64_t imm_raw =
+          ((raw >> 7) & 0x1F) | (((raw >> 25) & 0x7F) << 5);
+      inst.imm = SignExtend(imm_raw, 12);
+      switch (funct3) {
+        case 0b000:
+          inst.op = Opcode::kSb;
+          return inst;
+        case 0b001:
+          inst.op = Opcode::kSh;
+          return inst;
+        case 0b010:
+          inst.op = Opcode::kSw;
+          return inst;
+        case 0b011:
+          inst.op = Opcode::kSd;
+          return inst;
+      }
+      return std::nullopt;
+    }
+    case 0b1100011: {  // BRANCH
+      std::uint64_t imm = 0;
+      imm |= ((raw >> 8) & 0xF) << 1;
+      imm |= ((raw >> 25) & 0x3F) << 5;
+      imm |= ((raw >> 7) & 0x1) << 11;
+      imm |= ((raw >> 31) & 0x1) << 12;
+      inst.imm = SignExtend(imm, 13);
+      switch (funct3) {
+        case 0b000:
+          inst.op = Opcode::kBeq;
+          return inst;
+        case 0b001:
+          inst.op = Opcode::kBne;
+          return inst;
+        case 0b100:
+          inst.op = Opcode::kBlt;
+          return inst;
+        case 0b101:
+          inst.op = Opcode::kBge;
+          return inst;
+        case 0b110:
+          inst.op = Opcode::kBltu;
+          return inst;
+        case 0b111:
+          inst.op = Opcode::kBgeu;
+          return inst;
+      }
+      return std::nullopt;
+    }
+    case 0b1101111: {  // JAL
+      std::uint64_t imm = 0;
+      imm |= ((raw >> 21) & 0x3FF) << 1;
+      imm |= ((raw >> 20) & 0x1) << 11;
+      imm |= ((raw >> 12) & 0xFF) << 12;
+      imm |= ((raw >> 31) & 0x1) << 20;
+      inst.op = Opcode::kJal;
+      inst.imm = SignExtend(imm, 21);
+      return inst;
+    }
+    case 0b1100111:
+      if (funct3 != 0b000) return std::nullopt;
+      inst.op = Opcode::kJalr;
+      inst.imm = imm_i;
+      return inst;
+    case 0b1110011:
+      if (raw == 0b1110011) {
+        inst.op = Opcode::kEcall;
+        return inst;
+      }
+      if (raw == (0b1110011 | (1u << 20))) {
+        inst.op = Opcode::kEbreak;
+        return inst;
+      }
+      return std::nullopt;
+    case 0b0001111:
+      inst.op = Opcode::kFence;
+      return inst;
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace roload::isa

@@ -1,0 +1,39 @@
+// Binary instruction encoding and decoding for the RV64 subset plus the
+// ROLoad extension.
+//
+// Encoding choices for the extension (the paper picks "optimal encodings"
+// without publishing them; ours are documented here):
+//  * ld.ro-family uses the custom-0 major opcode (0b0001011). funct3 selects
+//    the access width (0=b, 1=h, 2=w, 3=d). The I-type immediate field
+//    carries the 10-bit page key; there is no address offset, matching the
+//    paper ("ld.ro-family instructions no longer have any address offset
+//    encoded in their immediates").
+//  * c.ld.ro occupies the reserved funct3=0b100 slot of compressed quadrant
+//    0. It addresses the 8 popular registers (x8-x15) and carries a 5-bit
+//    key split across bits [12:10] and [6:5], mirroring c.ld's layout.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "isa/instruction.h"
+
+namespace roload::isa {
+
+// Major opcode assigned to the ROLoad family (RISC-V custom-0 space).
+inline constexpr std::uint32_t kRoLoadMajorOpcode = 0b0001011;
+
+// Encodes a (32-bit-format) instruction. c.ld.ro returns a 16-bit value in
+// the low half. Invariants (register indices < 32, key ranges) are checked.
+std::uint32_t Encode(const Instruction& inst);
+
+// Decodes the instruction starting with `raw` (32 bits fetched; only the
+// low 16 are inspected when the parcel is compressed). Returns nullopt on
+// an illegal or unsupported encoding.
+std::optional<Instruction> Decode(std::uint32_t raw);
+
+// Length in bytes of the instruction parcel beginning with `low16`
+// (2 for compressed, 4 otherwise), per the standard RISC-V length rule.
+unsigned ParcelLength(std::uint16_t low16);
+
+}  // namespace roload::isa

@@ -1,0 +1,25 @@
+// Decoded instruction representation shared by the decoder, the assembler
+// and the CPU execution engine.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/opcodes.h"
+
+namespace roload::isa {
+
+// A fully decoded instruction. Fields that a given format does not use are
+// left at zero. `key` is only meaningful for ROLoad-family instructions.
+struct Instruction {
+  Opcode op = Opcode::kAddi;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int64_t imm = 0;      // sign-extended immediate (offset/shamt/target)
+  std::uint32_t key = 0;     // ROLoad page key (10 bits; 5 for c.ld.ro)
+  std::uint8_t length = 4;   // encoded length in bytes (4, or 2 for RVC)
+
+  bool operator==(const Instruction&) const = default;
+};
+
+}  // namespace roload::isa

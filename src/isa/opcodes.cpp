@@ -1,0 +1,202 @@
+#include "isa/opcodes.h"
+
+#include <array>
+#include <utility>
+
+#include "support/status.h"
+
+namespace roload::isa {
+namespace {
+
+struct OpcodeInfo {
+  Opcode op;
+  std::string_view name;
+  Format format;
+};
+
+constexpr std::array kOpcodeTable = {
+    OpcodeInfo{Opcode::kAddi, "addi", Format::kI},
+    OpcodeInfo{Opcode::kSlti, "slti", Format::kI},
+    OpcodeInfo{Opcode::kSltiu, "sltiu", Format::kI},
+    OpcodeInfo{Opcode::kXori, "xori", Format::kI},
+    OpcodeInfo{Opcode::kOri, "ori", Format::kI},
+    OpcodeInfo{Opcode::kAndi, "andi", Format::kI},
+    OpcodeInfo{Opcode::kSlli, "slli", Format::kIShift},
+    OpcodeInfo{Opcode::kSrli, "srli", Format::kIShift},
+    OpcodeInfo{Opcode::kSrai, "srai", Format::kIShift},
+    OpcodeInfo{Opcode::kAddiw, "addiw", Format::kI},
+    OpcodeInfo{Opcode::kSlliw, "slliw", Format::kIShift},
+    OpcodeInfo{Opcode::kSrliw, "srliw", Format::kIShift},
+    OpcodeInfo{Opcode::kSraiw, "sraiw", Format::kIShift},
+    OpcodeInfo{Opcode::kAdd, "add", Format::kR},
+    OpcodeInfo{Opcode::kSub, "sub", Format::kR},
+    OpcodeInfo{Opcode::kSll, "sll", Format::kR},
+    OpcodeInfo{Opcode::kSlt, "slt", Format::kR},
+    OpcodeInfo{Opcode::kSltu, "sltu", Format::kR},
+    OpcodeInfo{Opcode::kXor, "xor", Format::kR},
+    OpcodeInfo{Opcode::kSrl, "srl", Format::kR},
+    OpcodeInfo{Opcode::kSra, "sra", Format::kR},
+    OpcodeInfo{Opcode::kOr, "or", Format::kR},
+    OpcodeInfo{Opcode::kAnd, "and", Format::kR},
+    OpcodeInfo{Opcode::kAddw, "addw", Format::kR},
+    OpcodeInfo{Opcode::kSubw, "subw", Format::kR},
+    OpcodeInfo{Opcode::kSllw, "sllw", Format::kR},
+    OpcodeInfo{Opcode::kSrlw, "srlw", Format::kR},
+    OpcodeInfo{Opcode::kSraw, "sraw", Format::kR},
+    OpcodeInfo{Opcode::kMul, "mul", Format::kR},
+    OpcodeInfo{Opcode::kMulw, "mulw", Format::kR},
+    OpcodeInfo{Opcode::kDiv, "div", Format::kR},
+    OpcodeInfo{Opcode::kDivu, "divu", Format::kR},
+    OpcodeInfo{Opcode::kRem, "rem", Format::kR},
+    OpcodeInfo{Opcode::kRemu, "remu", Format::kR},
+    OpcodeInfo{Opcode::kDivw, "divw", Format::kR},
+    OpcodeInfo{Opcode::kRemw, "remw", Format::kR},
+    OpcodeInfo{Opcode::kLui, "lui", Format::kU},
+    OpcodeInfo{Opcode::kAuipc, "auipc", Format::kU},
+    OpcodeInfo{Opcode::kLb, "lb", Format::kILoad},
+    OpcodeInfo{Opcode::kLh, "lh", Format::kILoad},
+    OpcodeInfo{Opcode::kLw, "lw", Format::kILoad},
+    OpcodeInfo{Opcode::kLd, "ld", Format::kILoad},
+    OpcodeInfo{Opcode::kLbu, "lbu", Format::kILoad},
+    OpcodeInfo{Opcode::kLhu, "lhu", Format::kILoad},
+    OpcodeInfo{Opcode::kLwu, "lwu", Format::kILoad},
+    OpcodeInfo{Opcode::kSb, "sb", Format::kS},
+    OpcodeInfo{Opcode::kSh, "sh", Format::kS},
+    OpcodeInfo{Opcode::kSw, "sw", Format::kS},
+    OpcodeInfo{Opcode::kSd, "sd", Format::kS},
+    OpcodeInfo{Opcode::kBeq, "beq", Format::kB},
+    OpcodeInfo{Opcode::kBne, "bne", Format::kB},
+    OpcodeInfo{Opcode::kBlt, "blt", Format::kB},
+    OpcodeInfo{Opcode::kBge, "bge", Format::kB},
+    OpcodeInfo{Opcode::kBltu, "bltu", Format::kB},
+    OpcodeInfo{Opcode::kBgeu, "bgeu", Format::kB},
+    OpcodeInfo{Opcode::kJal, "jal", Format::kJ},
+    OpcodeInfo{Opcode::kJalr, "jalr", Format::kI},
+    OpcodeInfo{Opcode::kEcall, "ecall", Format::kSystem},
+    OpcodeInfo{Opcode::kEbreak, "ebreak", Format::kSystem},
+    OpcodeInfo{Opcode::kFence, "fence", Format::kSystem},
+    OpcodeInfo{Opcode::kLbRo, "lb.ro", Format::kRoLoad},
+    OpcodeInfo{Opcode::kLhRo, "lh.ro", Format::kRoLoad},
+    OpcodeInfo{Opcode::kLwRo, "lw.ro", Format::kRoLoad},
+    OpcodeInfo{Opcode::kLdRo, "ld.ro", Format::kRoLoad},
+    OpcodeInfo{Opcode::kCLdRo, "c.ld.ro", Format::kCRoLoad},
+};
+
+const OpcodeInfo& Lookup(Opcode op) {
+  for (const OpcodeInfo& info : kOpcodeTable) {
+    if (info.op == op) return info;
+  }
+  FatalError("unknown opcode");
+}
+
+}  // namespace
+
+std::string_view OpcodeName(Opcode op) { return Lookup(op).name; }
+
+std::optional<Opcode> ParseOpcodeName(std::string_view name) {
+  for (const OpcodeInfo& info : kOpcodeTable) {
+    if (info.name == name) return info.op;
+  }
+  return std::nullopt;
+}
+
+Format OpcodeFormat(Opcode op) { return Lookup(op).format; }
+
+bool IsLoad(Opcode op) {
+  switch (op) {
+    case Opcode::kLb:
+    case Opcode::kLh:
+    case Opcode::kLw:
+    case Opcode::kLd:
+    case Opcode::kLbu:
+    case Opcode::kLhu:
+    case Opcode::kLwu:
+    case Opcode::kLbRo:
+    case Opcode::kLhRo:
+    case Opcode::kLwRo:
+    case Opcode::kLdRo:
+    case Opcode::kCLdRo:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsRoLoad(Opcode op) {
+  switch (op) {
+    case Opcode::kLbRo:
+    case Opcode::kLhRo:
+    case Opcode::kLwRo:
+    case Opcode::kLdRo:
+    case Opcode::kCLdRo:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsStore(Opcode op) {
+  switch (op) {
+    case Opcode::kSb:
+    case Opcode::kSh:
+    case Opcode::kSw:
+    case Opcode::kSd:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsBranch(Opcode op) {
+  switch (op) {
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+unsigned MemAccessBytes(Opcode op) {
+  switch (op) {
+    case Opcode::kLb:
+    case Opcode::kLbu:
+    case Opcode::kSb:
+    case Opcode::kLbRo:
+      return 1;
+    case Opcode::kLh:
+    case Opcode::kLhu:
+    case Opcode::kSh:
+    case Opcode::kLhRo:
+      return 2;
+    case Opcode::kLw:
+    case Opcode::kLwu:
+    case Opcode::kSw:
+    case Opcode::kLwRo:
+      return 4;
+    case Opcode::kLd:
+    case Opcode::kSd:
+    case Opcode::kLdRo:
+    case Opcode::kCLdRo:
+      return 8;
+    default:
+      FatalError("MemAccessBytes on non-memory opcode");
+  }
+}
+
+bool LoadIsUnsigned(Opcode op) {
+  switch (op) {
+    case Opcode::kLbu:
+    case Opcode::kLhu:
+    case Opcode::kLwu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace roload::isa

@@ -1,0 +1,130 @@
+// Mnemonic-level opcode enumeration for the RV64 subset implemented by the
+// simulator, including the ROLoad-family extension instructions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace roload::isa {
+
+// One enumerator per assembler mnemonic. The set covers RV64I integer
+// computation, loads/stores, control flow, a slice of M, the system
+// instructions the mini-kernel needs, and the ROLoad family.
+enum class Opcode : std::uint8_t {
+  // RV64I register-immediate.
+  kAddi,
+  kSlti,
+  kSltiu,
+  kXori,
+  kOri,
+  kAndi,
+  kSlli,
+  kSrli,
+  kSrai,
+  kAddiw,
+  kSlliw,
+  kSrliw,
+  kSraiw,
+  // RV64I register-register.
+  kAdd,
+  kSub,
+  kSll,
+  kSlt,
+  kSltu,
+  kXor,
+  kSrl,
+  kSra,
+  kOr,
+  kAnd,
+  kAddw,
+  kSubw,
+  kSllw,
+  kSrlw,
+  kSraw,
+  // RV64M subset.
+  kMul,
+  kMulw,
+  kDiv,
+  kDivu,
+  kRem,
+  kRemu,
+  kDivw,
+  kRemw,
+  // Upper immediates.
+  kLui,
+  kAuipc,
+  // Loads.
+  kLb,
+  kLh,
+  kLw,
+  kLd,
+  kLbu,
+  kLhu,
+  kLwu,
+  // Stores.
+  kSb,
+  kSh,
+  kSw,
+  kSd,
+  // Branches.
+  kBeq,
+  kBne,
+  kBlt,
+  kBge,
+  kBltu,
+  kBgeu,
+  // Jumps.
+  kJal,
+  kJalr,
+  // System.
+  kEcall,
+  kEbreak,
+  kFence,
+  // ROLoad family: loads that require a read-only destination page whose
+  // page key matches the instruction's key immediate.
+  kLbRo,
+  kLhRo,
+  kLwRo,
+  kLdRo,
+  // Compressed ROLoad double-word load (16-bit encoding, 5-bit key).
+  kCLdRo,
+};
+
+// Instruction encoding format classes (RISC-V R/I/S/B/U/J plus the ROLoad
+// key format and the compressed ROLoad format).
+enum class Format : std::uint8_t {
+  kR,
+  kI,
+  kILoad,
+  kIShift,
+  kS,
+  kB,
+  kU,
+  kJ,
+  kSystem,
+  kRoLoad,   // rd, (rs1), key — 12-bit key immediate field, 10 bits used.
+  kCRoLoad,  // compressed: rd', (rs1'), key — 5-bit key.
+};
+
+std::string_view OpcodeName(Opcode op);
+std::optional<Opcode> ParseOpcodeName(std::string_view name);
+Format OpcodeFormat(Opcode op);
+
+// True for every instruction that reads memory (regular and ROLoad loads).
+bool IsLoad(Opcode op);
+// True for the ROLoad family only.
+bool IsRoLoad(Opcode op);
+bool IsStore(Opcode op);
+bool IsBranch(Opcode op);
+// Access width in bytes for loads/stores.
+unsigned MemAccessBytes(Opcode op);
+// True when a load zero-extends instead of sign-extending.
+bool LoadIsUnsigned(Opcode op);
+
+// Number of distinct page-key values supported by the 10-bit PTE key field.
+inline constexpr std::uint32_t kNumPageKeys = 1024;
+// Compressed ROLoad instructions can only encode 5-bit keys.
+inline constexpr std::uint32_t kNumCompressedKeys = 32;
+
+}  // namespace roload::isa

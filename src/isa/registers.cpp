@@ -1,0 +1,36 @@
+#include "isa/registers.h"
+
+#include <array>
+
+#include "support/status.h"
+#include "support/strings.h"
+
+namespace roload::isa {
+namespace {
+constexpr std::array<std::string_view, kNumRegs> kAbiNames = {
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+    "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+    "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+}  // namespace
+
+std::string_view RegName(unsigned reg) {
+  ROLOAD_CHECK(reg < kNumRegs);
+  return kAbiNames[reg];
+}
+
+std::optional<unsigned> ParseRegName(std::string_view name) {
+  for (unsigned i = 0; i < kNumRegs; ++i) {
+    if (kAbiNames[i] == name) return i;
+  }
+  // Architectural form: x0..x31. "fp" aliases s0.
+  if (name == "fp") return kS0;
+  if (name.size() >= 2 && name[0] == 'x') {
+    auto index = ParseInt(name.substr(1));
+    if (index && *index >= 0 && *index < kNumRegs) {
+      return static_cast<unsigned>(*index);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace roload::isa

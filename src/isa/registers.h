@@ -1,0 +1,54 @@
+// RV64 integer register file names (architectural and ABI).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace roload::isa {
+
+inline constexpr unsigned kNumRegs = 32;
+
+// ABI register indices used by the backend's calling convention.
+enum Reg : std::uint8_t {
+  kZero = 0,
+  kRa = 1,
+  kSp = 2,
+  kGp = 3,
+  kTp = 4,
+  kT0 = 5,
+  kT1 = 6,
+  kT2 = 7,
+  kS0 = 8,
+  kS1 = 9,
+  kA0 = 10,
+  kA1 = 11,
+  kA2 = 12,
+  kA3 = 13,
+  kA4 = 14,
+  kA5 = 15,
+  kA6 = 16,
+  kA7 = 17,
+  kS2 = 18,
+  kS3 = 19,
+  kS4 = 20,
+  kS5 = 21,
+  kS6 = 22,
+  kS7 = 23,
+  kS8 = 24,
+  kS9 = 25,
+  kS10 = 26,
+  kS11 = 27,
+  kT3 = 28,
+  kT4 = 29,
+  kT5 = 30,
+  kT6 = 31,
+};
+
+// ABI name ("a0", "sp", ...) for register index `reg` (< 32).
+std::string_view RegName(unsigned reg);
+
+// Parses either an ABI name ("a0") or an architectural name ("x10").
+std::optional<unsigned> ParseRegName(std::string_view name);
+
+}  // namespace roload::isa

@@ -1,0 +1,37 @@
+#include "isa/traps.h"
+
+namespace roload::isa {
+
+std::string_view TrapCauseName(TrapCause cause) {
+  switch (cause) {
+    case TrapCause::kInstructionAddressMisaligned:
+      return "instruction address misaligned";
+    case TrapCause::kInstructionAccessFault:
+      return "instruction access fault";
+    case TrapCause::kIllegalInstruction:
+      return "illegal instruction";
+    case TrapCause::kBreakpoint:
+      return "breakpoint";
+    case TrapCause::kLoadAddressMisaligned:
+      return "load address misaligned";
+    case TrapCause::kLoadAccessFault:
+      return "load access fault";
+    case TrapCause::kStoreAddressMisaligned:
+      return "store address misaligned";
+    case TrapCause::kStoreAccessFault:
+      return "store access fault";
+    case TrapCause::kEcallFromUser:
+      return "environment call from U-mode";
+    case TrapCause::kInstructionPageFault:
+      return "instruction page fault";
+    case TrapCause::kLoadPageFault:
+      return "load page fault";
+    case TrapCause::kStorePageFault:
+      return "store page fault";
+    case TrapCause::kRoLoadPageFault:
+      return "ROLoad page fault";
+  }
+  return "unknown trap";
+}
+
+}  // namespace roload::isa

@@ -1,0 +1,39 @@
+// Trap cause values. Standard causes follow the RISC-V privileged spec;
+// the ROLoad key-check failure uses a cause in the custom range (>= 24),
+// mirroring the paper's "new type of page fault" that the kernel can
+// distinguish from benign load page faults.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace roload::isa {
+
+enum class TrapCause : std::uint32_t {
+  kInstructionAddressMisaligned = 0,
+  kInstructionAccessFault = 1,
+  kIllegalInstruction = 2,
+  kBreakpoint = 3,
+  kLoadAddressMisaligned = 4,
+  kLoadAccessFault = 5,
+  kStoreAddressMisaligned = 6,
+  kStoreAccessFault = 7,
+  kEcallFromUser = 8,
+  kInstructionPageFault = 12,
+  kLoadPageFault = 13,
+  kStorePageFault = 15,
+  // Custom cause: a ROLoad-family instruction targeted a page that is
+  // writable, unmapped, or whose key does not match the instruction key.
+  kRoLoadPageFault = 24,
+};
+
+std::string_view TrapCauseName(TrapCause cause);
+
+// A pending trap: cause plus the faulting address (tval).
+struct Trap {
+  TrapCause cause;
+  std::uint64_t tval = 0;
+};
+
+}  // namespace roload::isa

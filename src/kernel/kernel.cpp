@@ -1,0 +1,296 @@
+#include "kernel/kernel.h"
+
+#include "support/bits.h"
+#include "support/logging.h"
+
+namespace roload::kernel {
+
+Kernel::Kernel(const KernelConfig& config, mem::PhysMemory* memory,
+               cpu::Cpu* cpu)
+    : config_(config), memory_(memory), cpu_(cpu) {
+  // Reserve the low frames so the null phys page is never handed out;
+  // frames start right after a small kernel-reserved region.
+  const std::uint64_t total_frames = memory_->size() >> mem::kPageShift;
+  frames_ = std::make_unique<FrameAllocator>(16, total_frames - 16);
+}
+
+AddressSpace* Kernel::address_space() {
+  return active_ >= 0 ? active().space.get() : nullptr;
+}
+
+StatusOr<int> Kernel::LoadProcess(const asmtool::LinkImage& image) {
+  Process process;
+  process.space = std::make_unique<AddressSpace>(memory_, frames_.get());
+
+  for (const asmtool::Section& section : image.sections) {
+    if (section.size == 0) continue;
+    if ((section.vaddr & (mem::kPageSize - 1)) != 0) {
+      return Status::InvalidArgument("section not page aligned: " +
+                                     section.name);
+    }
+    PageProt prot;
+    prot.read = section.perms.read;
+    prot.write = section.perms.write;
+    prot.exec = section.perms.exec;
+    // The roload-aware kernel honours the image's section keys during
+    // executable loading; the unmodified kernel has no notion of keys.
+    prot.key = config_.roload_aware ? section.key : mem::kDefaultPageKey;
+
+    const std::uint64_t pages = PagesFor(section.size);
+    // Map writable first so the loader can copy the initial bytes, then
+    // tighten to the final permissions (the standard loader dance).
+    PageProt staging = prot;
+    staging.write = true;
+    ROLOAD_RETURN_IF_ERROR(process.space->Map(section.vaddr, pages, staging));
+    if (!section.bytes.empty()) {
+      ROLOAD_RETURN_IF_ERROR(process.space->CopyIn(section.vaddr,
+                                                   section.bytes.data(),
+                                                   section.bytes.size()));
+    }
+    ROLOAD_RETURN_IF_ERROR(process.space->Protect(section.vaddr, pages, prot));
+  }
+
+  // Stack.
+  const std::uint64_t stack_base =
+      config_.stack_top - config_.stack_pages * mem::kPageSize;
+  ROLOAD_RETURN_IF_ERROR(
+      process.space->Map(stack_base, config_.stack_pages, PageProt::Rw()));
+
+  process.brk = config_.heap_base;
+  process.mmap_cursor = config_.mmap_base;
+  process.pc = image.entry;
+  process.regs[isa::kSp] = config_.stack_top - 64;
+
+  processes_.push_back(std::move(process));
+  return static_cast<int>(processes_.size() - 1);
+}
+
+void Kernel::SwitchTo(int pid) {
+  ROLOAD_CHECK(pid >= 0 && pid < static_cast<int>(processes_.size()));
+  if (active_ == pid) return;
+  if (active_ >= 0) {
+    // Save exactly the base architectural state. ROLoad introduces no
+    // per-process registers: keys live in the page tables, so nothing
+    // extra crosses the context switch (contrast with shadow-stack
+    // pointers or branch-state machines in Intel CET / ARM BTI).
+    Process& old = active();
+    old.pc = cpu_->pc();
+    for (unsigned r = 0; r < isa::kNumRegs; ++r) old.regs[r] = cpu_->reg(r);
+    ++context_switches_;
+  }
+  active_ = pid;
+  Process& next = active();
+  cpu_->set_pc(next.pc);
+  for (unsigned r = 1; r < isa::kNumRegs; ++r) {
+    cpu_->set_reg(r, next.regs[r]);
+  }
+  // satp switch: the TLB tags entries with the root PPN (ASID model), so
+  // no shootdown is required on the switch path.
+  cpu_->set_root_ppn(next.space->root_ppn());
+}
+
+Status Kernel::Load(const asmtool::LinkImage& image) {
+  auto pid = LoadProcess(image);
+  if (!pid.ok()) return pid.status();
+  active_ = -1;  // discard any previous single-process session state
+  SwitchTo(*pid);
+  cpu_->FlushTlbs();  // fresh page tables may reuse recycled frames
+  return Status::Ok();
+}
+
+bool Kernel::HandleSyscall(RunResult* result) {
+  Process& process = active();
+  const std::uint64_t number = cpu_->reg(isa::kA7);
+  const std::uint64_t a0 = cpu_->reg(isa::kA0);
+  const std::uint64_t a1 = cpu_->reg(isa::kA1);
+  const std::uint64_t a2 = cpu_->reg(isa::kA2);
+
+  switch (number) {
+    case kSysExit:
+      result->kind = ExitKind::kExited;
+      result->exit_code = static_cast<std::int64_t>(a0);
+      return false;
+    case kSysWrite: {
+      // write(fd, buf, len): only stdout/stderr, captured per process.
+      if (a0 != 1 && a0 != 2) {
+        cpu_->set_reg(isa::kA0, static_cast<std::uint64_t>(-9));  // EBADF
+        return true;
+      }
+      std::string buffer(a2, '\0');
+      Status status = process.space->CopyOut(
+          a1, reinterpret_cast<std::uint8_t*>(buffer.data()), a2);
+      if (!status.ok()) {
+        cpu_->set_reg(isa::kA0, static_cast<std::uint64_t>(-14));  // EFAULT
+        return true;
+      }
+      process.stdout_text += buffer;
+      cpu_->set_reg(isa::kA0, a2);
+      return true;
+    }
+    case kSysBrk: {
+      if (a0 == 0) {
+        cpu_->set_reg(isa::kA0, process.brk);
+        return true;
+      }
+      const std::uint64_t new_brk = a0;
+      if (new_brk < config_.heap_base || new_brk >= config_.mmap_base) {
+        cpu_->set_reg(isa::kA0, process.brk);
+        return true;
+      }
+      const std::uint64_t old_end = AlignUp(process.brk, mem::kPageSize);
+      const std::uint64_t new_end = AlignUp(new_brk, mem::kPageSize);
+      if (new_end > old_end) {
+        Status status = process.space->Map(
+            old_end, (new_end - old_end) >> mem::kPageShift, PageProt::Rw());
+        if (!status.ok()) {
+          cpu_->set_reg(isa::kA0, process.brk);
+          return true;
+        }
+        cpu_->FlushTlbs();
+      }
+      process.brk = new_brk;
+      cpu_->set_reg(isa::kA0, process.brk);
+      return true;
+    }
+    case kSysMmap: {
+      // mmap(addr, len, prot, flags, fd, off) — anonymous only. The ROLoad
+      // extension: prot bits [25:16] carry the page key. The unmodified
+      // kernel masks the key off (it does not know the field).
+      const std::uint64_t len = a1;
+      const std::uint64_t prot_bits = a2;
+      if (len == 0) {
+        cpu_->set_reg(isa::kA0, static_cast<std::uint64_t>(-22));  // EINVAL
+        return true;
+      }
+      PageProt prot;
+      prot.read = (prot_bits & kProtRead) != 0;
+      prot.write = (prot_bits & kProtWrite) != 0;
+      prot.exec = (prot_bits & kProtExec) != 0;
+      prot.key = config_.roload_aware
+                     ? static_cast<std::uint32_t>(
+                           (prot_bits >> kProtKeyShift) & mem::kPteKeyMax)
+                     : mem::kDefaultPageKey;
+      std::uint64_t addr = a0 != 0 ? a0 : process.mmap_cursor;
+      addr = AlignUp(addr, mem::kPageSize);
+      const std::uint64_t pages = PagesFor(len);
+      Status status = process.space->Map(addr, pages, prot);
+      if (!status.ok()) {
+        cpu_->set_reg(isa::kA0, static_cast<std::uint64_t>(-12));  // ENOMEM
+        return true;
+      }
+      if (a0 == 0) process.mmap_cursor = addr + pages * mem::kPageSize;
+      cpu_->FlushTlbs();
+      cpu_->set_reg(isa::kA0, addr);
+      return true;
+    }
+    case kSysMprotect: {
+      const std::uint64_t addr = a0;
+      const std::uint64_t len = a1;
+      const std::uint64_t prot_bits = a2;
+      PageProt prot;
+      prot.read = (prot_bits & kProtRead) != 0;
+      prot.write = (prot_bits & kProtWrite) != 0;
+      prot.exec = (prot_bits & kProtExec) != 0;
+      prot.key = config_.roload_aware
+                     ? static_cast<std::uint32_t>(
+                           (prot_bits >> kProtKeyShift) & mem::kPteKeyMax)
+                     : mem::kDefaultPageKey;
+      Status status = process.space->Protect(addr, PagesFor(len), prot);
+      if (!status.ok()) {
+        cpu_->set_reg(isa::kA0, static_cast<std::uint64_t>(-22));  // EINVAL
+        return true;
+      }
+      // PTEs changed: the TLBs must be shot down (sfence.vma).
+      cpu_->FlushTlbs();
+      cpu_->set_reg(isa::kA0, 0);
+      return true;
+    }
+    default:
+      ROLOAD_LOG(kWarning) << "unknown syscall " << number;
+      cpu_->set_reg(isa::kA0, static_cast<std::uint64_t>(-38));  // ENOSYS
+      return true;
+  }
+}
+
+void Kernel::HandleTrap(const isa::Trap& trap, RunResult* result) {
+  result->kind = ExitKind::kKilled;
+  result->trap_cause = trap.cause;
+  result->fault_addr = trap.tval;
+  result->fault_pc = cpu_->pc();
+
+  switch (trap.cause) {
+    case isa::TrapCause::kRoLoadPageFault:
+      // The modified fault handler (arch/riscv/mm/fault.c in the paper)
+      // recognises the ROLoad cause: the process is under attack (or
+      // mis-hardened); deliver SIGSEGV.
+      result->signal = kSigsegv;
+      result->roload_violation = config_.roload_aware;
+      break;
+    case isa::TrapCause::kIllegalInstruction:
+      result->signal = kSigill;
+      break;
+    default:
+      result->signal = kSigsegv;
+      break;
+  }
+}
+
+RunResult Kernel::Run(std::uint64_t max_instructions) {
+  ROLOAD_CHECK(active_ >= 0);
+  RunResult result;
+  const std::uint64_t start_instructions = cpu_->stats().instructions;
+  bool running = true;
+  while (running) {
+    if (cpu_->stats().instructions - start_instructions >= max_instructions) {
+      result.kind = ExitKind::kInstructionLimit;
+      break;
+    }
+    switch (cpu_->Step()) {
+      case cpu::StepEvent::kRetired:
+        break;
+      case cpu::StepEvent::kEcall:
+        running = HandleSyscall(&result);
+        break;
+      case cpu::StepEvent::kTrap:
+        HandleTrap(cpu_->pending_trap(), &result);
+        running = false;
+        break;
+    }
+  }
+  Process& process = active();
+  if (result.kind != ExitKind::kInstructionLimit) process.alive = false;
+  result.stdout_text = process.stdout_text;
+  result.instructions = cpu_->stats().instructions - start_instructions;
+  result.cycles = cpu_->stats().cycles;
+  result.peak_mem_kib = process.space->mapped_pages() * mem::kPageSize / 1024;
+  process.result = result;
+  return result;
+}
+
+std::vector<RunResult> Kernel::RunAll(std::uint64_t slice,
+                                      std::uint64_t total_limit) {
+  ROLOAD_CHECK(!processes_.empty());
+  const std::uint64_t start_instructions = cpu_->stats().instructions;
+  bool any_alive = true;
+  while (any_alive &&
+         cpu_->stats().instructions - start_instructions < total_limit) {
+    any_alive = false;
+    for (int pid = 0; pid < static_cast<int>(processes_.size()); ++pid) {
+      if (!processes_[static_cast<std::size_t>(pid)].alive) continue;
+      any_alive = true;
+      SwitchTo(pid);
+      Run(slice);  // a limit outcome keeps the process alive
+    }
+  }
+  std::vector<RunResult> results;
+  results.reserve(processes_.size());
+  for (Process& process : processes_) {
+    if (process.alive) {
+      process.result.kind = ExitKind::kInstructionLimit;
+    }
+    results.push_back(process.result);
+  }
+  return results;
+}
+
+}  // namespace roload::kernel

@@ -1,0 +1,141 @@
+// Mini operating-system kernel for the simulated machine. Responsibilities
+// mirror the paper's Linux changes:
+//   * loading program images and setting up page keys for the
+//     `.rodata.key.<K>` allowlist sections during executable loading,
+//   * providing mmap/mprotect syscalls that accept a page key,
+//   * handling traps: distinguishing the ROLoad page fault from benign
+//     load page faults and delivering SIGSEGV to the faulting process.
+//
+// A kernel built with `roload_aware == false` models the unmodified Linux:
+// the loader ignores section keys (maps allowlists as plain read-only
+// pages with key 0) and the fault handler treats the ROLoad cause as an
+// unknown fault.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "asmtool/image.h"
+#include "cpu/cpu.h"
+#include "kernel/address_space.h"
+
+namespace roload::kernel {
+
+struct KernelConfig {
+  bool roload_aware = true;
+  std::uint64_t stack_top = 0x7FFF0000;
+  std::uint64_t stack_pages = 64;      // 256 KiB stack
+  std::uint64_t heap_base = 0x40000000;
+  std::uint64_t mmap_base = 0x50000000;
+};
+
+// Signal numbers (only the ones the kernel delivers).
+inline constexpr int kSigsegv = 11;
+inline constexpr int kSigill = 4;
+
+// Why a run ended.
+enum class ExitKind : std::uint8_t {
+  kExited,       // guest called exit()
+  kKilled,       // kernel delivered a fatal signal
+  kInstructionLimit,
+};
+
+struct RunResult {
+  ExitKind kind = ExitKind::kExited;
+  std::int64_t exit_code = 0;
+  int signal = 0;
+  isa::TrapCause trap_cause = isa::TrapCause::kIllegalInstruction;
+  std::uint64_t fault_addr = 0;
+  std::uint64_t fault_pc = 0;
+  // True when a roload-aware kernel classified the fault as a ROLoad
+  // pointee-integrity violation (the paper's attack-detected path).
+  bool roload_violation = false;
+  std::string stdout_text;
+
+  // Final performance counters.
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t peak_mem_kib = 0;
+};
+
+// Guest syscall numbers (RISC-V Linux numbers where they exist).
+inline constexpr std::uint64_t kSysExit = 93;
+inline constexpr std::uint64_t kSysWrite = 64;
+inline constexpr std::uint64_t kSysBrk = 214;
+inline constexpr std::uint64_t kSysMmap = 222;
+inline constexpr std::uint64_t kSysMprotect = 226;
+
+// mmap/mprotect `prot` encoding: low 3 bits = PROT_READ/WRITE/EXEC, and the
+// ROLoad extension carries the page key in bits [25:16].
+inline constexpr std::uint64_t kProtRead = 1;
+inline constexpr std::uint64_t kProtWrite = 2;
+inline constexpr std::uint64_t kProtExec = 4;
+inline constexpr unsigned kProtKeyShift = 16;
+
+class Kernel {
+ public:
+  Kernel(const KernelConfig& config, mem::PhysMemory* memory, cpu::Cpu* cpu);
+
+  // Creates the process address space from `image`, maps the stack, and
+  // points the CPU at the entry. Must be called before Run(). Equivalent
+  // to LoadProcess + activating the new process.
+  Status Load(const asmtool::LinkImage& image);
+
+  // Multi-process API: creates a process without activating it; returns
+  // its pid. Processes are scheduled round-robin by RunAll().
+  StatusOr<int> LoadProcess(const asmtool::LinkImage& image);
+
+  // Runs the active process until exit, fatal signal, or the limit.
+  RunResult Run(std::uint64_t max_instructions);
+
+  // Round-robin scheduler: runs every live process in `slice`-instruction
+  // time slices until all have exited/died or `total_limit` instructions
+  // have been executed overall. Context switches save/restore exactly the
+  // base architectural state (31 GPRs + pc + satp root): ROLoad adds no
+  // per-process state, and the root-tagged TLB needs no shootdown.
+  std::vector<RunResult> RunAll(std::uint64_t slice,
+                                std::uint64_t total_limit);
+
+  std::uint64_t context_switches() const { return context_switches_; }
+  AddressSpace* address_space();
+  const KernelConfig& config() const { return config_; }
+
+ private:
+  struct Process {
+    std::unique_ptr<AddressSpace> space;
+    std::array<std::uint64_t, isa::kNumRegs> regs{};
+    std::uint64_t pc = 0;
+    std::uint64_t brk = 0;
+    std::uint64_t mmap_cursor = 0;
+    std::string stdout_text;
+    bool alive = true;
+    RunResult result;
+  };
+
+  // Saves the CPU state of the active process and restores `pid`'s.
+  void SwitchTo(int pid);
+  Process& active() { return processes_[static_cast<std::size_t>(active_)]; }
+
+  // Services the ecall the CPU just raised. Returns true when the process
+  // should keep running.
+  bool HandleSyscall(RunResult* result);
+  // Trap handler: the page-fault discrimination path.
+  void HandleTrap(const isa::Trap& trap, RunResult* result);
+
+  std::uint64_t PagesFor(std::uint64_t bytes) const {
+    return (bytes + mem::kPageSize - 1) / mem::kPageSize;
+  }
+
+  KernelConfig config_;
+  mem::PhysMemory* memory_;
+  cpu::Cpu* cpu_;
+  std::unique_ptr<FrameAllocator> frames_;
+  std::vector<Process> processes_;
+  int active_ = -1;
+  std::uint64_t context_switches_ = 0;
+};
+
+}  // namespace roload::kernel

@@ -1,0 +1,60 @@
+#include "mem/page_table.h"
+
+namespace roload::mem {
+
+Pte Pte::MakeLeaf(std::uint64_t ppn, std::uint64_t flags, std::uint32_t key) {
+  ROLOAD_CHECK(key <= kPteKeyMax);
+  Pte pte;
+  pte.raw_ = InsertBits(0, 53, 10, ppn) | (flags & 0xFF) | kPteValid;
+  pte.set_key(key);
+  return pte;
+}
+
+Pte Pte::MakeNonLeaf(std::uint64_t ppn) {
+  Pte pte;
+  pte.raw_ = InsertBits(0, 53, 10, ppn) | kPteValid;
+  return pte;
+}
+
+bool IsCanonicalSv39(std::uint64_t virt_addr) {
+  const std::uint64_t top = virt_addr >> 38;
+  return top == 0 || top == 0x3FFFFFF;
+}
+
+std::optional<WalkResult> PageWalker::Walk(std::uint64_t root_ppn,
+                                           std::uint64_t virt_addr) const {
+  last_walk_accesses_ = 0;
+  if (!IsCanonicalSv39(virt_addr)) return std::nullopt;
+
+  std::uint64_t table_ppn = root_ppn;
+  for (int level = kSv39Levels - 1; level >= 0; --level) {
+    const unsigned shift = kPageShift + kVpnBits * static_cast<unsigned>(level);
+    const std::uint64_t vpn = ExtractBits(virt_addr, shift + kVpnBits - 1,
+                                          shift);
+    const std::uint64_t pte_addr = (table_ppn << kPageShift) + vpn * 8;
+    if (!memory_->Contains(pte_addr, 8)) return std::nullopt;
+    ++last_walk_accesses_;
+    const Pte pte(memory_->Read(pte_addr, 8));
+    if (!pte.valid()) return std::nullopt;
+    if (pte.leaf()) {
+      // Superpage alignment: low PPN bits must be zero.
+      const std::uint64_t page_mask =
+          (std::uint64_t{1} << (kVpnBits * static_cast<unsigned>(level))) - 1;
+      if ((pte.ppn() & page_mask) != 0) return std::nullopt;
+      WalkResult result;
+      result.level = static_cast<unsigned>(level);
+      result.pte = pte;
+      result.pte_addr = pte_addr;
+      const std::uint64_t offset_bits =
+          kPageShift + kVpnBits * static_cast<unsigned>(level);
+      const std::uint64_t offset =
+          virt_addr & ((std::uint64_t{1} << offset_bits) - 1);
+      result.phys_addr = (pte.ppn() << kPageShift) + offset;
+      return result;
+    }
+    table_ppn = pte.ppn();
+  }
+  return std::nullopt;  // non-leaf at the last level is malformed
+}
+
+}  // namespace roload::mem

@@ -1,0 +1,109 @@
+// Sv39 page-table entries extended with the ROLoad 10-bit page key, and a
+// software page-table walker.
+//
+// RISC-V Sv39 PTEs are 64 bits. Bits [53:10] hold the PPN, bits [9:8] are
+// reserved for software (RSW), bits [7:0] are D A G U X W R V. The paper
+// reuses "the previously reserved top 10 bits" of the PTE for the key, i.e.
+// bits [63:54]; we do the same.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "mem/phys_memory.h"
+#include "support/bits.h"
+
+namespace roload::mem {
+
+// PTE permission/status flag bits (Sv39).
+enum PteFlag : std::uint64_t {
+  kPteValid = 1u << 0,
+  kPteRead = 1u << 1,
+  kPteWrite = 1u << 2,
+  kPteExec = 1u << 3,
+  kPteUser = 1u << 4,
+  kPteGlobal = 1u << 5,
+  kPteAccessed = 1u << 6,
+  kPteDirty = 1u << 7,
+};
+
+inline constexpr unsigned kPteKeyLo = 54;
+inline constexpr unsigned kPteKeyHi = 63;
+inline constexpr std::uint32_t kPteKeyMax = 1023;  // 10-bit field
+// Key 0 is the default for pages never tagged; applications must use keys
+// >= 1 for allowlists so an untagged read-only page never satisfies a
+// keyed ROLoad by accident.
+inline constexpr std::uint32_t kDefaultPageKey = 0;
+
+// Value-type view of a 64-bit PTE with the ROLoad key field.
+class Pte {
+ public:
+  Pte() = default;
+  explicit Pte(std::uint64_t raw) : raw_(raw) {}
+
+  static Pte MakeLeaf(std::uint64_t ppn, std::uint64_t flags,
+                      std::uint32_t key);
+  static Pte MakeNonLeaf(std::uint64_t ppn);
+
+  std::uint64_t raw() const { return raw_; }
+  bool valid() const { return (raw_ & kPteValid) != 0; }
+  bool readable() const { return (raw_ & kPteRead) != 0; }
+  bool writable() const { return (raw_ & kPteWrite) != 0; }
+  bool executable() const { return (raw_ & kPteExec) != 0; }
+  bool user() const { return (raw_ & kPteUser) != 0; }
+  // A valid PTE with R=W=X=0 is a pointer to the next level table.
+  bool leaf() const { return (raw_ & (kPteRead | kPteWrite | kPteExec)) != 0; }
+
+  std::uint64_t ppn() const { return ExtractBits(raw_, 53, 10); }
+  std::uint32_t key() const {
+    return static_cast<std::uint32_t>(ExtractBits(raw_, kPteKeyHi, kPteKeyLo));
+  }
+
+  void set_key(std::uint32_t key) {
+    raw_ = InsertBits(raw_, kPteKeyHi, kPteKeyLo, key);
+  }
+  void set_flags(std::uint64_t flags) {
+    raw_ = (raw_ & ~std::uint64_t{0xFF}) | (flags & 0xFF);
+  }
+
+ private:
+  std::uint64_t raw_ = 0;
+};
+
+// Result of a page walk: where the page is and what it allows.
+struct WalkResult {
+  std::uint64_t phys_addr = 0;  // translated physical address
+  Pte pte;                      // leaf PTE (includes key + permissions)
+  std::uint64_t pte_addr = 0;   // physical address of the leaf PTE
+  unsigned level = 0;           // 0 = 4 KiB leaf, 1 = 2 MiB, 2 = 1 GiB
+};
+
+// Software Sv39 walker operating on PTEs stored in simulated physical
+// memory — the model of the hardware page-table walker.
+class PageWalker {
+ public:
+  explicit PageWalker(PhysMemory* memory) : memory_(memory) {}
+
+  // Walks `virt_addr` starting from the root table at `root_ppn`.
+  // Returns nullopt when the mapping is absent/malformed (page fault).
+  std::optional<WalkResult> Walk(std::uint64_t root_ppn,
+                                 std::uint64_t virt_addr) const;
+
+  // Number of memory accesses performed by the last walk (for the timing
+  // model: each level costs one memory access).
+  unsigned last_walk_accesses() const { return last_walk_accesses_; }
+
+ private:
+  PhysMemory* memory_;
+  mutable unsigned last_walk_accesses_ = 0;
+};
+
+// Sv39 constants.
+inline constexpr unsigned kVpnBits = 9;
+inline constexpr unsigned kSv39Levels = 3;
+inline constexpr std::uint64_t kPtesPerPage = 512;
+
+// True when `virt_addr` is canonical for Sv39 (bits 63:39 equal bit 38).
+bool IsCanonicalSv39(std::uint64_t virt_addr);
+
+}  // namespace roload::mem

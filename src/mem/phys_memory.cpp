@@ -1,0 +1,35 @@
+#include "mem/phys_memory.h"
+
+#include <cstring>
+
+namespace roload::mem {
+
+PhysMemory::PhysMemory(std::uint64_t size_bytes) : bytes_(size_bytes, 0) {}
+
+std::uint64_t PhysMemory::Read(std::uint64_t addr, unsigned bytes) const {
+  ROLOAD_CHECK(Contains(addr, bytes));
+  std::uint64_t value = 0;
+  std::memcpy(&value, bytes_.data() + addr, bytes);
+  return value;
+}
+
+void PhysMemory::Write(std::uint64_t addr, unsigned bytes,
+                       std::uint64_t value) {
+  ROLOAD_CHECK(Contains(addr, bytes));
+  std::memcpy(bytes_.data() + addr, &value, bytes);
+}
+
+void PhysMemory::WriteBlock(std::uint64_t addr, const std::uint8_t* data,
+                            std::uint64_t size) {
+  ROLOAD_CHECK(Contains(addr, static_cast<unsigned>(0)) &&
+               addr + size <= bytes_.size());
+  std::memcpy(bytes_.data() + addr, data, size);
+}
+
+void PhysMemory::Fill(std::uint64_t addr, std::uint64_t size,
+                      std::uint8_t value) {
+  ROLOAD_CHECK(addr + size <= bytes_.size());
+  std::memset(bytes_.data() + addr, value, size);
+}
+
+}  // namespace roload::mem

@@ -1,0 +1,38 @@
+// Physical memory model: a flat byte-addressable DRAM with little-endian
+// multi-byte accessors, mirroring the 4 GiB DDR3 SO-DIMM of the prototype.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/status.h"
+
+namespace roload::mem {
+
+inline constexpr std::uint64_t kPageSize = 4096;
+inline constexpr unsigned kPageShift = 12;
+
+class PhysMemory {
+ public:
+  explicit PhysMemory(std::uint64_t size_bytes);
+
+  std::uint64_t size() const { return bytes_.size(); }
+  bool Contains(std::uint64_t addr, unsigned bytes) const {
+    return addr + bytes <= bytes_.size() && addr + bytes >= addr;
+  }
+
+  // Unchecked fast-path accessors; callers must validate with Contains()
+  // (the MMU does). width in {1,2,4,8}; little-endian.
+  std::uint64_t Read(std::uint64_t addr, unsigned bytes) const;
+  void Write(std::uint64_t addr, unsigned bytes, std::uint64_t value);
+
+  // Bulk copy used by the loader.
+  void WriteBlock(std::uint64_t addr, const std::uint8_t* data,
+                  std::uint64_t size);
+  void Fill(std::uint64_t addr, std::uint64_t size, std::uint8_t value);
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace roload::mem

@@ -1,0 +1,186 @@
+#include "passes/optimize.h"
+
+#include <map>
+#include <vector>
+
+namespace roload::passes {
+namespace {
+
+using ir::BinOp;
+using ir::Block;
+using ir::Function;
+using ir::Instr;
+using ir::InstrKind;
+
+// The target's exact 64-bit semantics (matches cpu.cpp and interp.cpp).
+std::uint64_t EvalBin(BinOp op, std::uint64_t a, std::uint64_t b) {
+  switch (op) {
+    case BinOp::kAdd:
+      return a + b;
+    case BinOp::kSub:
+      return a - b;
+    case BinOp::kMul:
+      return a * b;
+    case BinOp::kDiv: {
+      const auto sa = static_cast<std::int64_t>(a);
+      const auto sb = static_cast<std::int64_t>(b);
+      if (sb == 0) return ~std::uint64_t{0};
+      if (sa == INT64_MIN && sb == -1) return a;
+      return static_cast<std::uint64_t>(sa / sb);
+    }
+    case BinOp::kRem: {
+      const auto sa = static_cast<std::int64_t>(a);
+      const auto sb = static_cast<std::int64_t>(b);
+      if (sb == 0) return a;
+      if (sa == INT64_MIN && sb == -1) return 0;
+      return static_cast<std::uint64_t>(sa % sb);
+    }
+    case BinOp::kAnd:
+      return a & b;
+    case BinOp::kOr:
+      return a | b;
+    case BinOp::kXor:
+      return a ^ b;
+    case BinOp::kShl:
+      return a << (b & 63);
+    case BinOp::kShr:
+      return a >> (b & 63);
+    case BinOp::kSar:
+      return static_cast<std::uint64_t>(static_cast<std::int64_t>(a) >>
+                                        (b & 63));
+    case BinOp::kSlt:
+      return static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b) ? 1
+                                                                         : 0;
+    case BinOp::kSltu:
+      return a < b ? 1 : 0;
+    case BinOp::kEq:
+      return a == b ? 1 : 0;
+    case BinOp::kNe:
+      return a != b ? 1 : 0;
+  }
+  return 0;
+}
+
+bool HasSideEffects(const Instr& instr) {
+  switch (instr.kind) {
+    case InstrKind::kConst:
+    case InstrKind::kAddrOf:
+    case InstrKind::kBin:
+    case InstrKind::kBinImm:
+      return false;
+    default:
+      // Loads kept: they can fault (and a ROLoad fault is a feature).
+      return true;
+  }
+}
+
+void CountReads(const Function& fn, std::vector<unsigned>* reads) {
+  reads->assign(static_cast<std::size_t>(fn.num_vregs > 0 ? fn.num_vregs : 1),
+                0);
+  auto bump = [reads](int vreg) {
+    if (vreg >= 0 && static_cast<std::size_t>(vreg) < reads->size()) {
+      ++(*reads)[static_cast<std::size_t>(vreg)];
+    }
+  };
+  for (const Block& block : fn.blocks) {
+    for (const Instr& instr : block.instrs) {
+      bump(instr.src1);
+      bump(instr.src2);
+      for (int arg : instr.args) bump(arg);
+    }
+  }
+}
+
+}  // namespace
+
+Status ConstantFoldPass(ir::Module* module, OptimizeStats* stats) {
+  for (Function& fn : module->functions) {
+    for (Block& block : fn.blocks) {
+      // Per-block known-constant values (vregs are single-assignment, but
+      // cross-block dominance is not tracked, so stay within the block).
+      std::map<int, std::uint64_t> known;
+      for (Instr& instr : block.instrs) {
+        switch (instr.kind) {
+          case InstrKind::kConst:
+            known[instr.dst] = static_cast<std::uint64_t>(instr.imm);
+            break;
+          case InstrKind::kBinImm: {
+            auto it = known.find(instr.src1);
+            if (it == known.end()) break;
+            const std::uint64_t value =
+                EvalBin(instr.bin_op, it->second,
+                        static_cast<std::uint64_t>(instr.imm));
+            instr.kind = InstrKind::kConst;
+            instr.imm = static_cast<std::int64_t>(value);
+            instr.src1 = -1;
+            known[instr.dst] = value;
+            if (stats != nullptr) ++stats->folded;
+            break;
+          }
+          case InstrKind::kBin: {
+            auto lhs = known.find(instr.src1);
+            auto rhs = known.find(instr.src2);
+            if (lhs == known.end() || rhs == known.end()) break;
+            const std::uint64_t value =
+                EvalBin(instr.bin_op, lhs->second, rhs->second);
+            instr.kind = InstrKind::kConst;
+            instr.imm = static_cast<std::int64_t>(value);
+            instr.src1 = instr.src2 = -1;
+            known[instr.dst] = value;
+            if (stats != nullptr) ++stats->folded;
+            break;
+          }
+          default:
+            break;
+        }
+      }
+    }
+  }
+  return ir::Verify(*module);
+}
+
+Status DeadCodeEliminationPass(ir::Module* module, OptimizeStats* stats) {
+  for (Function& fn : module->functions) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::vector<unsigned> reads;
+      CountReads(fn, &reads);
+      for (Block& block : fn.blocks) {
+        auto& instrs = block.instrs;
+        for (std::size_t i = 0; i < instrs.size();) {
+          const Instr& instr = instrs[i];
+          const bool dead =
+              !HasSideEffects(instr) && instr.dst >= 0 &&
+              reads[static_cast<std::size_t>(instr.dst)] == 0;
+          if (dead) {
+            instrs.erase(instrs.begin() + static_cast<std::ptrdiff_t>(i));
+            if (stats != nullptr) ++stats->removed;
+            changed = true;
+          } else {
+            ++i;
+          }
+        }
+      }
+    }
+  }
+  return ir::Verify(*module);
+}
+
+Status OptimizePipeline(ir::Module* module, OptimizeStats* stats) {
+  // Folding exposes dead producers; two rounds reach fixpoint for the
+  // chain shapes our generators emit (bounded for safety regardless).
+  for (int round = 0; round < 4; ++round) {
+    OptimizeStats local;
+    ROLOAD_RETURN_IF_ERROR(ConstantFoldPass(module, &local));
+    ROLOAD_RETURN_IF_ERROR(DeadCodeEliminationPass(module, &local));
+    if (stats != nullptr) {
+      stats->folded += local.folded;
+      stats->removed += local.removed;
+    }
+    if (local.folded == 0 && local.removed == 0) break;
+  }
+  return Status::Ok();
+}
+
+}  // namespace roload::passes

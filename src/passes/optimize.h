@@ -1,0 +1,34 @@
+// Optimization passes for the mini compiler. Virtual registers are
+// single-assignment by construction (the builder and every hardening pass
+// allocate fresh vregs), which keeps these passes simple and safe.
+//
+//  * ConstantFoldPass — folds kBin/kBinImm whose operands are known
+//    constants (per-block value tracking) into kConst, with the target's
+//    exact arithmetic (wrapping, RISC-V division rules).
+//  * DeadCodeEliminationPass — removes side-effect-free instructions
+//    (kConst, kAddrOf, kBin, kBinImm) whose results are never read.
+//    Loads are conservatively kept (they can fault, and under ROLoad a
+//    faulting load is a *security signal*, not dead code).
+//
+// Both passes are semantics-preserving; tests/test_optimize.cpp proves it
+// with the interpreter-vs-hardware differential oracle.
+#pragma once
+
+#include "ir/ir.h"
+#include "support/status.h"
+
+namespace roload::passes {
+
+struct OptimizeStats {
+  unsigned folded = 0;
+  unsigned removed = 0;
+};
+
+Status ConstantFoldPass(ir::Module* module, OptimizeStats* stats = nullptr);
+Status DeadCodeEliminationPass(ir::Module* module,
+                               OptimizeStats* stats = nullptr);
+
+// Fold + DCE to fixpoint (bounded).
+Status OptimizePipeline(ir::Module* module, OptimizeStats* stats = nullptr);
+
+}  // namespace roload::passes

@@ -1,0 +1,400 @@
+#include "passes/passes.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/strings.h"
+
+namespace roload::passes {
+namespace {
+
+using ir::Block;
+using ir::Function;
+using ir::Instr;
+using ir::InstrKind;
+using ir::Module;
+using ir::Trait;
+
+// Ensures `fn` has a shared "<name>" abort block (call __rt_abort; ret) and
+// returns its label.
+std::string EnsureAbortBlock(Function* fn, const std::string& name) {
+  for (const Block& block : fn->blocks) {
+    if (block.label == name) return name;
+  }
+  Block block;
+  block.label = name;
+  Instr abort_call;
+  abort_call.kind = InstrKind::kCall;
+  abort_call.symbol = "__rt_abort";
+  block.instrs.push_back(abort_call);
+  Instr ret;
+  ret.kind = InstrKind::kRet;
+  block.instrs.push_back(ret);
+  fn->blocks.push_back(std::move(block));
+  return name;
+}
+
+// Splits `fn->blocks[block_index]` so that instructions [instr_index, end)
+// move into a fresh block, and returns the new block's label. The caller
+// appends check instructions + a terminator to the (now truncated) first
+// half. Iterators/pointers into fn->blocks are invalidated.
+std::string SplitBlock(Function* fn, std::size_t block_index,
+                       std::size_t instr_index, unsigned* counter) {
+  const std::string label =
+      StrFormat("split%u_%s", (*counter)++,
+                fn->blocks[block_index].label.c_str());
+  Block tail;
+  tail.label = label;
+  auto& instrs = fn->blocks[block_index].instrs;
+  tail.instrs.assign(instrs.begin() + static_cast<std::ptrdiff_t>(instr_index),
+                     instrs.end());
+  instrs.erase(instrs.begin() + static_cast<std::ptrdiff_t>(instr_index),
+               instrs.end());
+  fn->blocks.insert(fn->blocks.begin() +
+                        static_cast<std::ptrdiff_t>(block_index) + 1,
+                    std::move(tail));
+  return label;
+}
+
+}  // namespace
+
+std::int64_t CfiIdWord(std::uint32_t id) {
+  // Encoding of "lui zero, id": imm[31:12] | rd=0 | opcode LUI (0x37),
+  // sign-extended as a 32-bit load would produce.
+  const std::uint32_t word = (id << 12) | 0x37;
+  return static_cast<std::int64_t>(static_cast<std::int32_t>(word));
+}
+
+Status AllowlistProtectPass(ir::Module* module,
+                            const AllowlistOptions& options) {
+  for (const AllowlistRule& rule : options.rules) {
+    if (rule.key == 0) {
+      return Status::InvalidArgument("allowlist key must be nonzero");
+    }
+    ir::Global* global = module->FindGlobal(rule.global_name);
+    if (global == nullptr) {
+      return Status::NotFound("allowlist global not found: " +
+                              rule.global_name);
+    }
+    // Move the allowlist into a keyed read-only page.
+    global->read_only = true;
+    global->key = rule.key;
+
+    // Tag the consuming loads.
+    bool tagged_any = false;
+    for (Function& fn : module->functions) {
+      for (Block& block : fn.blocks) {
+        for (Instr& instr : block.instrs) {
+          if (instr.kind != InstrKind::kLoad) continue;
+          if (instr.trait != rule.trait) continue;
+          if (rule.trait_id >= 0 && instr.trait_id != rule.trait_id) {
+            continue;
+          }
+          instr.has_roload_md = true;
+          instr.roload_key = rule.key;
+          tagged_any = true;
+        }
+      }
+    }
+    if (!tagged_any) {
+      return Status::FailedPrecondition(
+          "no load consumes allowlist " + rule.global_name +
+          " (wrong trait filter?)");
+    }
+  }
+  return ir::Verify(*module);
+}
+
+Status VCallProtectPass(ir::Module* module,
+                        const VCallProtectOptions& options) {
+  if (options.key_groups == 0) {
+    return Status::InvalidArgument("key_groups must be >= 1");
+  }
+  auto class_key = [&options](int class_id) {
+    return kVcallClassKeyBase +
+           static_cast<std::uint32_t>(class_id) % options.key_groups;
+  };
+
+  // 1. Move vtables into keyed read-only sections ("classify VTables based
+  //    on class types and move them into read-only pages with keys").
+  for (ir::Global& global : module->globals) {
+    if (global.trait == ir::GlobalTrait::kVTable) {
+      global.read_only = true;
+      global.key = class_key(global.trait_id);
+    }
+  }
+
+  // 2. Tag vtable-entry loads with roload-md carrying the class key, so
+  //    the backend's machine pass swaps ld -> ld.ro.
+  for (Function& fn : module->functions) {
+    for (Block& block : fn.blocks) {
+      for (Instr& instr : block.instrs) {
+        if (instr.kind == InstrKind::kLoad &&
+            instr.trait == Trait::kVTableEntryLoad) {
+          instr.has_roload_md = true;
+          instr.roload_key = class_key(instr.trait_id);
+        }
+      }
+    }
+  }
+  return ir::Verify(*module);
+}
+
+Status ICallCfiPass(ir::Module* module, const ICallCfiOptions& options) {
+  module->RecomputeAddressTaken();
+  // One key per function type, bounded by the 10-bit key space.
+  auto type_key = [](int type_id) {
+    return kIcallTypeKeyBase + static_cast<std::uint32_t>(type_id) % 512u;
+  };
+
+  // 1. Create one GFPT entry (its own labelled read-only quad, as in
+  //    Listing 3) per address-taken function, in the key section of the
+  //    function's type.
+  std::map<std::string, std::string> gfpt_of_fn;
+  std::vector<ir::Global> new_globals;
+  for (const Function& fn : module->functions) {
+    if (!fn.address_taken) continue;
+    ir::Global entry;
+    entry.name = "gfpt_" + fn.name;
+    entry.read_only = true;
+    entry.key = type_key(fn.type_id);
+    entry.trait = ir::GlobalTrait::kGfpt;
+    entry.trait_id = fn.type_id;
+    entry.quads.push_back(ir::GlobalInit{0, fn.name});
+    gfpt_of_fn[fn.name] = entry.name;
+    new_globals.push_back(std::move(entry));
+  }
+
+  // 2. Redirect function-address creation through the GFPT: kAddrOf(foo)
+  //    becomes kAddrOf(gfpt_foo) (Listing 2), and non-vtable global
+  //    initializers holding function addresses likewise.
+  for (Function& fn : module->functions) {
+    for (Block& block : fn.blocks) {
+      for (Instr& instr : block.instrs) {
+        if (instr.kind == InstrKind::kAddrOf) {
+          auto it = gfpt_of_fn.find(instr.symbol);
+          if (it != gfpt_of_fn.end()) instr.symbol = it->second;
+        }
+      }
+    }
+  }
+  for (ir::Global& global : module->globals) {
+    if (global.trait == ir::GlobalTrait::kVTable) continue;
+    for (ir::GlobalInit& init : global.quads) {
+      auto it = gfpt_of_fn.find(init.symbol);
+      if (it != gfpt_of_fn.end()) init.symbol = it->second;
+    }
+  }
+  for (ir::Global& global : new_globals) {
+    module->globals.push_back(std::move(global));
+  }
+
+  // 3. At each indirect call, the pointer now designates a GFPT entry:
+  //    load the true target with ld.ro keyed by the call's function type
+  //    (lines 2 and 5 of Listing 3).
+  for (Function& fn : module->functions) {
+    for (Block& block : fn.blocks) {
+      for (std::size_t i = 0; i < block.instrs.size(); ++i) {
+        Instr& call = block.instrs[i];
+        // Virtual dispatch is protected through the keyed vtable load; only
+        // plain function-pointer calls get the GFPT indirection.
+        if (call.kind != InstrKind::kICall || call.is_vcall) continue;
+        Instr load;
+        load.kind = InstrKind::kLoad;
+        load.dst = fn.num_vregs++;
+        load.src1 = call.src1;
+        load.width = 8;
+        load.has_roload_md = true;
+        load.roload_key = type_key(call.trait_id);
+        load.trait = Trait::kFnPtrLoad;
+        load.trait_id = call.trait_id;
+        call.src1 = load.dst;
+        block.instrs.insert(block.instrs.begin() +
+                                static_cast<std::ptrdiff_t>(i),
+                            std::move(load));
+        ++i;  // skip over the call we just displaced
+      }
+    }
+  }
+
+  // 4. VTables: unified key for all vtable pages and vtable-entry loads
+  //    (better TLB/cache locality than VCall's per-class keys).
+  if (options.harden_vtables) {
+    for (ir::Global& global : module->globals) {
+      if (global.trait == ir::GlobalTrait::kVTable) {
+        global.read_only = true;
+        global.key = kUnifiedVtableKey;
+      }
+    }
+    for (Function& fn : module->functions) {
+      for (Block& block : fn.blocks) {
+        for (Instr& instr : block.instrs) {
+          if (instr.kind == InstrKind::kLoad &&
+              instr.trait == Trait::kVTableEntryLoad) {
+            instr.has_roload_md = true;
+            instr.roload_key = kUnifiedVtableKey;
+          }
+        }
+      }
+    }
+  }
+  return ir::Verify(*module);
+}
+
+Status VTintPass(ir::Module* module) {
+  // VTint: vtables live in read-only memory (they already do) and every
+  // vtable-entry load is preceded by a software range check that the
+  // vtable pointer falls inside the read-only image.
+  for (ir::Global& global : module->globals) {
+    if (global.trait == ir::GlobalTrait::kVTable) global.read_only = true;
+  }
+
+  for (Function& fn : module->functions) {
+    unsigned counter = 0;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t b = 0; b < fn.blocks.size() && !changed; ++b) {
+        auto& instrs = fn.blocks[b].instrs;
+        for (std::size_t i = 0; i < instrs.size(); ++i) {
+          Instr& load = instrs[i];
+          if (load.kind != InstrKind::kLoad ||
+              load.trait != Trait::kVTableEntryLoad || load.has_roload_md) {
+            continue;
+          }
+          // Mark handled (reuse the md flag is wrong — use trait swap).
+          load.trait = Trait::kNone;
+          const int vptr = load.src1;
+          const std::string abort_label =
+              EnsureAbortBlock(&fn, "vtint_fail");
+          const std::string body = SplitBlock(&fn, b, i, &counter);
+          const std::string mid =
+              StrFormat("vtint%u_hi", counter++);
+
+          // First half: vptr >= __rodata_start ?
+          Block& head = fn.blocks[b];
+          Instr lo;
+          lo.kind = InstrKind::kAddrOf;
+          lo.dst = fn.num_vregs++;
+          lo.symbol = "__rodata_start";
+          head.instrs.push_back(lo);
+          Instr cmp_lo;
+          cmp_lo.kind = InstrKind::kBin;
+          cmp_lo.bin_op = ir::BinOp::kSltu;
+          cmp_lo.dst = fn.num_vregs++;
+          cmp_lo.src1 = vptr;
+          cmp_lo.src2 = lo.dst;
+          head.instrs.push_back(cmp_lo);
+          Instr br_lo;
+          br_lo.kind = InstrKind::kCondBr;
+          br_lo.src1 = cmp_lo.dst;
+          br_lo.label = abort_label;  // vptr below the read-only image
+          br_lo.false_label = mid;
+          head.instrs.push_back(br_lo);
+
+          // Middle block: vptr < __rodata_end ?
+          Block mid_block;
+          mid_block.label = mid;
+          Instr hi;
+          hi.kind = InstrKind::kAddrOf;
+          hi.dst = fn.num_vregs++;
+          hi.symbol = "__rodata_end";
+          mid_block.instrs.push_back(hi);
+          Instr cmp_hi;
+          cmp_hi.kind = InstrKind::kBin;
+          cmp_hi.bin_op = ir::BinOp::kSltu;
+          cmp_hi.dst = fn.num_vregs++;
+          cmp_hi.src1 = vptr;
+          cmp_hi.src2 = hi.dst;
+          mid_block.instrs.push_back(cmp_hi);
+          Instr br_hi;
+          br_hi.kind = InstrKind::kCondBr;
+          br_hi.src1 = cmp_hi.dst;
+          br_hi.label = body;
+          br_hi.false_label = abort_label;
+          mid_block.instrs.push_back(br_hi);
+          fn.blocks.insert(fn.blocks.begin() +
+                               static_cast<std::ptrdiff_t>(b) + 1,
+                           std::move(mid_block));
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return ir::Verify(*module);
+}
+
+Status ClassicCfiPass(ir::Module* module, const ClassicCfiOptions& options) {
+  module->RecomputeAddressTaken();
+  auto type_id_word = [&options](int type_id) {
+    return CfiIdWord(options.id_base + static_cast<std::uint32_t>(type_id));
+  };
+
+  // 1. ID word (architectural no-op) at the beginning of each function.
+  for (Function& fn : module->functions) {
+    Instr label;
+    label.kind = InstrKind::kCfiLabel;
+    label.imm = static_cast<std::int64_t>(options.id_base +
+                                          static_cast<std::uint32_t>(fn.type_id));
+    auto& entry = fn.blocks.front().instrs;
+    entry.insert(entry.begin(), label);
+  }
+
+  // 2. Check before each indirect call that the target begins with the ID
+  //    of the expected function type.
+  for (Function& fn : module->functions) {
+    unsigned counter = 1000;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t b = 0; b < fn.blocks.size() && !changed; ++b) {
+        auto& instrs = fn.blocks[b].instrs;
+        for (std::size_t i = 0; i < instrs.size(); ++i) {
+          Instr& call = instrs[i];
+          if (call.kind != InstrKind::kICall || call.trait != Trait::kICall) {
+            continue;
+          }
+          call.trait = Trait::kNone;  // mark handled
+          const int target = call.src1;
+          const int type_id = call.trait_id;
+          const std::string abort_label = EnsureAbortBlock(&fn, "cfi_fail");
+          const std::string body = SplitBlock(&fn, b, i, &counter);
+
+          Block& head = fn.blocks[b];
+          Instr idw;
+          idw.kind = InstrKind::kLoad;
+          idw.dst = fn.num_vregs++;
+          idw.src1 = target;
+          idw.width = 4;
+          idw.sign_extend = true;
+          head.instrs.push_back(idw);
+          Instr expect;
+          expect.kind = InstrKind::kConst;
+          expect.dst = fn.num_vregs++;
+          expect.imm = type_id_word(type_id);
+          head.instrs.push_back(expect);
+          Instr cmp;
+          cmp.kind = InstrKind::kBin;
+          cmp.bin_op = ir::BinOp::kEq;
+          cmp.dst = fn.num_vregs++;
+          cmp.src1 = idw.dst;
+          cmp.src2 = expect.dst;
+          head.instrs.push_back(cmp);
+          Instr br;
+          br.kind = InstrKind::kCondBr;
+          br.src1 = cmp.dst;
+          br.label = body;
+          br.false_label = abort_label;
+          head.instrs.push_back(br);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return ir::Verify(*module);
+}
+
+}  // namespace roload::passes

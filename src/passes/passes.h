@@ -1,0 +1,86 @@
+// Hardening passes: the defense applications of Section IV and their
+// software baselines.
+//
+//  * VCallProtectPass  — Section IV-A. Moves vtables into read-only pages
+//    keyed per class group and tags vtable-entry loads with roload-md, so
+//    the backend emits ld.ro for virtual dispatch.
+//  * ICallCfiPass      — Section IV-B. Type-based forward-edge CFI: every
+//    address-taken function gets a GFPT entry in a read-only page keyed by
+//    its function type; function-pointer values become pointers to GFPT
+//    entries; indirect calls load the real target with ld.ro. VTables get
+//    one unified key (the locality optimization the paper describes).
+//  * VTintPass         — the software baseline for VCall: range checks
+//    that vtable pointers fall inside the read-only image before use.
+//  * ClassicCfiPass    — the software baseline for ICall: an ID word (an
+//    architectural no-op) at each function entry, checked before each
+//    indirect call.
+//
+// All passes are deterministic module transforms; they verify their output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "support/status.h"
+
+namespace roload::passes {
+
+// Page-key allocation plan shared by the passes (keys are 10-bit; key 0 is
+// reserved for untagged pages).
+inline constexpr std::uint32_t kUnifiedVtableKey = 1;
+inline constexpr std::uint32_t kVcallClassKeyBase = 100;
+inline constexpr std::uint32_t kIcallTypeKeyBase = 300;
+
+struct VCallProtectOptions {
+  // Number of distinct vtable key groups; classes are assigned round-robin.
+  // The paper's VCall uses per-class keys (groups >= #classes); the
+  // key-locality ablation sweeps this down to 1.
+  unsigned key_groups = 512;
+};
+
+struct ICallCfiOptions {
+  bool harden_vtables = true;  // unified key for vtable loads
+};
+
+struct ClassicCfiOptions {
+  // Per-function-type IDs (the ported fine-grained configuration).
+  std::uint32_t id_base = 0x100;
+};
+
+// Section IV-C: "all allowlist-based defenses can be enhanced by ROLoad".
+// The generic allowlist pass takes an explicit plan: which globals are
+// allowlists (moved into read-only pages with the given keys) and which
+// loads consume them (tagged with roload-md for the matching key). This is
+// the programmable surface behind VCall/ICall, usable for format-string
+// tables, jump tables, configuration blocks, kernel operation structures —
+// any immutable legitimate-value set.
+struct AllowlistRule {
+  std::string global_name;  // the allowlist global to protect
+  std::uint32_t key = 0;    // page key (must be nonzero)
+  // Loads tagged: every kLoad whose trait matches `trait` and whose
+  // trait_id matches `trait_id` (or any id when trait_id < 0).
+  ir::Trait trait = ir::Trait::kNone;
+  int trait_id = -1;
+};
+
+struct AllowlistOptions {
+  std::vector<AllowlistRule> rules;
+};
+
+// Each pass mutates `module` in place.
+Status AllowlistProtectPass(ir::Module* module,
+                            const AllowlistOptions& options);
+Status VCallProtectPass(ir::Module* module,
+                        const VCallProtectOptions& options = {});
+Status ICallCfiPass(ir::Module* module, const ICallCfiOptions& options = {});
+Status VTintPass(ir::Module* module);
+Status ClassicCfiPass(ir::Module* module,
+                      const ClassicCfiOptions& options = {});
+
+// The encoded "lui zero, id" word the classic-CFI check compares against
+// (sign-extended to 64 bits, as an lw of the ID word produces).
+std::int64_t CfiIdWord(std::uint32_t id);
+
+}  // namespace roload::passes

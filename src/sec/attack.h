@@ -1,0 +1,64 @@
+// Attack-injection harness (Section V-C2 and V-D). Models an adversary
+// with an arbitrary-read/write primitive inside the victim process: the
+// victim runs for a while, the harness corrupts memory through the
+// debug port (which bypasses permissions, exactly like a memory-corruption
+// bug), and the run continues. The outcome tells whether the defense
+// blocked the attack, the attacker hijacked control flow, or the attacker
+// merely diverted execution inside the allowlist (the residual
+// pointee-reuse surface the paper's Remarks section describes).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "core/toolchain.h"
+
+namespace roload::sec {
+
+enum class AttackKind : std::uint8_t {
+  // Overwrite the object's vptr with a pointer to a writable fake vtable
+  // containing the address of attacker code (classic vtable injection).
+  kVtableInjection,
+  // Overwrite the vptr with the address of a *legitimate* vtable of a
+  // different class hierarchy (COOP-style vtable reuse).
+  kVtableReuseCrossHierarchy,
+  // Overwrite a function-pointer slot with the raw address of attacker
+  // code (forward-edge hijack).
+  kFnPtrCorruptToEvil,
+  // Overwrite a function-pointer slot with another legitimate target of
+  // the same function type (pointee reuse; allowed by type-based CFI by
+  // design — the paper's residual attack surface).
+  kFnPtrReuseSameType,
+};
+
+std::string_view AttackKindName(AttackKind kind);
+
+enum class AttackOutcome : std::uint8_t {
+  kHijacked,  // attacker code executed (sentinel observed)
+  kBlocked,   // process killed by the defense (fault or CFI abort)
+  kDiverted,  // ran to completion, but computation was altered in-allowlist
+  kNoEffect,  // ran to completion with the unattacked result
+};
+
+std::string_view AttackOutcomeName(AttackOutcome outcome);
+
+struct AttackResult {
+  AttackOutcome outcome = AttackOutcome::kNoEffect;
+  bool roload_violation = false;  // blocked via the ROLoad page-fault path
+  int signal = 0;
+  std::int64_t exit_code = 0;
+};
+
+// The victim program: a loop of virtual dispatches (hierarchy A) and
+// indirect callback calls, with a second hierarchy B (reuse target), a
+// second same-type callback, and an attacker function `evil` that records
+// a sentinel when executed.
+ir::Module MakeVictimModule();
+
+// Builds the victim with `defense`, runs it on `variant`, injects `kind`
+// mid-execution, and classifies the outcome.
+StatusOr<AttackResult> RunAttack(AttackKind kind, core::Defense defense,
+                                 core::SystemVariant variant =
+                                     core::SystemVariant::kFullRoload);
+
+}  // namespace roload::sec

@@ -1,0 +1,13 @@
+#include "support/bits.h"
+
+// Header-only; this translation unit exists so the library has an archive
+// member even when only bits.h is used.
+namespace roload {
+namespace {
+[[maybe_unused]] constexpr std::uint64_t kSelfTest =
+    ExtractBits(0xF0, 7, 4);
+static_assert(kSelfTest == 0xF);
+static_assert(SignExtend(0x800, 12) == -2048);
+static_assert(InsertBits(0, 13, 4, 0x3FF) == (0x3FFu << 4));
+}  // namespace
+}  // namespace roload

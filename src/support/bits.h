@@ -1,0 +1,67 @@
+// Bit-manipulation helpers shared by the ISA encoder/decoder, the MMU and
+// the netlist tooling.
+#pragma once
+
+#include <cstdint>
+
+namespace roload {
+
+// Extracts bits [hi:lo] (inclusive, hi >= lo) of `value`.
+constexpr std::uint64_t ExtractBits(std::uint64_t value, unsigned hi,
+                                    unsigned lo) {
+  const unsigned width = hi - lo + 1;
+  if (width >= 64) return value >> lo;
+  return (value >> lo) & ((std::uint64_t{1} << width) - 1);
+}
+
+// Returns `value` with bits [hi:lo] replaced by the low bits of `field`.
+constexpr std::uint64_t InsertBits(std::uint64_t value, unsigned hi,
+                                   unsigned lo, std::uint64_t field) {
+  const unsigned width = hi - lo + 1;
+  const std::uint64_t mask =
+      width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+  return (value & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+// Sign-extends the low `bits` bits of `value` to 64 bits.
+constexpr std::int64_t SignExtend(std::uint64_t value, unsigned bits) {
+  const unsigned shift = 64 - bits;
+  return static_cast<std::int64_t>(value << shift) >> shift;
+}
+
+// True if `value` fits in a signed `bits`-bit immediate.
+constexpr bool FitsSigned(std::int64_t value, unsigned bits) {
+  const std::int64_t lo = -(std::int64_t{1} << (bits - 1));
+  const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
+  return value >= lo && value <= hi;
+}
+
+// True if `value` fits in an unsigned `bits`-bit immediate.
+constexpr bool FitsUnsigned(std::uint64_t value, unsigned bits) {
+  if (bits >= 64) return true;
+  return value < (std::uint64_t{1} << bits);
+}
+
+constexpr bool IsPowerOfTwo(std::uint64_t value) {
+  return value != 0 && (value & (value - 1)) == 0;
+}
+
+// log2 of a power of two.
+constexpr unsigned Log2(std::uint64_t value) {
+  unsigned result = 0;
+  while (value > 1) {
+    value >>= 1;
+    ++result;
+  }
+  return result;
+}
+
+constexpr std::uint64_t AlignDown(std::uint64_t value, std::uint64_t align) {
+  return value & ~(align - 1);
+}
+
+constexpr std::uint64_t AlignUp(std::uint64_t value, std::uint64_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace roload

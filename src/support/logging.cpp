@@ -1,0 +1,35 @@
+#include "support/logging.h"
+
+#include <cstdio>
+
+namespace roload {
+namespace {
+LogLevel g_level = LogLevel::kWarning;
+
+std::string_view LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+void LogMessage(LogLevel level, std::string_view message) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%.*s] %.*s\n",
+               static_cast<int>(LevelName(level).size()),
+               LevelName(level).data(), static_cast<int>(message.size()),
+               message.data());
+}
+
+}  // namespace roload

@@ -1,0 +1,37 @@
+// Minimal leveled logging. Default level is kWarning so simulations stay
+// quiet; tests and tools may raise verbosity.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace roload {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+void LogMessage(LogLevel level, std::string_view message);
+
+// Stream-style log statement: ROLOAD_LOG(kInfo) << "tlb miss at " << addr;
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+#define ROLOAD_LOG(level)                                  \
+  if (::roload::GetLogLevel() <= ::roload::LogLevel::level) \
+  ::roload::LogStream(::roload::LogLevel::level)
+
+}  // namespace roload

@@ -1,0 +1,48 @@
+#include "support/rng.h"
+
+#include "support/status.h"
+
+namespace roload {
+
+std::uint64_t Rng::NextU64() {
+  state_ += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rng::NextBelow(std::uint64_t bound) {
+  ROLOAD_CHECK(bound > 0);
+  // Modulo bias is negligible for the bounds used here (<< 2^32).
+  return NextU64() % bound;
+}
+
+std::int64_t Rng::NextInRange(std::int64_t lo, std::int64_t hi) {
+  ROLOAD_CHECK(lo <= hi);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<std::int64_t>(NextBelow(span));
+}
+
+bool Rng::NextPercent(unsigned percent) {
+  return NextBelow(100) < percent;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+std::size_t Rng::NextWeighted(const std::vector<unsigned>& weights) {
+  std::uint64_t total = 0;
+  for (unsigned w : weights) total += w;
+  ROLOAD_CHECK(total > 0);
+  std::uint64_t pick = NextBelow(total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (pick < weights[i]) return i;
+    pick -= weights[i];
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace roload

@@ -1,0 +1,38 @@
+// Deterministic pseudo-random number generation. All stochastic choices in
+// workload generation and attack injection flow through SplitMix64 so runs
+// are reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace roload {
+
+// SplitMix64: tiny, fast, and deterministic across platforms (unlike
+// std::mt19937 paired with std::uniform_int_distribution).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t NextU64();
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi);
+
+  // True with probability `percent`/100.
+  bool NextPercent(unsigned percent);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Picks an index according to integer weights (sum must be > 0).
+  std::size_t NextWeighted(const std::vector<unsigned>& weights);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace roload

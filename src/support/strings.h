@@ -1,0 +1,28 @@
+// Small string utilities used by the assembler and the IR printer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace roload {
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+// Splits on `sep`, optionally keeping empty fields.
+std::vector<std::string_view> SplitString(std::string_view text, char sep,
+                                          bool keep_empty = false);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Parses a signed integer with optional 0x/0b prefix and leading '-'.
+std::optional<std::int64_t> ParseInt(std::string_view text);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace roload

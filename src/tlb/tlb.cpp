@@ -1,0 +1,166 @@
+#include "tlb/tlb.h"
+
+#include "support/status.h"
+
+namespace roload::tlb {
+
+bool RoLoadCheck(bool readable, bool writable, std::uint32_t page_key,
+                 std::uint32_t inst_key) {
+  return readable && !writable && page_key == inst_key;
+}
+
+Tlb::Tlb(const TlbConfig& config, mem::PhysMemory* memory)
+    : config_(config), memory_(memory), walker_(memory) {
+  ROLOAD_CHECK(config.entries > 0);
+  entries_.resize(config.entries);
+}
+
+std::optional<isa::TrapCause> Tlb::CheckPermissions(const mem::Pte& pte,
+                                                    AccessType access,
+                                                    std::uint32_t key,
+                                                    TlbStats* stats) {
+  // Conventional permission-control logic.
+  switch (access) {
+    case AccessType::kFetch:
+      if (!pte.executable() || !pte.user()) {
+        ++stats->permission_faults;
+        return isa::TrapCause::kInstructionPageFault;
+      }
+      return std::nullopt;
+    case AccessType::kStore:
+      if (!pte.writable() || !pte.user()) {
+        ++stats->permission_faults;
+        return isa::TrapCause::kStorePageFault;
+      }
+      return std::nullopt;
+    case AccessType::kLoad:
+      if (!pte.readable() || !pte.user()) {
+        ++stats->permission_faults;
+        return isa::TrapCause::kLoadPageFault;
+      }
+      return std::nullopt;
+    case AccessType::kRoLoad: {
+      // The ROLoad check runs in parallel with the conventional read check
+      // and the two outputs are ANDed; a failure of either raises the
+      // ROLoad page fault that the kernel distinguishes from benign loads.
+      const bool base_ok = pte.readable() && pte.user();
+      const bool ro_ok =
+          RoLoadCheck(pte.readable(), pte.writable(), pte.key(), key);
+      if (base_ok && ro_ok) return std::nullopt;
+      if (!base_ok || pte.writable()) {
+        ++stats->roload_writable_faults;
+      } else {
+        ++stats->roload_key_faults;
+      }
+      return isa::TrapCause::kRoLoadPageFault;
+    }
+  }
+  return isa::TrapCause::kLoadPageFault;
+}
+
+Tlb::Entry* Tlb::LookupEntry(std::uint64_t vpn, std::uint64_t root_ppn) {
+  if (last_entry_ != nullptr && last_entry_->valid &&
+      last_entry_->vpn == vpn && last_entry_->asid_root == root_ppn) {
+    return last_entry_;
+  }
+  for (Entry& entry : entries_) {
+    if (entry.valid && entry.vpn == vpn && entry.asid_root == root_ppn) {
+      last_entry_ = &entry;
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+void Tlb::InsertEntry(std::uint64_t vpn, std::uint64_t root_ppn,
+                      const mem::Pte& pte, std::uint64_t phys_page) {
+  Entry* victim = nullptr;
+  for (Entry& entry : entries_) {
+    if (!entry.valid) {
+      victim = &entry;
+      break;
+    }
+    if (victim == nullptr || entry.lru_tick < victim->lru_tick) {
+      victim = &entry;
+    }
+  }
+  victim->valid = true;
+  victim->vpn = vpn;
+  victim->asid_root = root_ppn;
+  victim->pte = pte;
+  victim->phys_page = phys_page;
+  victim->lru_tick = ++tick_;
+}
+
+TlbResult Tlb::Translate(std::uint64_t root_ppn, std::uint64_t virt_addr,
+                         AccessType access, std::uint32_t key) {
+  TlbResult result;
+  const std::uint64_t vpn = virt_addr >> mem::kPageShift;
+  const std::uint64_t offset = virt_addr & (mem::kPageSize - 1);
+
+  Entry* entry = LookupEntry(vpn, root_ppn);
+  if (entry != nullptr) {
+    ++stats_.hits;
+    entry->lru_tick = ++tick_;
+    if (auto cause = CheckPermissions(entry->pte, access, key, &stats_)) {
+      result.ok = false;
+      result.cause = *cause;
+      return result;
+    }
+    result.ok = true;
+    result.phys_addr = (entry->phys_page << mem::kPageShift) + offset;
+    result.cycles = 0;
+    return result;
+  }
+
+  ++stats_.misses;
+  auto walk = walker_.Walk(root_ppn, virt_addr);
+  const unsigned walk_cycles =
+      config_.walk_cycles_per_level *
+      (walk ? walker_.last_walk_accesses() : mem::kSv39Levels);
+  if (!walk) {
+    result.ok = false;
+    result.cycles = walk_cycles;
+    switch (access) {
+      case AccessType::kFetch:
+        result.cause = isa::TrapCause::kInstructionPageFault;
+        break;
+      case AccessType::kStore:
+        result.cause = isa::TrapCause::kStorePageFault;
+        break;
+      case AccessType::kLoad:
+        result.cause = isa::TrapCause::kLoadPageFault;
+        break;
+      case AccessType::kRoLoad:
+        // An unmapped page can never satisfy the read-only+key requirement.
+        result.cause = isa::TrapCause::kRoLoadPageFault;
+        ++stats_.roload_writable_faults;
+        break;
+    }
+    return result;
+  }
+
+  // Refill at 4 KiB granularity (superpages are fragmented on refill, like
+  // simple L1 TLBs do).
+  const std::uint64_t phys_page = walk->phys_addr >> mem::kPageShift;
+  InsertEntry(vpn, root_ppn, walk->pte, phys_page);
+
+  if (auto cause = CheckPermissions(walk->pte, access, key, &stats_)) {
+    result.ok = false;
+    result.cycles = walk_cycles;
+    result.cause = *cause;
+    return result;
+  }
+  result.ok = true;
+  result.phys_addr = walk->phys_addr;
+  result.cycles = walk_cycles;
+  return result;
+}
+
+void Tlb::Flush() {
+  for (Entry& entry : entries_) entry.valid = false;
+  last_entry_ = nullptr;
+  ++stats_.flushes;
+}
+
+}  // namespace roload::tlb

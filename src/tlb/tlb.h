@@ -1,0 +1,112 @@
+// TLB model with the ROLoad extension: every entry carries the page key in
+// addition to the permission bits, and the lookup performs the conventional
+// permission check and the ROLoad read-only+key check in parallel (their
+// outputs are ANDed), mirroring the "light extra logic" added to the Rocket
+// Chip TLB class.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "isa/traps.h"
+#include "mem/page_table.h"
+
+namespace roload::tlb {
+
+// The kind of memory operation requesting translation. kRoLoad is the new
+// memory-operation type the ROLoad decoder issues (the analogue of the new
+// entry in Rocket's MemoryOpConstants).
+enum class AccessType : std::uint8_t {
+  kFetch,
+  kLoad,
+  kStore,
+  kRoLoad,
+};
+
+struct TlbConfig {
+  unsigned entries = 32;       // 32-entry I-TLB / D-TLB (Table II)
+  unsigned ways = 32;          // fully associative by default
+  // Cycles charged per page-table level on a miss (memory access latency
+  // is charged separately by the cache model in the CPU; this is the
+  // walker's own latency).
+  unsigned walk_cycles_per_level = 20;
+};
+
+struct TlbStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t permission_faults = 0;
+  std::uint64_t roload_key_faults = 0;
+  std::uint64_t roload_writable_faults = 0;
+};
+
+// Translation outcome: either a physical address (plus cycle cost) or a trap.
+struct TlbResult {
+  bool ok = false;
+  std::uint64_t phys_addr = 0;
+  unsigned cycles = 0;  // extra cycles spent (0 on a hit)
+  isa::TrapCause cause = isa::TrapCause::kLoadPageFault;
+};
+
+// One TLB: tag + leaf PTE copy (permissions and key). Used for both the
+// I-side and D-side TLBs.
+class Tlb {
+ public:
+  Tlb(const TlbConfig& config, mem::PhysMemory* memory);
+
+  // Translates `virt_addr` for `access` under root page table `root_ppn`.
+  // `key` is only consulted for AccessType::kRoLoad.
+  TlbResult Translate(std::uint64_t root_ppn, std::uint64_t virt_addr,
+                      AccessType access, std::uint32_t key);
+
+  // Invalidates all entries (sfence.vma analogue). Must be called by the
+  // kernel model after any PTE change.
+  void Flush();
+
+  const TlbStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = TlbStats{}; }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    std::uint64_t vpn = 0;       // virtual page number (4 KiB granularity)
+    std::uint64_t asid_root = 0; // root ppn acts as the ASID in this model
+    mem::Pte pte;
+    std::uint64_t phys_page = 0;
+    std::uint64_t lru_tick = 0;
+  };
+
+  // The permission-check datapath (conventional + ROLoad in parallel).
+  // Returns nullopt when access is allowed, else the trap cause.
+  static std::optional<isa::TrapCause> CheckPermissions(
+      const mem::Pte& pte, AccessType access, std::uint32_t key,
+      TlbStats* stats);
+
+  Entry* LookupEntry(std::uint64_t vpn, std::uint64_t root_ppn);
+  void InsertEntry(std::uint64_t vpn, std::uint64_t root_ppn,
+                   const mem::Pte& pte, std::uint64_t phys_page);
+
+  // Simulation fast path (no architectural effect): most lookups hit the
+  // same page as the previous one, so cache the last matched entry and
+  // self-validate it before the associative scan.
+  Entry* last_entry_ = nullptr;
+
+  TlbConfig config_;
+  mem::PhysMemory* memory_;
+  mem::PageWalker walker_;
+  std::vector<Entry> entries_;
+  std::uint64_t tick_ = 0;
+  TlbStats stats_;
+};
+
+// Pure function exposing the ROLoad check logic in isolation; also used by
+// the hardware cost model's functional-equivalence tests (the netlist in
+// src/hw implements exactly this boolean function).
+//
+// allowed = readable && !writable && (page_key == inst_key)
+bool RoLoadCheck(bool readable, bool writable, std::uint32_t page_key,
+                 std::uint32_t inst_key);
+
+}  // namespace roload::tlb

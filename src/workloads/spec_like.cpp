@@ -1,0 +1,520 @@
+#include "workloads/spec_like.h"
+
+#include "ir/builder.h"
+#include "support/rng.h"
+#include "support/status.h"
+#include "support/strings.h"
+
+namespace roload::workloads {
+namespace {
+
+// Objects per class hierarchy in the generated object pools.
+constexpr unsigned kObjectsPerHierarchy = 64;
+// Entries per function-pointer callback table.
+constexpr unsigned kCallbackSlots = 32;
+// Fraction (percent) of memory ops that stay inside the hot window.
+constexpr unsigned kHotAccessPercent = 85;
+constexpr std::uint64_t kHotWindowBytes = 64 * 1024;
+// Ops per generated phase function (bounds frame size).
+constexpr unsigned kOpsPerPhase = 16;
+
+// The op menu for the hot loop.
+enum class OpKind : unsigned {
+  kArith = 0,
+  kMem,
+  kBranch,
+  kCall,
+  kICall,
+  kVCall,
+};
+
+std::string VcallTypeName() { return "i64(ptr,i64)"; }
+std::string CbTypeName(unsigned type) {
+  return StrFormat("i64(i64)#cb%u", type);
+}
+
+class Generator {
+ public:
+  explicit Generator(const WorkloadSpec& spec)
+      : spec_(spec), rng_(spec.seed * 0x9E3779B1u + 0x1234567) {}
+
+  ir::Module Run();
+
+ private:
+  void EmitGlobals();
+  void EmitMethods();
+  void EmitCallbacks();
+  void EmitHelpers();
+  // Returns the names of the emitted phase functions.
+  std::vector<std::string> EmitPhases();
+  // Cold startup functions; returns their names.
+  std::vector<std::string> EmitColdFns();
+  void EmitStep(const std::vector<std::string>& phases);
+  void EmitMain(const std::vector<std::string>& cold_fns);
+
+  // Op emitters; take and return the running value vreg.
+  int EmitArith(ir::FunctionBuilder& b, int v);
+  int EmitMem(ir::FunctionBuilder& b, int v);
+  int EmitBranch(ir::FunctionBuilder& b, int v);
+  int EmitCall(ir::FunctionBuilder& b, int v);
+  int EmitICall(ir::FunctionBuilder& b, int v);
+  int EmitVCall(ir::FunctionBuilder& b, int v);
+
+  std::uint64_t DataMask() const {
+    // data size is a power of two >= 4 KiB.
+    return spec_.data_kib * 1024 - 1;
+  }
+
+  WorkloadSpec spec_;
+  Rng rng_;
+  ir::Module module_;
+  unsigned label_counter_ = 0;
+};
+
+void Generator::EmitGlobals() {
+  // Main working set.
+  ir::Global data;
+  data.name = "data";
+  data.read_only = false;
+  data.zero_bytes = spec_.data_kib * 1024;
+  module_.globals.push_back(std::move(data));
+
+  // Scratch slots for loop variables and branch joins.
+  ir::Global scratch;
+  scratch.name = "scratch";
+  scratch.read_only = false;
+  scratch.zero_bytes = 256;
+  module_.globals.push_back(std::move(scratch));
+
+  // C++ object pools and vtables (trait_id = hierarchy id: every class in
+  // one hierarchy shares the same "static type" for grouping purposes).
+  for (unsigned h = 0; h < spec_.hierarchies; ++h) {
+    const int hier_id = module_.InternClass(StrFormat("Hier%u", h));
+    for (unsigned c = 0; c < spec_.classes_per_hierarchy; ++c) {
+      ir::Global vtable;
+      vtable.name = StrFormat("vt_%u_%u", h, c);
+      vtable.read_only = true;
+      vtable.trait = ir::GlobalTrait::kVTable;
+      vtable.trait_id = hier_id;
+      for (unsigned s = 0; s < spec_.vtable_slots; ++s) {
+        vtable.quads.push_back(
+            ir::GlobalInit{0, StrFormat("m_%u_%u_%u", h, s, c)});
+      }
+      module_.globals.push_back(std::move(vtable));
+    }
+
+    ir::Global pool;
+    pool.name = StrFormat("pool_%u", h);
+    pool.read_only = false;
+    for (unsigned o = 0; o < kObjectsPerHierarchy; ++o) {
+      const unsigned c = o % spec_.classes_per_hierarchy;
+      pool.quads.push_back(ir::GlobalInit{0, StrFormat("vt_%u_%u", h, c)});
+      pool.quads.push_back(
+          ir::GlobalInit{static_cast<std::int64_t>(o * 3 + 1), ""});
+    }
+    module_.globals.push_back(std::move(pool));
+  }
+
+  // Callback tables: writable arrays of function pointers (one per type).
+  for (unsigned t = 0; t < spec_.fn_types; ++t) {
+    ir::Global table;
+    table.name = StrFormat("cb_%u", t);
+    table.read_only = false;
+    for (unsigned k = 0; k < kCallbackSlots; ++k) {
+      table.quads.push_back(ir::GlobalInit{
+          0, StrFormat("cbfn_%u_%u", t, k % spec_.fns_per_type)});
+    }
+    module_.globals.push_back(std::move(table));
+  }
+}
+
+void Generator::EmitMethods() {
+  for (unsigned h = 0; h < spec_.hierarchies; ++h) {
+    for (unsigned s = 0; s < spec_.vtable_slots; ++s) {
+      for (unsigned c = 0; c < spec_.classes_per_hierarchy; ++c) {
+        ir::FunctionBuilder b(&module_, StrFormat("m_%u_%u_%u", h, s, c),
+                              VcallTypeName(), 2);
+        // field = obj->field; return x*K + field + distinct constant
+        const int field = b.Load(b.Param(0), 8);
+        const int scaled =
+            b.BinImm(ir::BinOp::kMul, b.Param(1),
+                     static_cast<std::int64_t>(2 * s + 3));
+        const int sum = b.Bin(ir::BinOp::kAdd, scaled, field);
+        b.Ret(b.BinImm(ir::BinOp::kXor, sum,
+                       static_cast<std::int64_t>(h * 131 + s * 17 + c * 7)));
+      }
+    }
+  }
+}
+
+void Generator::EmitCallbacks() {
+  for (unsigned t = 0; t < spec_.fn_types; ++t) {
+    for (unsigned k = 0; k < spec_.fns_per_type; ++k) {
+      ir::FunctionBuilder b(&module_, StrFormat("cbfn_%u_%u", t, k),
+                            CbTypeName(t), 1);
+      const int mixed = b.BinImm(ir::BinOp::kMul, b.Param(0),
+                                 static_cast<std::int64_t>(2 * k + 5));
+      b.Ret(b.BinImm(ir::BinOp::kAdd, mixed,
+                     static_cast<std::int64_t>(t * 101 + k * 13)));
+    }
+  }
+}
+
+void Generator::EmitHelpers() {
+  for (unsigned j = 0; j < spec_.helper_fns; ++j) {
+    ir::FunctionBuilder b(&module_, StrFormat("helper_%u", j), "i64(i64)",
+                          1);
+    const int a = b.BinImm(ir::BinOp::kXor, b.Param(0),
+                           static_cast<std::int64_t>(j * 73 + 11));
+    const int c = b.BinImm(ir::BinOp::kShl, a, static_cast<std::int64_t>(
+                                                   (j % 3) + 1));
+    b.Ret(b.Bin(ir::BinOp::kAdd, a, c));
+  }
+}
+
+int Generator::EmitArith(ir::FunctionBuilder& b, int v) {
+  static constexpr ir::BinOp kOps[] = {ir::BinOp::kAdd, ir::BinOp::kXor,
+                                       ir::BinOp::kMul, ir::BinOp::kSub,
+                                       ir::BinOp::kOr};
+  for (int n = 0; n < 3; ++n) {
+    const ir::BinOp op = kOps[rng_.NextBelow(5)];
+    const std::int64_t imm = rng_.NextInRange(3, 1000) | 1;
+    v = b.BinImm(op, v, imm);
+  }
+  return v;
+}
+
+int Generator::EmitMem(ir::FunctionBuilder& b, int v) {
+  // addr = &data[hash(v) & mask & ~7]. Most accesses stay inside a hot
+  // window (real integer codes have strong locality); a minority roam the
+  // whole working set.
+  const std::uint64_t window =
+      rng_.NextPercent(kHotAccessPercent)
+          ? (kHotWindowBytes - 1) & DataMask()
+          : DataMask();
+  const int hashed = b.BinImm(ir::BinOp::kMul, v, 0x5E3779B1);
+  const int masked = b.BinImm(
+      ir::BinOp::kAnd, hashed,
+      static_cast<std::int64_t>(window & ~std::uint64_t{7}));
+  const int base = b.AddrOf("data");
+  const int addr = b.Bin(ir::BinOp::kAdd, base, masked);
+  const int value = b.Load(addr);
+  v = b.Bin(ir::BinOp::kAdd, v, value);
+  if (rng_.NextPercent(50)) {
+    b.Store(addr, v);
+  }
+  return v;
+}
+
+int Generator::EmitBranch(ir::FunctionBuilder& b, int v) {
+  const std::string arm_t = StrFormat("bt%u", label_counter_);
+  const std::string arm_f = StrFormat("bf%u", label_counter_);
+  const std::string join = StrFormat("bj%u", label_counter_);
+  ++label_counter_;
+
+  const int scratch = b.AddrOf("scratch");
+  b.Store(scratch, v, 16);
+  const int cond = b.BinImm(ir::BinOp::kAnd, v, 1);
+  b.CondBr(cond, arm_t, arm_f);
+
+  b.SetBlock(arm_t);
+  {
+    const int s = b.AddrOf("scratch");
+    const int x = b.Load(s, 16);
+    const int y = b.BinImm(ir::BinOp::kAdd, x,
+                           rng_.NextInRange(1, 127));
+    b.Store(s, y, 16);
+    b.Br(join);
+  }
+  b.SetBlock(arm_f);
+  {
+    const int s = b.AddrOf("scratch");
+    const int x = b.Load(s, 16);
+    const int y = b.BinImm(ir::BinOp::kXor, x,
+                           rng_.NextInRange(1, 127));
+    b.Store(s, y, 16);
+    b.Br(join);
+  }
+  b.SetBlock(join);
+  const int s = b.AddrOf("scratch");
+  return b.Load(s, 16);
+}
+
+int Generator::EmitCall(ir::FunctionBuilder& b, int v) {
+  const unsigned j = static_cast<unsigned>(rng_.NextBelow(spec_.helper_fns));
+  const int r = b.Call(StrFormat("helper_%u", j), {v});
+  return b.Bin(ir::BinOp::kXor, v, r);
+}
+
+int Generator::EmitICall(ir::FunctionBuilder& b, int v) {
+  const unsigned t = static_cast<unsigned>(rng_.NextBelow(spec_.fn_types));
+  const int type_id = module_.InternFnType(CbTypeName(t));
+  // idx = (v >> 3) & (slots-1); slot = &cb_t[idx]
+  const int shifted = b.BinImm(ir::BinOp::kShr, v, 3);
+  const int idx = b.BinImm(ir::BinOp::kAnd, shifted, kCallbackSlots - 1);
+  const int byte_off = b.BinImm(ir::BinOp::kShl, idx, 3);
+  const int base = b.AddrOf(StrFormat("cb_%u", t));
+  const int slot = b.Bin(ir::BinOp::kAdd, base, byte_off);
+  const int fn = b.Load(slot, 0, 8, ir::Trait::kFnPtrLoad, type_id);
+  const int r = b.ICall(fn, {v}, type_id);
+  return b.Bin(ir::BinOp::kAdd, v, r);
+}
+
+int Generator::EmitVCall(ir::FunctionBuilder& b, int v) {
+  const unsigned h = static_cast<unsigned>(rng_.NextBelow(spec_.hierarchies));
+  const int hier_id = module_.InternClass(StrFormat("Hier%u", h));
+  const unsigned slot =
+      static_cast<unsigned>(rng_.NextBelow(spec_.vtable_slots));
+  const int vcall_type = module_.InternFnType(VcallTypeName());
+
+  // obj = &pool_h[(v >> 4) & (N-1)]  (objects are 16 bytes)
+  const int shifted = b.BinImm(ir::BinOp::kShr, v, 4);
+  const int idx =
+      b.BinImm(ir::BinOp::kAnd, shifted, kObjectsPerHierarchy - 1);
+  const int byte_off = b.BinImm(ir::BinOp::kShl, idx, 4);
+  const int base = b.AddrOf(StrFormat("pool_%u", h));
+  const int obj = b.Bin(ir::BinOp::kAdd, base, byte_off);
+
+  // The C++ dispatch sequence: vptr load, vtable-entry load, indirect call.
+  const int vptr = b.Load(obj, 0, 8, ir::Trait::kVPtrLoad, hier_id);
+  const int fn = b.Load(vptr, static_cast<std::int64_t>(8 * slot), 8,
+                        ir::Trait::kVTableEntryLoad, hier_id);
+  const int r = b.ICall(fn, {obj, v}, vcall_type, /*has_result=*/true,
+                        /*is_vcall=*/true);
+  return b.Bin(ir::BinOp::kXor, v, r);
+}
+
+std::vector<std::string> Generator::EmitPhases() {
+  std::vector<unsigned> weights = {spec_.arith_weight, spec_.mem_weight,
+                                   spec_.branch_weight, spec_.call_weight,
+                                   spec_.icall_weight, spec_.vcall_weight};
+  const unsigned phases =
+      (spec_.ops_per_step + kOpsPerPhase - 1) / kOpsPerPhase;
+  std::vector<std::string> names;
+  unsigned ops_left = spec_.ops_per_step;
+  for (unsigned p = 0; p < phases; ++p) {
+    const std::string name = StrFormat("phase_%u", p);
+    names.push_back(name);
+    ir::FunctionBuilder b(&module_, name, "i64(i64)", 1);
+    int v = b.Param(0);
+    const unsigned ops = ops_left < kOpsPerPhase ? ops_left : kOpsPerPhase;
+    ops_left -= ops;
+    for (unsigned i = 0; i < ops; ++i) {
+      switch (static_cast<OpKind>(rng_.NextWeighted(weights))) {
+        case OpKind::kArith:
+          v = EmitArith(b, v);
+          break;
+        case OpKind::kMem:
+          v = EmitMem(b, v);
+          break;
+        case OpKind::kBranch:
+          v = EmitBranch(b, v);
+          break;
+        case OpKind::kCall:
+          v = EmitCall(b, v);
+          break;
+        case OpKind::kICall:
+          v = spec_.icall_weight > 0 ? EmitICall(b, v) : EmitArith(b, v);
+          break;
+        case OpKind::kVCall:
+          v = spec_.vcall_weight > 0 ? EmitVCall(b, v) : EmitArith(b, v);
+          break;
+      }
+    }
+    b.Ret(v);
+  }
+  return names;
+}
+
+std::vector<std::string> Generator::EmitColdFns() {
+  // Cold bodies bias toward the dispatch ops so they carry most of the
+  // program's *static* vcall/icall sites, as in real C++ code bases.
+  std::vector<unsigned> weights = {2, 2, 2, 2,
+                                   spec_.icall_weight > 0 ? 5u : 0u,
+                                   spec_.vcall_weight > 0 ? 5u : 0u};
+  std::vector<std::string> names;
+  for (unsigned f = 0; f < spec_.cold_fns; ++f) {
+    const std::string name = StrFormat("cold_%u", f);
+    names.push_back(name);
+    ir::FunctionBuilder b(&module_, name, "i64(i64)", 1);
+    int v = b.Param(0);
+    for (unsigned i = 0; i < spec_.cold_ops_per_fn; ++i) {
+      switch (static_cast<OpKind>(rng_.NextWeighted(weights))) {
+        case OpKind::kArith:
+          v = EmitArith(b, v);
+          break;
+        case OpKind::kMem:
+          v = EmitMem(b, v);
+          break;
+        case OpKind::kBranch:
+          v = EmitBranch(b, v);
+          break;
+        case OpKind::kCall:
+          v = EmitCall(b, v);
+          break;
+        case OpKind::kICall:
+          v = spec_.icall_weight > 0 ? EmitICall(b, v) : EmitArith(b, v);
+          break;
+        case OpKind::kVCall:
+          v = spec_.vcall_weight > 0 ? EmitVCall(b, v) : EmitArith(b, v);
+          break;
+      }
+    }
+    b.Ret(v);
+  }
+  return names;
+}
+
+void Generator::EmitStep(const std::vector<std::string>& phases) {
+  ir::FunctionBuilder b(&module_, "kernel_step", "i64(i64,i64)", 2);
+  int v = b.Bin(ir::BinOp::kAdd, b.Param(0), b.Param(1));
+  for (const std::string& phase : phases) {
+    v = b.Call(phase, {v});
+  }
+  b.Ret(v);
+}
+
+void Generator::EmitMain(const std::vector<std::string>& cold_fns) {
+  ir::FunctionBuilder b(&module_, "main", "i64()", 0);
+  // Startup: run each cold function once.
+  {
+    const int s = b.AddrOf("scratch");
+    int warm = b.Const(static_cast<std::int64_t>(spec_.seed * 7 + 5));
+    for (const std::string& cold : cold_fns) {
+      warm = b.Call(cold, {warm});
+    }
+    b.Store(s, warm, 24);
+  }
+  // scratch[0] = i = 0 ; scratch[8] = acc = seed
+  {
+    const int s = b.AddrOf("scratch");
+    b.Store(s, b.Const(0), 0);
+    b.Store(s, b.Const(static_cast<std::int64_t>(spec_.seed | 1)), 8);
+    b.Br("loop_head");
+  }
+  b.SetBlock("loop_head");
+  {
+    const int s = b.AddrOf("scratch");
+    const int i = b.Load(s, 0);
+    const int cond = b.BinImm(ir::BinOp::kSltu, i,
+                              static_cast<std::int64_t>(spec_.iterations));
+    b.CondBr(cond, "loop_body", "done");
+  }
+  b.SetBlock("loop_body");
+  {
+    const int s = b.AddrOf("scratch");
+    const int i = b.Load(s, 0);
+    const int acc = b.Load(s, 8);
+    const int next = b.Call("kernel_step", {i, acc});
+    b.Store(s, next, 8);
+    b.Store(s, b.BinImm(ir::BinOp::kAdd, i, 1), 0);
+    b.Br("loop_head");
+  }
+  b.SetBlock("done");
+  {
+    const int s = b.AddrOf("scratch");
+    const int acc = b.Load(s, 8);
+    const int warm = b.Load(s, 24);
+    const int mix = b.Bin(ir::BinOp::kXor, acc, warm);
+    b.Ret(b.BinImm(ir::BinOp::kAnd, mix, 63));
+  }
+}
+
+ir::Module Generator::Run() {
+  module_.name = spec_.name;
+  // Intern the shared types first so ids are stable across workloads.
+  module_.InternFnType(VcallTypeName());
+  EmitGlobals();
+  EmitMethods();
+  EmitCallbacks();
+  EmitHelpers();
+  EmitStep(EmitPhases());
+  EmitMain(EmitColdFns());
+  module_.RecomputeAddressTaken();
+  ROLOAD_CHECK(ir::Verify(module_).ok());
+  return std::move(module_);
+}
+
+WorkloadSpec CStyle(const std::string& name, unsigned icall_weight,
+                    unsigned mem_weight, std::uint64_t data_kib,
+                    std::uint64_t iterations, std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.name = name;
+  spec.is_cpp = false;
+  spec.icall_weight = icall_weight;
+  spec.mem_weight = mem_weight;
+  spec.data_kib = data_kib;
+  spec.iterations = iterations;
+  spec.seed = seed;
+  spec.fn_types = 6;
+  spec.fns_per_type = 16;
+  return spec;
+}
+
+WorkloadSpec CppStyle(const std::string& name, unsigned vcall_weight,
+                      unsigned icall_weight, unsigned hierarchies,
+                      unsigned classes, std::uint64_t data_kib,
+                      std::uint64_t iterations, std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.name = name;
+  spec.is_cpp = true;
+  spec.hierarchies = hierarchies;
+  spec.classes_per_hierarchy = classes;
+  spec.vcall_weight = vcall_weight;
+  spec.icall_weight = icall_weight;
+  spec.data_kib = data_kib;
+  spec.iterations = iterations;
+  spec.seed = seed;
+  spec.fn_types = 6;
+  spec.fns_per_type = 16;
+  // C++ code bases carry many static dispatch sites relative to their hot
+  // set (xalancbmk has thousands); the cold region models that.
+  spec.cold_fns = 48;
+  spec.cold_ops_per_fn = 14;
+  return spec;
+}
+
+}  // namespace
+
+ir::Module Generate(const WorkloadSpec& spec) {
+  Generator generator(spec);
+  return generator.Run();
+}
+
+std::vector<WorkloadSpec> SpecCint2006Suite(double scale) {
+  // Densities chosen to mirror the published per-benchmark profile:
+  // icall-heavy C programs (gcc/sjeng/hmmer analogues) show the largest
+  // classic-CFI overheads; pointer-chasing memory-bound programs (mcf,
+  // libquantum) are dominated by cache misses; the three C++ programs
+  // carry the virtual-call load for Figure 3.
+  auto it = [scale](std::uint64_t n) {
+    const double scaled = static_cast<double>(n) * scale;
+    return scaled < 64 ? std::uint64_t{64} : static_cast<std::uint64_t>(scaled);
+  };
+  std::vector<WorkloadSpec> suite;
+  suite.push_back(CStyle("401.bzip2_like", 2, 10, 16384, it(2400), 401));
+  suite.push_back(CStyle("403.gcc_like", 9, 6, 12288, it(2200), 403));
+  suite.push_back(CStyle("429.mcf_like", 0, 14, 32768, it(2000), 429));
+  suite.push_back(CStyle("445.gobmk_like", 4, 6, 8192, it(2400), 445));
+  suite.push_back(CStyle("456.hmmer_like", 7, 8, 12288, it(2400), 456));
+  suite.push_back(CStyle("458.sjeng_like", 9, 5, 8192, it(2600), 458));
+  suite.push_back(CStyle("462.libquantum_like", 0, 12, 16384, it(2400), 462));
+  suite.push_back(CStyle("464.h264ref_like", 4, 9, 12288, it(2400), 464));
+  suite.push_back(
+      CppStyle("471.omnetpp_like", 1, 3, 4, 5, 12288, it(2200), 471));
+  suite.push_back(
+      CppStyle("473.astar_like", 1, 1, 3, 4, 16384, it(2400), 473));
+  suite.push_back(
+      CppStyle("483.xalancbmk_like", 2, 3, 6, 6, 12288, it(2000), 483));
+  return suite;
+}
+
+std::vector<WorkloadSpec> SpecCppSubset(double scale) {
+  std::vector<WorkloadSpec> cpp;
+  for (WorkloadSpec& spec : SpecCint2006Suite(scale)) {
+    if (spec.is_cpp) cpp.push_back(std::move(spec));
+  }
+  return cpp;
+}
+
+}  // namespace roload::workloads

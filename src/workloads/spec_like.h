@@ -1,0 +1,69 @@
+// SPEC CINT2006-like workload generators.
+//
+// The paper evaluates on SPEC CINT2006 (reference inputs, ~6 days per
+// experiment on a 125 MHz FPGA). We cannot ship SPEC, so we generate
+// synthetic benchmarks with the same *character*: the same count (11, with
+// 400.perlbench excluded as in the paper), the same language split (3
+// C++-style programs with class hierarchies and virtual calls; the rest
+// C-style with varying indirect-call usage), and per-benchmark densities of
+// virtual calls, indirect calls, memory traffic and arithmetic tuned to the
+// published overhead profile. Runs are scaled to tens of millions of
+// simulated instructions; all evaluation numbers are relative overheads,
+// as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace roload::workloads {
+
+struct WorkloadSpec {
+  std::string name;
+  bool is_cpp = false;
+
+  // Static structure.
+  unsigned hierarchies = 0;           // C++ class hierarchies
+  unsigned classes_per_hierarchy = 0; // concrete classes per hierarchy
+  unsigned vtable_slots = 4;          // virtual methods per class
+  unsigned fn_types = 4;              // distinct function-pointer types
+  unsigned fns_per_type = 6;          // address-taken functions per type
+  unsigned helper_fns = 8;            // direct-call helpers
+
+  // Dynamic mix: relative weights of the op kinds inside the hot loop.
+  unsigned arith_weight = 10;
+  unsigned mem_weight = 6;
+  unsigned branch_weight = 4;
+  unsigned call_weight = 3;
+  unsigned icall_weight = 0;
+  unsigned vcall_weight = 0;
+
+  unsigned ops_per_step = 32;   // ops in the hot-loop body
+  std::uint64_t iterations = 20000;  // hot-loop trip count
+  std::uint64_t data_kib = 4096;     // working-set size
+  std::uint64_t seed = 1;
+
+  // Cold code: functions executed once during startup. Real programs have
+  // far more *static* call/dispatch sites than hot ones; these carry the
+  // static code-size effects of instrumentation (VTint/CFI checks, CFI ID
+  // words, GFPT entries) without changing the dynamic op mix.
+  unsigned cold_fns = 12;
+  unsigned cold_ops_per_fn = 12;
+};
+
+// Generates the IR module for one workload. Deterministic in spec.seed.
+ir::Module Generate(const WorkloadSpec& spec);
+
+// The 11-benchmark suite (SPEC CINT2006 minus 400.perlbench), with
+// per-benchmark parameters. `scale` multiplies iteration counts (1.0 ~
+// tens of millions of instructions per benchmark; benches use smaller
+// scales for quick runs).
+std::vector<WorkloadSpec> SpecCint2006Suite(double scale = 1.0);
+
+// The three C++ benchmarks of the suite (omnetpp/astar/xalancbmk
+// analogues) used by the Figure-3 experiment.
+std::vector<WorkloadSpec> SpecCppSubset(double scale = 1.0);
+
+}  // namespace roload::workloads

@@ -1,0 +1,51 @@
+// Test helper: assemble a guest program and run it on a simulated system.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "asmtool/assembler.h"
+#include "core/system.h"
+
+namespace roload::testing {
+
+struct GuestRun {
+  kernel::RunResult result;
+  // The system outlives the run so tests can inspect CPU state.
+  std::shared_ptr<core::System> system;
+};
+
+// Assembles and runs `source` on a system of the given variant. Fails the
+// current test on assembly/load errors.
+inline GuestRun RunGuest(
+    const std::string& source,
+    core::SystemVariant variant = core::SystemVariant::kFullRoload,
+    std::uint64_t max_instructions = 1 << 22) {
+  GuestRun run;
+  auto image = asmtool::Assemble(source);
+  EXPECT_TRUE(image.ok()) << image.status().ToString();
+  if (!image.ok()) return run;
+  core::SystemConfig config;
+  config.variant = variant;
+  run.system = std::make_shared<core::System>(config);
+  Status status = run.system->Load(*image);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  if (!status.ok()) return run;
+  run.result = run.system->Run(max_instructions);
+  return run;
+}
+
+// Shorthand: run and expect a clean exit with `expected_code`.
+inline void ExpectExit(const std::string& source, std::int64_t expected_code,
+                       core::SystemVariant variant =
+                           core::SystemVariant::kFullRoload) {
+  const GuestRun run = RunGuest(source, variant);
+  ASSERT_EQ(run.result.kind, kernel::ExitKind::kExited)
+      << "killed by signal " << run.result.signal << " ("
+      << isa::TrapCauseName(run.result.trap_cause) << ") at pc 0x"
+      << std::hex << run.result.fault_pc;
+  EXPECT_EQ(run.result.exit_code, expected_code);
+}
+
+}  // namespace roload::testing

@@ -1,0 +1,127 @@
+// Cache model tests: hit/miss accounting, LRU replacement, write-back
+// behaviour, and geometry sweeps.
+#include <gtest/gtest.h>
+
+#include "cache/cache.h"
+
+namespace roload::cache {
+namespace {
+
+TEST(CacheTest, FirstAccessMissesThenHits) {
+  Cache cache(CacheConfig{});
+  const unsigned miss = cache.Access(0x1000, false);
+  const unsigned hit = cache.Access(0x1000, false);
+  EXPECT_GT(miss, hit);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(CacheTest, SameLineSharesEntry) {
+  Cache cache(CacheConfig{});
+  cache.Access(0x1000, false);
+  EXPECT_EQ(cache.Access(0x103F, false), cache.config().hit_cycles);
+  EXPECT_EQ(cache.Access(0x1040, false),
+            cache.config().hit_cycles + cache.config().miss_cycles);
+}
+
+TEST(CacheTest, LruEvictionWithinSet) {
+  // Ways+1 distinct tags in one set: the first one must be evicted.
+  CacheConfig config;
+  config.size_bytes = 8 * 1024;
+  config.ways = 2;
+  Cache cache(config);
+  const unsigned sets = 8 * 1024 / 64 / 2;
+  const std::uint64_t stride = static_cast<std::uint64_t>(sets) * 64;
+  cache.Access(0, false);
+  cache.Access(stride, false);
+  cache.Access(0, false);           // touch way 0 -> way 1 (stride) is LRU
+  cache.Access(2 * stride, false);  // evicts stride
+  EXPECT_EQ(cache.Access(0, false), config.hit_cycles);
+  EXPECT_GT(cache.Access(stride, false), config.hit_cycles);
+}
+
+TEST(CacheTest, DirtyEvictionCostsWriteback) {
+  CacheConfig config;
+  config.size_bytes = 4 * 1024;
+  config.ways = 1;  // direct mapped: trivial conflicts
+  Cache cache(config);
+  cache.Access(0x0, true);  // dirty line
+  const unsigned evict = cache.Access(0x1000, false);  // same set, clean
+  EXPECT_EQ(evict,
+            config.hit_cycles + config.miss_cycles + config.writeback_cycles);
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+  const unsigned evict2 = cache.Access(0x2000, false);  // evicts clean line
+  EXPECT_EQ(evict2, config.hit_cycles + config.miss_cycles);
+}
+
+TEST(CacheTest, WriteMarksDirtyOnHitToo) {
+  CacheConfig config;
+  config.size_bytes = 4 * 1024;
+  config.ways = 1;
+  Cache cache(config);
+  cache.Access(0x0, false);  // clean fill
+  cache.Access(0x0, true);   // hit, now dirty
+  cache.Access(0x1000, false);
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(CacheTest, FlushDropsEverything) {
+  Cache cache(CacheConfig{});
+  cache.Access(0x1000, true);
+  cache.Flush();
+  EXPECT_GT(cache.Access(0x1000, false), cache.config().hit_cycles);
+  EXPECT_EQ(cache.stats().flushes, 1u);
+  // Flushed dirty lines are dropped, not written back, in this model.
+}
+
+TEST(CacheTest, MissRateOverSweep) {
+  Cache cache(CacheConfig{});  // 32 KiB
+  // Sequential sweep over 64 KiB twice: capacity misses on every line.
+  for (int round = 0; round < 2; ++round) {
+    for (std::uint64_t addr = 0; addr < 64 * 1024; addr += 64) {
+      cache.Access(addr, false);
+    }
+  }
+  EXPECT_DOUBLE_EQ(cache.stats().MissRate(), 1.0);
+}
+
+TEST(CacheTest, FitsWorkingSetAfterWarmup) {
+  Cache cache(CacheConfig{});  // 32 KiB, 8-way
+  for (int round = 0; round < 4; ++round) {
+    for (std::uint64_t addr = 0; addr < 16 * 1024; addr += 64) {
+      cache.Access(addr, false);
+    }
+  }
+  // First round misses (256 lines), the rest hit.
+  EXPECT_EQ(cache.stats().misses, 256u);
+  EXPECT_EQ(cache.stats().hits, 3u * 256u);
+}
+
+class GeometryTest
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>> {};
+
+TEST_P(GeometryTest, ConstructsAndWorks) {
+  const auto [size_kib, ways] = GetParam();
+  CacheConfig config;
+  config.size_bytes = size_kib * 1024ull;
+  config.ways = ways;
+  Cache cache(config);
+  for (std::uint64_t addr = 0; addr < 8 * 1024; addr += 64) {
+    cache.Access(addr, addr % 128 == 0);
+  }
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses, 128u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GeometryTest,
+                         ::testing::Values(std::pair{4u, 1u},
+                                           std::pair{8u, 2u},
+                                           std::pair{16u, 4u},
+                                           std::pair{32u, 8u},
+                                           std::pair{64u, 16u}),
+                         [](const auto& info) {
+                           return std::to_string(info.param.first) + "KiB_" +
+                                  std::to_string(info.param.second) + "way";
+                         });
+
+}  // namespace
+}  // namespace roload::cache

@@ -1,0 +1,185 @@
+// Reproduction-guard integration tests: the paper's headline relationships
+// must hold on a reduced-scale run of the real experiment pipelines. If a
+// change to the simulator, passes, or workloads breaks a *shape* the paper
+// reports, these tests catch it before the bench binaries do.
+#include <gtest/gtest.h>
+
+#include "backend/codegen.h"
+#include "core/toolchain.h"
+#include "hw/tlb_datapath.h"
+#include "tests/guest_util.h"
+#include "workloads/spec_like.h"
+
+namespace roload {
+namespace {
+
+constexpr double kScale = 0.1;
+
+struct SuiteRun {
+  double vcall_time = 0, vtint_time = 0;     // C++ subset averages
+  double vcall_mem = 0, vtint_mem = 0;
+  double icall_time = 0, cfi_time = 0;       // full-suite averages
+  double icall_mem = 0, cfi_mem = 0;
+};
+
+// One shared evaluation run for the whole fixture (expensive).
+const SuiteRun& RunSuiteOnce() {
+  static const SuiteRun run = [] {
+    SuiteRun out;
+    int cpp_count = 0, all_count = 0;
+    for (const auto& spec : workloads::SpecCint2006Suite(kScale)) {
+      const ir::Module module = workloads::Generate(spec);
+      auto measure = [&module](core::Defense defense) {
+        core::BuildOptions options;
+        options.defense = defense;
+        auto metrics = core::CompileAndRun(
+            module, options, core::SystemVariant::kFullRoload);
+        ROLOAD_CHECK(metrics.ok() && metrics->completed);
+        return *metrics;
+      };
+      const auto base = measure(core::Defense::kNone);
+      const auto icall = measure(core::Defense::kICall);
+      const auto cfi = measure(core::Defense::kClassicCfi);
+      auto pct = [](std::uint64_t base_v, std::uint64_t v) {
+        return core::OverheadPercent(static_cast<double>(base_v),
+                                     static_cast<double>(v));
+      };
+      out.icall_time += pct(base.cycles, icall.cycles);
+      out.cfi_time += pct(base.cycles, cfi.cycles);
+      out.icall_mem += pct(base.peak_mem_kib, icall.peak_mem_kib);
+      out.cfi_mem += pct(base.peak_mem_kib, cfi.peak_mem_kib);
+      ++all_count;
+      if (spec.is_cpp) {
+        const auto vcall = measure(core::Defense::kVCall);
+        const auto vtint = measure(core::Defense::kVTint);
+        out.vcall_time += pct(base.cycles, vcall.cycles);
+        out.vtint_time += pct(base.cycles, vtint.cycles);
+        out.vcall_mem += pct(base.peak_mem_kib, vcall.peak_mem_kib);
+        out.vtint_mem += pct(base.peak_mem_kib, vtint.peak_mem_kib);
+        ++cpp_count;
+      }
+    }
+    out.vcall_time /= cpp_count;
+    out.vtint_time /= cpp_count;
+    out.vcall_mem /= cpp_count;
+    out.vtint_mem /= cpp_count;
+    out.icall_time /= all_count;
+    out.cfi_time /= all_count;
+    out.icall_mem /= all_count;
+    out.cfi_mem /= all_count;
+    return out;
+  }();
+  return run;
+}
+
+TEST(PaperShapeTest, Fig3VCallIsNegligibleAndBeatsVTint) {
+  const SuiteRun& run = RunSuiteOnce();
+  EXPECT_LT(run.vcall_time, 0.5) << "paper: 0.303%";
+  EXPECT_GT(run.vtint_time, 1.0) << "paper: 2.750%";
+  EXPECT_LT(run.vcall_time, run.vtint_time / 4);
+}
+
+TEST(PaperShapeTest, Fig3MemoryOrderingVTintAboveVCall) {
+  const SuiteRun& run = RunSuiteOnce();
+  EXPECT_LT(run.vcall_mem, 1.0);
+  EXPECT_LT(run.vtint_mem, 1.0);
+  EXPECT_LT(run.vcall_mem, run.vtint_mem)
+      << "VTint's code growth must exceed VCall's keyed pages";
+}
+
+TEST(PaperShapeTest, Fig4ICallFarCheaperThanClassicCfi) {
+  const SuiteRun& run = RunSuiteOnce();
+  EXPECT_LT(run.icall_time, 2.0) << "paper: ~0%";
+  EXPECT_GT(run.cfi_time, 3.0) << "paper: 9.073%";
+  EXPECT_LT(run.icall_time, run.cfi_time / 4);
+}
+
+TEST(PaperShapeTest, Fig5MemoryOrderingICallAboveCfi) {
+  const SuiteRun& run = RunSuiteOnce();
+  EXPECT_LT(run.icall_mem, 1.0);
+  EXPECT_LT(run.cfi_mem, 1.0);
+  EXPECT_GT(run.icall_mem, run.cfi_mem)
+      << "GFPT keyed pages must exceed CFI's code growth";
+}
+
+TEST(PaperShapeTest, SectionVBExactlyZeroOverhead) {
+  auto suite = workloads::SpecCint2006Suite(0.03);
+  const ir::Module module = workloads::Generate(suite[0]);
+  core::BuildOptions options;
+  auto base = core::CompileAndRun(module, options,
+                                  core::SystemVariant::kBaseline);
+  auto full = core::CompileAndRun(module, options,
+                                  core::SystemVariant::kFullRoload);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(base->cycles, full->cycles);
+  EXPECT_EQ(base->peak_mem_kib, full->peak_mem_kib);
+}
+
+TEST(PaperShapeTest, TableIIIWithinPaperBound) {
+  const hw::TableIII table = hw::ComputeTableIII();
+  const double worst =
+      std::max({table.core_lut_increase_percent,
+                table.core_ff_increase_percent,
+                table.system_lut_increase_percent,
+                table.system_ff_increase_percent});
+  EXPECT_LT(worst, 3.32) << "the paper's headline bound";
+  EXPECT_GT(worst, 0.5) << "cost must be real, not zero";
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end compressed-encoding build: a whole C++ benchmark hardened
+// with c.ld.ro (5-bit keys) still computes the baseline checksum, with a
+// smaller code section than the wide build.
+TEST(CompressedEndToEnd, BenchmarkRunsAndShrinksCode) {
+  auto suite = workloads::SpecCppSubset(0.03);
+  const ir::Module module = workloads::Generate(suite[0]);
+
+  core::BuildOptions base_options;
+  auto base = core::CompileAndRun(module, base_options,
+                                  core::SystemVariant::kFullRoload);
+  ASSERT_TRUE(base.ok());
+
+  core::BuildOptions wide;
+  wide.defense = core::Defense::kVCall;
+  wide.vcall.key_groups = 16;  // keys fit the 5-bit compressed field
+  auto wide_build = core::Build(module, wide);
+  ASSERT_TRUE(wide_build.ok());
+
+  core::BuildOptions compressed = wide;
+  compressed.codegen.use_compressed_roload = true;
+  auto compressed_build = core::Build(module, compressed);
+  ASSERT_TRUE(compressed_build.ok());
+  EXPECT_LE(compressed_build->code_bytes, wide_build->code_bytes);
+
+  auto metrics = core::CompileAndRun(module, compressed,
+                                     core::SystemVariant::kFullRoload);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_TRUE(metrics->completed);
+  EXPECT_EQ(metrics->exit_code, base->exit_code);
+  EXPECT_GT(metrics->roload_loads, 0u);
+}
+
+// Compressed parcels make 4-byte instructions straddle page boundaries;
+// the fetch path must translate both halves.
+TEST(CompressedEndToEnd, FetchAcrossPageBoundary) {
+  // Pad .text so a 4-byte instruction starts 2 bytes before a page end.
+  std::string source = ".section .text\n_start:\n";
+  // 2045 c.ld.ro? Simpler: 1023 4-byte nops + one c.ld.ro leaves pc at
+  // 4094; the following 4-byte li straddles the boundary.
+  for (int i = 0; i < 1023; ++i) source += "  nop\n";
+  source += "  c.ld.ro a0, (s1), 7\n";  // 2 bytes @4092... adjust below
+  source += "  li a0, 51\n  li a7, 93\n  ecall\n";
+  source += ".section .rodata.key.7\nlist: .quad 1\n";
+  // Prepare s1 before reaching the c.ld.ro: patch the start.
+  source.replace(source.find("_start:\n") + 8, 0, "  la s1, list\n");
+  // The la adds 8 bytes; drop two nops to restore the straddle.
+  source.replace(source.find("  nop\n"), 12, "");
+  const auto run = testing::RunGuest(source);
+  ASSERT_EQ(run.result.kind, kernel::ExitKind::kExited)
+      << isa::TrapCauseName(run.result.trap_cause);
+  EXPECT_EQ(run.result.exit_code, 51);
+}
+
+}  // namespace
+}  // namespace roload

@@ -1,0 +1,217 @@
+// Interpreter unit tests + the differential oracle: for every suite
+// benchmark and every defense, the IR interpreter and the full compiled
+// pipeline (codegen -> assembler -> loader -> simulated CPU) must agree on
+// the program result. One equality covering the entire backend.
+#include <gtest/gtest.h>
+
+#include "core/toolchain.h"
+#include "ir/builder.h"
+#include "ir/interp.h"
+#include "passes/passes.h"
+#include "workloads/spec_like.h"
+
+namespace roload::ir {
+namespace {
+
+TEST(InterpTest, ArithmeticAndControlFlow) {
+  Module module;
+  FunctionBuilder b(&module, "main", "i64()", 0);
+  // sum of 1..10 via loop through memory (scratch global).
+  Global scratch;
+  scratch.name = "scratch";
+  scratch.zero_bytes = 16;
+  module.globals.push_back(scratch);
+  {
+    const int s = b.AddrOf("scratch");
+    b.Store(s, b.Const(1), 0);
+    b.Store(s, b.Const(0), 8);
+    b.Br("head");
+  }
+  b.SetBlock("head");
+  {
+    const int s = b.AddrOf("scratch");
+    const int i = b.Load(s, 0);
+    const int cond = b.BinImm(BinOp::kSltu, i, 11);
+    b.CondBr(cond, "body", "done");
+  }
+  b.SetBlock("body");
+  {
+    const int s = b.AddrOf("scratch");
+    const int i = b.Load(s, 0);
+    const int acc = b.Load(s, 8);
+    b.Store(s, b.Bin(BinOp::kAdd, acc, i), 8);
+    b.Store(s, b.BinImm(BinOp::kAdd, i, 1), 0);
+    b.Br("head");
+  }
+  b.SetBlock("done");
+  {
+    const int s = b.AddrOf("scratch");
+    b.Ret(b.Load(s, 8));
+  }
+  auto result = Interpret(module);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->return_value, 55);
+}
+
+TEST(InterpTest, DivisionEdgeCasesMatchRiscV) {
+  Module module;
+  FunctionBuilder b(&module, "main", "i64()", 0);
+  const int x = b.Const(42);
+  const int zero = b.Const(0);
+  const int q = b.Bin(BinOp::kDiv, x, zero);   // -1
+  const int r = b.Bin(BinOp::kRem, x, zero);   // 42
+  const int sum = b.Bin(BinOp::kAdd, q, r);    // 41
+  b.Ret(sum);
+  auto result = Interpret(module);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->return_value, 41);
+}
+
+TEST(InterpTest, NarrowLoadSignExtension) {
+  Module module;
+  Global bytes;
+  bytes.name = "bytes";
+  bytes.quads.push_back(GlobalInit{0xFF, ""});  // low byte 0xFF
+  module.globals.push_back(bytes);
+  FunctionBuilder b(&module, "main", "i64()", 0);
+  const int addr = b.AddrOf("bytes");
+  const int sext = b.Load(addr, 0, 1, Trait::kNone, 0);  // -1
+  const int sum = b.BinImm(BinOp::kAdd, sext, 2);        // 1
+  b.Ret(sum);
+  auto result = Interpret(module);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->return_value, 1);
+}
+
+TEST(InterpTest, IndirectCallsThroughTables) {
+  Module module;
+  Global table;
+  table.name = "table";
+  table.quads.push_back(GlobalInit{0, "f1"});
+  table.quads.push_back(GlobalInit{0, "f2"});
+  module.globals.push_back(table);
+  const int type = module.InternFnType("i64(i64)");
+  {
+    FunctionBuilder b(&module, "f1", "i64(i64)", 1);
+    b.Ret(b.BinImm(BinOp::kAdd, b.Param(0), 10));
+  }
+  {
+    FunctionBuilder b(&module, "f2", "i64(i64)", 1);
+    b.Ret(b.BinImm(BinOp::kMul, b.Param(0), 3));
+  }
+  FunctionBuilder b(&module, "main", "i64()", 0);
+  const int addr = b.AddrOf("table");
+  const int fn1 = b.Load(addr, 0, 8, Trait::kFnPtrLoad, type);
+  const int fn2 = b.Load(addr, 8, 8, Trait::kFnPtrLoad, type);
+  const int a = b.ICall(fn1, {b.Const(5)}, type);   // 15
+  const int c = b.ICall(fn2, {a}, type);            // 45
+  b.Ret(c);
+  module.RecomputeAddressTaken();
+  auto result = Interpret(module);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->return_value, 45);
+}
+
+TEST(InterpTest, AbortIntrinsicStopsExecution) {
+  Module module;
+  FunctionBuilder b(&module, "main", "i64()", 0);
+  b.Call("__rt_abort", {}, /*has_result=*/false);
+  b.Ret(b.Const(7));
+  auto result = Interpret(module);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->aborted);
+  EXPECT_EQ(result->return_value, 134);
+}
+
+TEST(InterpTest, RejectsRunaway) {
+  Module module;
+  FunctionBuilder b(&module, "main", "i64()", 0);
+  b.Br("entry");  // infinite loop
+  InterpOptions options;
+  options.max_steps = 1000;
+  EXPECT_FALSE(Interpret(module, options).ok());
+}
+
+TEST(InterpTest, RejectsWildMemory) {
+  Module module;
+  FunctionBuilder b(&module, "main", "i64()", 0);
+  const int addr = b.Const(0x10);  // far below the arena
+  const int v = b.Load(addr);
+  b.Ret(v);
+  EXPECT_FALSE(Interpret(module).ok());
+}
+
+// ---------------------------------------------------------------------------
+// The differential oracle.
+struct DiffCase {
+  std::size_t bench_index;
+  core::Defense defense;
+};
+
+class DifferentialTest : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(DifferentialTest, InterpreterAgreesWithSimulatedHardware) {
+  auto suite = workloads::SpecCint2006Suite(0.02);
+  const auto& spec = suite[GetParam().bench_index];
+  ir::Module module = workloads::Generate(spec);
+
+  // Apply the defense so the *transformed* module is what both executors
+  // see (the passes must be semantics-preserving).
+  core::BuildOptions options;
+  options.defense = GetParam().defense;
+  switch (options.defense) {
+    case core::Defense::kVCall:
+      ASSERT_TRUE(passes::VCallProtectPass(&module).ok());
+      break;
+    case core::Defense::kICall:
+      ASSERT_TRUE(passes::ICallCfiPass(&module).ok());
+      break;
+    case core::Defense::kVTint:
+      ASSERT_TRUE(passes::VTintPass(&module).ok());
+      break;
+    case core::Defense::kClassicCfi:
+      ASSERT_TRUE(passes::ClassicCfiPass(&module).ok());
+      break;
+    case core::Defense::kNone:
+      break;
+  }
+
+  auto interpreted = Interpret(module);
+  ASSERT_TRUE(interpreted.ok()) << interpreted.status().ToString();
+
+  core::BuildOptions no_further;  // module is already hardened
+  auto compiled = core::CompileAndRun(module, no_further,
+                                      core::SystemVariant::kFullRoload);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  ASSERT_TRUE(compiled->completed);
+  EXPECT_EQ(compiled->exit_code, interpreted->return_value)
+      << spec.name << " under " << core::DefenseName(GetParam().defense);
+}
+
+std::vector<DiffCase> DiffCases() {
+  std::vector<DiffCase> cases;
+  for (std::size_t i = 0; i < 11; ++i) {
+    for (core::Defense defense :
+         {core::Defense::kNone, core::Defense::kVCall,
+          core::Defense::kICall, core::Defense::kClassicCfi}) {
+      cases.push_back(DiffCase{i, defense});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, DifferentialTest, ::testing::ValuesIn(DiffCases()),
+    [](const auto& info) {
+      auto suite = workloads::SpecCint2006Suite(0.02);
+      std::string name = suite[info.param.bench_index].name + "_" +
+                         std::string(core::DefenseName(info.param.defense));
+      std::string out;
+      for (char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c))) out += c;
+      }
+      return out;
+    });
+
+}  // namespace
+}  // namespace roload::ir

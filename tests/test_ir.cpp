@@ -1,0 +1,260 @@
+// IR tests: the builder, interning, the verifier's rejection of each
+// malformed construct, address-taken analysis, and printer stability.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/ir.h"
+
+namespace roload::ir {
+namespace {
+
+Module SimpleModule() {
+  Module module;
+  module.name = "t";
+  FunctionBuilder b(&module, "main", "i64()", 0);
+  b.Ret(b.Const(0));
+  return module;
+}
+
+TEST(ModuleTest, InterningIsStable) {
+  Module module;
+  const int t0 = module.InternFnType("i64()");
+  const int t1 = module.InternFnType("i64(i64)");
+  EXPECT_EQ(module.InternFnType("i64()"), t0);
+  EXPECT_EQ(module.InternFnType("i64(i64)"), t1);
+  EXPECT_NE(t0, t1);
+  const int c0 = module.InternClass("A");
+  EXPECT_EQ(module.InternClass("A"), c0);
+  EXPECT_NE(module.InternClass("B"), c0);
+}
+
+TEST(ModuleTest, FindFunctionAndGlobal) {
+  Module module = SimpleModule();
+  Global g;
+  g.name = "data";
+  module.globals.push_back(g);
+  EXPECT_NE(module.FindFunction("main"), nullptr);
+  EXPECT_EQ(module.FindFunction("nope"), nullptr);
+  EXPECT_NE(module.FindGlobal("data"), nullptr);
+  EXPECT_EQ(module.FindGlobal("nope"), nullptr);
+}
+
+TEST(ModuleTest, RecomputeAddressTaken) {
+  Module module;
+  {
+    FunctionBuilder b(&module, "taken_by_code", "i64()", 0);
+    b.Ret(b.Const(1));
+  }
+  {
+    FunctionBuilder b(&module, "taken_by_global", "i64()", 0);
+    b.Ret(b.Const(2));
+  }
+  {
+    FunctionBuilder b(&module, "not_taken", "i64()", 0);
+    b.Ret(b.Const(3));
+  }
+  {
+    FunctionBuilder b(&module, "main", "i64()", 0);
+    const int addr = b.AddrOf("taken_by_code");
+    b.Ret(addr);
+  }
+  Global table;
+  table.name = "table";
+  table.quads.push_back(GlobalInit{0, "taken_by_global"});
+  module.globals.push_back(table);
+
+  module.RecomputeAddressTaken();
+  EXPECT_TRUE(module.FindFunction("taken_by_code")->address_taken);
+  EXPECT_TRUE(module.FindFunction("taken_by_global")->address_taken);
+  EXPECT_FALSE(module.FindFunction("not_taken")->address_taken);
+}
+
+TEST(BuilderTest, BlocksAndRegs) {
+  Module module;
+  FunctionBuilder b(&module, "f", "i64(i64,i64)", 2);
+  EXPECT_EQ(b.Param(0), 0);
+  EXPECT_EQ(b.Param(1), 1);
+  const int v = b.Bin(BinOp::kAdd, b.Param(0), b.Param(1));
+  EXPECT_EQ(v, 2);
+  b.CondBr(v, "yes", "no");
+  b.SetBlock("yes");
+  b.Ret(v);
+  b.SetBlock("no");
+  b.Ret(b.Const(0));
+  EXPECT_EQ(b.function()->blocks.size(), 3u);
+  EXPECT_TRUE(Verify(module).ok());
+}
+
+TEST(VerifierTest, AcceptsWellFormed) {
+  EXPECT_TRUE(Verify(SimpleModule()).ok());
+}
+
+TEST(VerifierTest, RejectsDuplicateFunctionNames) {
+  Module module = SimpleModule();
+  FunctionBuilder b(&module, "main", "i64()", 0);
+  b.Ret(b.Const(1));
+  EXPECT_FALSE(Verify(module).ok());
+}
+
+TEST(VerifierTest, RejectsEmptyFunction) {
+  Module module;
+  Function fn;
+  fn.name = "f";
+  module.fn_type_names.push_back("i64()");
+  module.functions.push_back(fn);
+  EXPECT_FALSE(Verify(module).ok());
+}
+
+TEST(VerifierTest, RejectsMissingTerminator) {
+  Module module;
+  module.fn_type_names.push_back("i64()");
+  Function fn;
+  fn.name = "f";
+  fn.num_vregs = 1;
+  Block block;
+  block.label = "entry";
+  Instr c;
+  c.kind = InstrKind::kConst;
+  c.dst = 0;
+  block.instrs.push_back(c);  // no terminator
+  fn.blocks.push_back(block);
+  module.functions.push_back(fn);
+  EXPECT_FALSE(Verify(module).ok());
+}
+
+TEST(VerifierTest, RejectsTerminatorMidBlock) {
+  Module module;
+  module.fn_type_names.push_back("i64()");
+  Function fn;
+  fn.name = "f";
+  fn.num_vregs = 1;
+  Block block;
+  block.label = "entry";
+  Instr ret;
+  ret.kind = InstrKind::kRet;
+  block.instrs.push_back(ret);
+  Instr c;
+  c.kind = InstrKind::kConst;
+  c.dst = 0;
+  block.instrs.push_back(c);
+  fn.blocks.push_back(block);
+  module.functions.push_back(fn);
+  EXPECT_FALSE(Verify(module).ok());
+}
+
+TEST(VerifierTest, RejectsOutOfRangeVreg) {
+  Module module = SimpleModule();
+  module.functions[0].blocks[0].instrs[0].dst = 99;
+  EXPECT_FALSE(Verify(module).ok());
+}
+
+TEST(VerifierTest, RejectsUnknownBranchTarget) {
+  Module module;
+  FunctionBuilder b(&module, "f", "i64()", 0);
+  b.Br("nowhere");
+  EXPECT_FALSE(Verify(module).ok());
+}
+
+TEST(VerifierTest, RejectsUnknownCallee) {
+  Module module;
+  FunctionBuilder b(&module, "f", "i64()", 0);
+  const int r = b.Call("ghost", {});
+  b.Ret(r);
+  EXPECT_FALSE(Verify(module).ok());
+}
+
+TEST(VerifierTest, AcceptsRuntimeIntrinsics) {
+  Module module;
+  FunctionBuilder b(&module, "f", "i64()", 0);
+  b.Call("__rt_abort", {}, /*has_result=*/false);
+  b.Ret(b.Const(0));
+  EXPECT_TRUE(Verify(module).ok());
+}
+
+TEST(VerifierTest, RejectsBadLoadWidth) {
+  Module module;
+  FunctionBuilder b(&module, "f", "i64()", 0);
+  const int addr = b.AddrOf("f");
+  const int v = b.Load(addr, 0, 3);  // width 3 is illegal
+  b.Ret(v);
+  EXPECT_FALSE(Verify(module).ok());
+}
+
+TEST(VerifierTest, RejectsRoLoadMdWithKeyZero) {
+  Module module;
+  FunctionBuilder b(&module, "f", "i64()", 0);
+  const int addr = b.AddrOf("f");
+  const int v = b.Load(addr);
+  b.Ret(v);
+  // Manually corrupt: metadata with the reserved key 0.
+  for (Block& block : module.functions[0].blocks) {
+    for (Instr& instr : block.instrs) {
+      if (instr.kind == InstrKind::kLoad) {
+        instr.has_roload_md = true;
+        instr.roload_key = 0;
+      }
+    }
+  }
+  EXPECT_FALSE(Verify(module).ok());
+}
+
+TEST(VerifierTest, RejectsTooManyArgs) {
+  Module module;
+  FunctionBuilder b(&module, "callee", "i64()", 0);
+  b.Ret(b.Const(0));
+  FunctionBuilder m(&module, "f", "i64()", 0);
+  std::vector<int> args;
+  for (int i = 0; i < 9; ++i) args.push_back(m.Const(i));
+  const int r = m.Call("callee", args);
+  m.Ret(r);
+  EXPECT_FALSE(Verify(module).ok());
+}
+
+TEST(VerifierTest, RejectsCfiLabelOver20Bits) {
+  Module module = SimpleModule();
+  Instr label;
+  label.kind = InstrKind::kCfiLabel;
+  label.imm = 0x100000;
+  auto& entry = module.functions[0].blocks[0].instrs;
+  entry.insert(entry.begin(), label);
+  EXPECT_FALSE(Verify(module).ok());
+}
+
+TEST(PrinterTest, StableAndInformative) {
+  Module module;
+  Global vtable;
+  vtable.name = "vt";
+  vtable.read_only = true;
+  vtable.key = 101;
+  vtable.trait = GlobalTrait::kVTable;
+  vtable.trait_id = module.InternClass("K");
+  vtable.quads.push_back(GlobalInit{0, "m"});
+  module.globals.push_back(vtable);
+  {
+    FunctionBuilder b(&module, "m", "i64(ptr)", 1);
+    b.Ret(b.Param(0));
+  }
+  {
+    FunctionBuilder b(&module, "main", "i64()", 0);
+    const int addr = b.AddrOf("vt");
+    const int v = b.Load(addr, 8, 8);
+    b.Ret(v);
+  }
+  // Tag the load with metadata and print.
+  for (Block& block : module.FindFunction("main")->blocks) {
+    for (Instr& instr : block.instrs) {
+      if (instr.kind == InstrKind::kLoad) {
+        instr.has_roload_md = true;
+        instr.roload_key = 101;
+      }
+    }
+  }
+  const std::string printed = Print(module);
+  EXPECT_NE(printed.find("vtable(K)"), std::string::npos);
+  EXPECT_NE(printed.find("key=101"), std::string::npos);
+  EXPECT_NE(printed.find("!roload-md key=101"), std::string::npos);
+  EXPECT_EQ(printed, Print(module)) << "printer must be deterministic";
+}
+
+}  // namespace
+}  // namespace roload::ir

@@ -1,0 +1,254 @@
+// ISA tests: encode/decode round trips for every opcode (property-style
+// over randomized operands), field packing of the ROLoad encodings, parcel
+// length rules, and illegal-encoding rejection.
+#include <gtest/gtest.h>
+
+#include "isa/disasm.h"
+#include "isa/encoding.h"
+#include "isa/registers.h"
+#include "support/bits.h"
+#include "support/rng.h"
+
+namespace roload::isa {
+namespace {
+
+// All 32-bit-format opcodes (everything except the compressed c.ld.ro).
+const Opcode kWideOpcodes[] = {
+    Opcode::kAddi,  Opcode::kSlti,  Opcode::kSltiu, Opcode::kXori,
+    Opcode::kOri,   Opcode::kAndi,  Opcode::kSlli,  Opcode::kSrli,
+    Opcode::kSrai,  Opcode::kAddiw, Opcode::kSlliw, Opcode::kSrliw,
+    Opcode::kSraiw, Opcode::kAdd,   Opcode::kSub,   Opcode::kSll,
+    Opcode::kSlt,   Opcode::kSltu,  Opcode::kXor,   Opcode::kSrl,
+    Opcode::kSra,   Opcode::kOr,    Opcode::kAnd,   Opcode::kAddw,
+    Opcode::kSubw,  Opcode::kSllw,  Opcode::kSrlw,  Opcode::kSraw,
+    Opcode::kMul,   Opcode::kMulw,  Opcode::kDiv,   Opcode::kDivu,
+    Opcode::kRem,   Opcode::kRemu,  Opcode::kDivw,  Opcode::kRemw,
+    Opcode::kLui,   Opcode::kAuipc, Opcode::kLb,    Opcode::kLh,
+    Opcode::kLw,    Opcode::kLd,    Opcode::kLbu,   Opcode::kLhu,
+    Opcode::kLwu,   Opcode::kSb,    Opcode::kSh,    Opcode::kSw,
+    Opcode::kSd,    Opcode::kBeq,   Opcode::kBne,   Opcode::kBlt,
+    Opcode::kBge,   Opcode::kBltu,  Opcode::kBgeu,  Opcode::kJal,
+    Opcode::kJalr,  Opcode::kEcall, Opcode::kEbreak, Opcode::kFence,
+    Opcode::kLbRo,  Opcode::kLhRo,  Opcode::kLwRo,  Opcode::kLdRo,
+};
+
+Instruction RandomInstruction(Opcode op, Rng& rng) {
+  Instruction inst;
+  inst.op = op;
+  inst.rd = static_cast<std::uint8_t>(rng.NextBelow(32));
+  inst.rs1 = static_cast<std::uint8_t>(rng.NextBelow(32));
+  inst.rs2 = static_cast<std::uint8_t>(rng.NextBelow(32));
+  switch (OpcodeFormat(op)) {
+    case Format::kI:
+    case Format::kILoad:
+    case Format::kS:
+      inst.imm = rng.NextInRange(-2048, 2047);
+      break;
+    case Format::kIShift:
+      inst.imm = rng.NextInRange(
+          0, op == Opcode::kSlliw || op == Opcode::kSrliw ||
+                     op == Opcode::kSraiw
+                 ? 31
+                 : 63);
+      break;
+    case Format::kB:
+      inst.imm = rng.NextInRange(-2048, 2047) * 2;
+      break;
+    case Format::kU:
+      inst.imm = roload::SignExtend(static_cast<std::uint64_t>(rng.NextBelow(1 << 20)),
+                            20);
+      break;
+    case Format::kJ:
+      inst.imm = rng.NextInRange(-(1 << 19), (1 << 19) - 1) * 2;
+      break;
+    case Format::kSystem:
+      inst.rd = inst.rs1 = inst.rs2 = 0;
+      break;
+    case Format::kRoLoad:
+      inst.imm = 0;
+      inst.key = static_cast<std::uint32_t>(rng.NextBelow(kNumPageKeys));
+      break;
+    case Format::kCRoLoad:
+      break;
+    case Format::kR:
+      break;
+  }
+  return inst;
+}
+
+class RoundTripTest : public ::testing::TestWithParam<Opcode> {};
+
+TEST_P(RoundTripTest, EncodeDecodeIsIdentity) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Instruction inst = RandomInstruction(GetParam(), rng);
+    const std::uint32_t word = Encode(inst);
+    const auto decoded = Decode(word);
+    ASSERT_TRUE(decoded.has_value())
+        << OpcodeName(GetParam()) << " word=0x" << std::hex << word;
+    EXPECT_EQ(decoded->op, inst.op);
+    // B and S formats have no rd field (its bits carry immediate parts).
+    const Format format = OpcodeFormat(inst.op);
+    if (format != Format::kSystem && format != Format::kB &&
+        format != Format::kS) {
+      EXPECT_EQ(decoded->rd, inst.rd) << OpcodeName(GetParam());
+    }
+    switch (OpcodeFormat(inst.op)) {
+      case Format::kR:
+        EXPECT_EQ(decoded->rs1, inst.rs1);
+        EXPECT_EQ(decoded->rs2, inst.rs2);
+        break;
+      case Format::kI:
+      case Format::kILoad:
+      case Format::kIShift:
+        EXPECT_EQ(decoded->rs1, inst.rs1);
+        EXPECT_EQ(decoded->imm, inst.imm) << OpcodeName(GetParam());
+        break;
+      case Format::kS:
+      case Format::kB:
+        EXPECT_EQ(decoded->rs1, inst.rs1);
+        EXPECT_EQ(decoded->rs2, inst.rs2);
+        EXPECT_EQ(decoded->imm, inst.imm);
+        break;
+      case Format::kU:
+      case Format::kJ:
+        EXPECT_EQ(decoded->imm, inst.imm);
+        break;
+      case Format::kRoLoad:
+        EXPECT_EQ(decoded->rs1, inst.rs1);
+        EXPECT_EQ(decoded->key, inst.key);
+        EXPECT_EQ(decoded->imm, 0);
+        break;
+      case Format::kSystem:
+      case Format::kCRoLoad:
+        break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWideOpcodes, RoundTripTest,
+                         ::testing::ValuesIn(kWideOpcodes),
+                         [](const auto& info) {
+                           std::string name(OpcodeName(info.param));
+                           for (char& c : name) {
+                             if (c == '.') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(CompressedRoLoadTest, RoundTripAllKeysAndRegs) {
+  for (std::uint8_t rd = 8; rd < 16; ++rd) {
+    for (std::uint8_t rs1 = 8; rs1 < 16; ++rs1) {
+      for (std::uint32_t key = 0; key < kNumCompressedKeys; ++key) {
+        Instruction inst;
+        inst.op = Opcode::kCLdRo;
+        inst.rd = rd;
+        inst.rs1 = rs1;
+        inst.key = key;
+        inst.length = 2;
+        const std::uint32_t word = Encode(inst);
+        EXPECT_LT(word, 0x10000u) << "c.ld.ro must be a 16-bit parcel";
+        EXPECT_EQ(ParcelLength(static_cast<std::uint16_t>(word)), 2u);
+        const auto decoded = Decode(word);
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_EQ(decoded->op, Opcode::kCLdRo);
+        EXPECT_EQ(decoded->rd, rd);
+        EXPECT_EQ(decoded->rs1, rs1);
+        EXPECT_EQ(decoded->key, key);
+        EXPECT_EQ(decoded->length, 2u);
+      }
+    }
+  }
+}
+
+TEST(ParcelLengthTest, Rules) {
+  EXPECT_EQ(ParcelLength(0x0003), 4u);  // bits[1:0]=11 -> 32-bit
+  EXPECT_EQ(ParcelLength(0x0000), 2u);
+  EXPECT_EQ(ParcelLength(0x0001), 2u);
+  EXPECT_EQ(ParcelLength(0xFFFF), 4u);
+}
+
+TEST(DecodeTest, RejectsUnknownMajorOpcode) {
+  // Major opcode 1010111 (vector space, unimplemented).
+  EXPECT_FALSE(Decode(0b1010111).has_value());
+}
+
+TEST(DecodeTest, RejectsUnknownCompressed) {
+  // Quadrant 0, funct3 000 (c.addi4spn) is unimplemented in this core.
+  EXPECT_FALSE(Decode(0x0000).has_value());
+}
+
+TEST(DecodeTest, RoLoadReservedFunct3Rejected) {
+  // custom-0 with funct3 = 0b111 is not an ld.ro-family instruction.
+  const std::uint32_t word = kRoLoadMajorOpcode | (0b111u << 12);
+  EXPECT_FALSE(Decode(word).has_value());
+}
+
+TEST(DecodeTest, RoLoadKeyFieldPosition) {
+  // Key must ride the I-type immediate field (bits 31:20, low 10 used).
+  Instruction inst;
+  inst.op = Opcode::kLdRo;
+  inst.rd = 5;
+  inst.rs1 = 6;
+  inst.key = 0x2A5;
+  const std::uint32_t word = Encode(inst);
+  EXPECT_EQ((word >> 20) & 0x3FF, 0x2A5u);
+  EXPECT_EQ(word & 0x7F, kRoLoadMajorOpcode);
+}
+
+TEST(RegistersTest, NamesRoundTrip) {
+  for (unsigned reg = 0; reg < kNumRegs; ++reg) {
+    auto parsed = ParseRegName(RegName(reg));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, reg);
+  }
+}
+
+TEST(RegistersTest, ArchitecturalNamesAndAliases) {
+  EXPECT_EQ(ParseRegName("x0").value(), 0u);
+  EXPECT_EQ(ParseRegName("x31").value(), 31u);
+  EXPECT_EQ(ParseRegName("fp").value(), static_cast<unsigned>(kS0));
+  EXPECT_FALSE(ParseRegName("x32").has_value());
+  EXPECT_FALSE(ParseRegName("q1").has_value());
+}
+
+TEST(DisasmTest, RepresentativeForms) {
+  Instruction addi{.op = Opcode::kAddi, .rd = 10, .rs1 = 11, .imm = -4};
+  EXPECT_EQ(Disassemble(addi), "addi a0, a1, -4");
+  Instruction load{.op = Opcode::kLd, .rd = 10, .rs1 = 2, .imm = 8};
+  EXPECT_EQ(Disassemble(load), "ld a0, 8(sp)");
+  Instruction store{.op = Opcode::kSd, .rs1 = 2, .rs2 = 10, .imm = 16};
+  EXPECT_EQ(Disassemble(store), "sd a0, 16(sp)");
+  Instruction ro{.op = Opcode::kLdRo, .rd = 10, .rs1 = 10, .key = 111};
+  EXPECT_EQ(Disassemble(ro), "ld.ro a0, (a0), 111");
+  Instruction cro{.op = Opcode::kCLdRo, .rd = 15, .rs1 = 9, .key = 7};
+  EXPECT_EQ(Disassemble(cro), "c.ld.ro a5, (s1), 7");
+}
+
+TEST(OpcodesTest, Classifiers) {
+  EXPECT_TRUE(IsLoad(Opcode::kLd));
+  EXPECT_TRUE(IsLoad(Opcode::kLdRo));
+  EXPECT_TRUE(IsRoLoad(Opcode::kCLdRo));
+  EXPECT_FALSE(IsRoLoad(Opcode::kLd));
+  EXPECT_TRUE(IsStore(Opcode::kSw));
+  EXPECT_FALSE(IsStore(Opcode::kLw));
+  EXPECT_TRUE(IsBranch(Opcode::kBgeu));
+  EXPECT_FALSE(IsBranch(Opcode::kJal));
+  EXPECT_EQ(MemAccessBytes(Opcode::kLbRo), 1u);
+  EXPECT_EQ(MemAccessBytes(Opcode::kLdRo), 8u);
+  EXPECT_TRUE(LoadIsUnsigned(Opcode::kLwu));
+  EXPECT_FALSE(LoadIsUnsigned(Opcode::kLw));
+}
+
+TEST(OpcodesTest, NameRoundTrip) {
+  for (Opcode op : kWideOpcodes) {
+    auto parsed = ParseOpcodeName(OpcodeName(op));
+    ASSERT_TRUE(parsed.has_value()) << OpcodeName(op);
+    EXPECT_EQ(*parsed, op);
+  }
+  EXPECT_EQ(ParseOpcodeName("c.ld.ro").value(), Opcode::kCLdRo);
+  EXPECT_FALSE(ParseOpcodeName("bogus").has_value());
+}
+
+}  // namespace
+}  // namespace roload::isa

@@ -1,0 +1,160 @@
+// Memory substrate tests: physical memory accessors, PTE field packing
+// (including the ROLoad key in bits [63:54]), and the Sv39 page walker.
+#include <gtest/gtest.h>
+
+#include "mem/page_table.h"
+#include "mem/phys_memory.h"
+
+namespace roload::mem {
+namespace {
+
+TEST(PhysMemoryTest, LittleEndianMultiWidth) {
+  PhysMemory memory(4096);
+  memory.Write(0, 8, 0x1122334455667788ull);
+  EXPECT_EQ(memory.Read(0, 1), 0x88u);
+  EXPECT_EQ(memory.Read(0, 2), 0x7788u);
+  EXPECT_EQ(memory.Read(0, 4), 0x55667788u);
+  EXPECT_EQ(memory.Read(4, 4), 0x11223344u);
+  EXPECT_EQ(memory.Read(0, 8), 0x1122334455667788ull);
+}
+
+TEST(PhysMemoryTest, ContainsBoundaries) {
+  PhysMemory memory(4096);
+  EXPECT_TRUE(memory.Contains(4088, 8));
+  EXPECT_FALSE(memory.Contains(4089, 8));
+  EXPECT_TRUE(memory.Contains(4095, 1));
+  EXPECT_FALSE(memory.Contains(4096, 1));
+}
+
+TEST(PhysMemoryTest, BlockOpsAndFill) {
+  PhysMemory memory(8192);
+  const std::uint8_t data[] = {1, 2, 3, 4, 5};
+  memory.WriteBlock(100, data, sizeof(data));
+  EXPECT_EQ(memory.Read(100, 1), 1u);
+  EXPECT_EQ(memory.Read(104, 1), 5u);
+  memory.Fill(100, 5, 0xAB);
+  EXPECT_EQ(memory.Read(102, 1), 0xABu);
+}
+
+class PteKeyTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PteKeyTest, KeyFieldRoundTripsWithoutDisturbingOthers) {
+  const std::uint32_t key = GetParam();
+  const Pte pte = Pte::MakeLeaf(0x12345, kPteRead | kPteUser, key);
+  EXPECT_EQ(pte.key(), key);
+  EXPECT_EQ(pte.ppn(), 0x12345u);
+  EXPECT_TRUE(pte.valid());
+  EXPECT_TRUE(pte.readable());
+  EXPECT_FALSE(pte.writable());
+  EXPECT_TRUE(pte.user());
+  // Key occupies exactly bits [63:54].
+  EXPECT_EQ(pte.raw() >> 54, key);
+}
+
+INSTANTIATE_TEST_SUITE_P(KeySweep, PteKeyTest,
+                         ::testing::Values(0u, 1u, 2u, 77u, 111u, 511u,
+                                           512u, 1000u, 1023u));
+
+TEST(PteTest, SetKeyMutates) {
+  Pte pte = Pte::MakeLeaf(1, kPteRead, 5);
+  pte.set_key(999);
+  EXPECT_EQ(pte.key(), 999u);
+  EXPECT_EQ(pte.ppn(), 1u);
+}
+
+TEST(PteTest, LeafVsNonLeaf) {
+  EXPECT_TRUE(Pte::MakeLeaf(1, kPteRead, 0).leaf());
+  EXPECT_FALSE(Pte::MakeNonLeaf(1).leaf());
+  EXPECT_TRUE(Pte::MakeNonLeaf(1).valid());
+}
+
+TEST(PteTest, SetFlagsKeepsKeyAndPpn) {
+  Pte pte = Pte::MakeLeaf(0x777, kPteRead | kPteWrite, 321);
+  pte.set_flags(kPteValid | kPteRead);
+  EXPECT_FALSE(pte.writable());
+  EXPECT_EQ(pte.key(), 321u);
+  EXPECT_EQ(pte.ppn(), 0x777u);
+}
+
+TEST(CanonicalTest, Sv39Rules) {
+  EXPECT_TRUE(IsCanonicalSv39(0));
+  EXPECT_TRUE(IsCanonicalSv39(0x3F'FFFF'FFFFull));        // top of low half
+  EXPECT_FALSE(IsCanonicalSv39(0x40'0000'0000ull));       // non-canonical
+  EXPECT_TRUE(IsCanonicalSv39(0xFFFF'FFC0'0000'0000ull)); // high half
+}
+
+// Builds a 3-level table by hand: root -> mid -> leaf mapping 0x10000.
+class PageWalkerTest : public ::testing::Test {
+ protected:
+  PageWalkerTest() : memory_(1 << 20), walker_(&memory_) {}
+
+  void MapManual(std::uint64_t vaddr, std::uint64_t leaf_ppn,
+                 std::uint64_t flags, std::uint32_t key) {
+    const std::uint64_t vpn2 = (vaddr >> 30) & 0x1FF;
+    const std::uint64_t vpn1 = (vaddr >> 21) & 0x1FF;
+    const std::uint64_t vpn0 = (vaddr >> 12) & 0x1FF;
+    memory_.Write(kRootPpn * kPageSize + vpn2 * 8, 8,
+                  Pte::MakeNonLeaf(kMidPpn).raw());
+    memory_.Write(kMidPpn * kPageSize + vpn1 * 8, 8,
+                  Pte::MakeNonLeaf(kLeafTablePpn).raw());
+    memory_.Write(kLeafTablePpn * kPageSize + vpn0 * 8, 8,
+                  Pte::MakeLeaf(leaf_ppn, flags, key).raw());
+  }
+
+  static constexpr std::uint64_t kRootPpn = 1;
+  static constexpr std::uint64_t kMidPpn = 2;
+  static constexpr std::uint64_t kLeafTablePpn = 3;
+  PhysMemory memory_;
+  PageWalker walker_;
+};
+
+TEST_F(PageWalkerTest, ThreeLevelTranslation) {
+  MapManual(0x10000, 0x40, kPteRead | kPteUser, 42);
+  auto result = walker_.Walk(kRootPpn, 0x10ABC);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->phys_addr, 0x40ull * kPageSize + 0xABC);
+  EXPECT_EQ(result->pte.key(), 42u);
+  EXPECT_EQ(result->level, 0u);
+  EXPECT_EQ(walker_.last_walk_accesses(), 3u);
+}
+
+TEST_F(PageWalkerTest, UnmappedReturnsNullopt) {
+  MapManual(0x10000, 0x40, kPteRead, 0);
+  EXPECT_FALSE(walker_.Walk(kRootPpn, 0x20000).has_value());
+}
+
+TEST_F(PageWalkerTest, NonCanonicalRejected) {
+  MapManual(0x10000, 0x40, kPteRead, 0);
+  EXPECT_FALSE(walker_.Walk(kRootPpn, 0x40'0000'0000ull).has_value());
+}
+
+TEST_F(PageWalkerTest, MegapageTranslation) {
+  // Leaf at level 1 (2 MiB superpage): PPN low 9 bits must be zero.
+  const std::uint64_t vaddr = 0x40000000ull;  // vpn2=1, vpn1=0
+  memory_.Write(kRootPpn * kPageSize + 1 * 8, 8,
+                Pte::MakeNonLeaf(kMidPpn).raw());
+  memory_.Write(kMidPpn * kPageSize + 0 * 8, 8,
+                Pte::MakeLeaf(0x200, kPteRead | kPteUser, 7).raw());
+  auto result = walker_.Walk(kRootPpn, vaddr + 0x12345);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->level, 1u);
+  EXPECT_EQ(result->phys_addr, 0x200ull * kPageSize + 0x12345);
+  EXPECT_EQ(walker_.last_walk_accesses(), 2u);
+}
+
+TEST_F(PageWalkerTest, MisalignedSuperpageRejected) {
+  memory_.Write(kRootPpn * kPageSize + 1 * 8, 8,
+                Pte::MakeNonLeaf(kMidPpn).raw());
+  // Superpage PPN with nonzero low bits is malformed.
+  memory_.Write(kMidPpn * kPageSize + 0 * 8, 8,
+                Pte::MakeLeaf(0x201, kPteRead, 0).raw());
+  EXPECT_FALSE(walker_.Walk(kRootPpn, 0x40000000ull).has_value());
+}
+
+TEST_F(PageWalkerTest, InvalidIntermediateRejected) {
+  // Root entry invalid.
+  EXPECT_FALSE(walker_.Walk(kRootPpn, 0x10000).has_value());
+}
+
+}  // namespace
+}  // namespace roload::mem

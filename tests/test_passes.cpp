@@ -1,0 +1,284 @@
+// Hardening-pass tests: structural assertions on what each pass does to
+// the IR, plus a large parameterized sweep proving every (suite benchmark
+// x defense) combination still verifies and computes the same result.
+#include <gtest/gtest.h>
+
+#include "core/toolchain.h"
+#include "ir/builder.h"
+#include "passes/passes.h"
+#include "workloads/spec_like.h"
+
+namespace roload::passes {
+namespace {
+
+using ir::Block;
+using ir::Instr;
+using ir::InstrKind;
+using ir::Module;
+using ir::Trait;
+
+// A module with one vtable (class K), one vcall, one plain icall, and a
+// callback table initializer.
+Module TestModule() {
+  Module module;
+  module.name = "passes";
+  const int class_k = module.InternClass("K");
+  const int cb_type = module.InternFnType("i64(i64)");
+  const int vm_type = module.InternFnType("i64(ptr)");
+
+  ir::Global vtable;
+  vtable.name = "vt_K";
+  vtable.read_only = true;
+  vtable.trait = ir::GlobalTrait::kVTable;
+  vtable.trait_id = class_k;
+  vtable.quads.push_back(ir::GlobalInit{0, "method"});
+  module.globals.push_back(vtable);
+
+  ir::Global object;
+  object.name = "obj";
+  object.quads.push_back(ir::GlobalInit{0, "vt_K"});
+  module.globals.push_back(object);
+
+  ir::Global table;
+  table.name = "cb_table";
+  table.quads.push_back(ir::GlobalInit{0, "callback"});
+  module.globals.push_back(table);
+
+  {
+    ir::FunctionBuilder b(&module, "method", "i64(ptr)", 1);
+    b.Ret(b.Const(7));
+  }
+  {
+    ir::FunctionBuilder b(&module, "callback", "i64(i64)", 1);
+    b.Ret(b.BinImm(ir::BinOp::kAdd, b.Param(0), 1));
+  }
+  {
+    ir::FunctionBuilder b(&module, "main", "i64()", 0);
+    const int obj = b.AddrOf("obj");
+    const int vptr = b.Load(obj, 0, 8, Trait::kVPtrLoad, class_k);
+    const int method = b.Load(vptr, 0, 8, Trait::kVTableEntryLoad, class_k);
+    const int r1 = b.ICall(method, {obj}, vm_type, true, /*is_vcall=*/true);
+    const int tbl = b.AddrOf("cb_table");
+    const int fn = b.Load(tbl, 0, 8, Trait::kFnPtrLoad, cb_type);
+    const int r2 = b.ICall(fn, {r1}, cb_type);
+    b.Ret(r2);
+  }
+  module.RecomputeAddressTaken();
+  return module;
+}
+
+// Counts instructions matching a predicate across the module.
+template <typename Pred>
+int CountInstrs(const Module& module, Pred pred) {
+  int count = 0;
+  for (const auto& fn : module.functions) {
+    for (const Block& block : fn.blocks) {
+      for (const Instr& instr : block.instrs) {
+        if (pred(instr)) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+TEST(VCallProtectTest, TagsVtableLoadsAndMovesVtables) {
+  Module module = TestModule();
+  ASSERT_TRUE(VCallProtectPass(&module).ok());
+  const ir::Global* vtable = module.FindGlobal("vt_K");
+  ASSERT_NE(vtable, nullptr);
+  EXPECT_TRUE(vtable->read_only);
+  EXPECT_GE(vtable->key, kVcallClassKeyBase);
+  EXPECT_EQ(CountInstrs(module,
+                        [](const Instr& i) {
+                          return i.kind == InstrKind::kLoad &&
+                                 i.has_roload_md;
+                        }),
+            1);
+  // The vptr load (from the writable object) must NOT be tagged.
+  EXPECT_EQ(CountInstrs(module,
+                        [](const Instr& i) {
+                          return i.trait == Trait::kVPtrLoad &&
+                                 i.has_roload_md;
+                        }),
+            0);
+}
+
+TEST(VCallProtectTest, KeyGroupsBoundTheKeySpace) {
+  for (unsigned groups : {1u, 2u, 8u}) {
+    Module module = TestModule();
+    VCallProtectOptions options;
+    options.key_groups = groups;
+    ASSERT_TRUE(VCallProtectPass(&module, options).ok());
+    const ir::Global* vtable = module.FindGlobal("vt_K");
+    EXPECT_LT(vtable->key, kVcallClassKeyBase + groups);
+    EXPECT_GE(vtable->key, kVcallClassKeyBase);
+  }
+  Module module = TestModule();
+  VCallProtectOptions zero;
+  zero.key_groups = 0;
+  EXPECT_FALSE(VCallProtectPass(&module, zero).ok());
+}
+
+TEST(ICallCfiTest, CreatesGfptAndRewritesReferences) {
+  Module module = TestModule();
+  ASSERT_TRUE(ICallCfiPass(&module).ok());
+  // One GFPT entry per address-taken function (callback + method).
+  const ir::Global* gfpt_cb = module.FindGlobal("gfpt_callback");
+  ASSERT_NE(gfpt_cb, nullptr);
+  EXPECT_TRUE(gfpt_cb->read_only);
+  EXPECT_GE(gfpt_cb->key, kIcallTypeKeyBase);
+  EXPECT_EQ(gfpt_cb->quads[0].symbol, "callback");
+  // The callback-table initializer now points at the GFPT entry.
+  const ir::Global* table = module.FindGlobal("cb_table");
+  EXPECT_EQ(table->quads[0].symbol, "gfpt_callback");
+  // The vtable initializer is untouched (vcalls use the unified key).
+  EXPECT_EQ(module.FindGlobal("vt_K")->quads[0].symbol, "method");
+  EXPECT_EQ(module.FindGlobal("vt_K")->key, kUnifiedVtableKey);
+}
+
+TEST(ICallCfiTest, InsertsRoLoadBeforePlainICallOnly) {
+  Module module = TestModule();
+  ASSERT_TRUE(ICallCfiPass(&module).ok());
+  // Tagged loads: the vtable-entry load (unified key) + the GFPT load.
+  EXPECT_EQ(CountInstrs(module,
+                        [](const Instr& i) {
+                          return i.kind == InstrKind::kLoad &&
+                                 i.has_roload_md;
+                        }),
+            2);
+  // Exactly one GFPT load with a type key.
+  EXPECT_EQ(CountInstrs(module,
+                        [](const Instr& i) {
+                          return i.kind == InstrKind::kLoad &&
+                                 i.has_roload_md &&
+                                 i.roload_key >= kIcallTypeKeyBase;
+                        }),
+            1);
+}
+
+TEST(ICallCfiTest, DistinctTypesGetDistinctKeys) {
+  Module module = TestModule();
+  ASSERT_TRUE(ICallCfiPass(&module).ok());
+  const ir::Global* gfpt_cb = module.FindGlobal("gfpt_callback");
+  const ir::Global* gfpt_m = module.FindGlobal("gfpt_method");
+  ASSERT_NE(gfpt_cb, nullptr);
+  ASSERT_NE(gfpt_m, nullptr);
+  EXPECT_NE(gfpt_cb->key, gfpt_m->key);
+}
+
+TEST(VTintTest, InsertsRangeChecksNoRoLoad) {
+  Module module = TestModule();
+  const int blocks_before =
+      static_cast<int>(module.FindFunction("main")->blocks.size());
+  ASSERT_TRUE(VTintPass(&module).ok());
+  EXPECT_EQ(CountInstrs(module,
+                        [](const Instr& i) { return i.has_roload_md; }),
+            0);
+  // The check references the linker bounds symbols.
+  EXPECT_GE(CountInstrs(module,
+                        [](const Instr& i) {
+                          return i.kind == InstrKind::kAddrOf &&
+                                 (i.symbol == "__rodata_start" ||
+                                  i.symbol == "__rodata_end");
+                        }),
+            2);
+  EXPECT_GT(static_cast<int>(module.FindFunction("main")->blocks.size()),
+            blocks_before);
+  // The abort path exists.
+  EXPECT_GE(CountInstrs(module,
+                        [](const Instr& i) {
+                          return i.kind == InstrKind::kCall &&
+                                 i.symbol == "__rt_abort";
+                        }),
+            1);
+}
+
+TEST(ClassicCfiTest, InsertsIdsAndChecks) {
+  Module module = TestModule();
+  ASSERT_TRUE(ClassicCfiPass(&module).ok());
+  // Every function gets an entry ID word.
+  EXPECT_EQ(CountInstrs(module,
+                        [](const Instr& i) {
+                          return i.kind == InstrKind::kCfiLabel;
+                        }),
+            static_cast<int>(module.functions.size()));
+  // Both icall sites (vcall + plain) get a 4-byte ID load check.
+  EXPECT_EQ(CountInstrs(module,
+                        [](const Instr& i) {
+                          return i.kind == InstrKind::kLoad && i.width == 4;
+                        }),
+            2);
+  EXPECT_EQ(CountInstrs(module,
+                        [](const Instr& i) { return i.has_roload_md; }),
+            0);
+}
+
+TEST(ClassicCfiTest, IdWordIsArchitecturalNop) {
+  // The ID word is the encoding of "lui zero, id": opcode 0x37, rd 0.
+  const std::int64_t word = CfiIdWord(0x123);
+  EXPECT_EQ(word & 0x7F, 0x37);
+  EXPECT_EQ((word >> 7) & 0x1F, 0);
+  EXPECT_EQ((word >> 12) & 0xFFFFF, 0x123);
+}
+
+TEST(ClassicCfiTest, DistinctTypesDistinctIds) {
+  EXPECT_NE(CfiIdWord(0x100), CfiIdWord(0x101));
+}
+
+// ---------------------------------------------------------------------------
+// The big sweep: every suite benchmark under every defense verifies,
+// builds, runs, and computes the same checksum as the unhardened build.
+struct SweepCase {
+  std::size_t bench_index;
+  core::Defense defense;
+};
+
+class DefenseSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(DefenseSweepTest, HardenedBenchmarkMatchesBaselineResult) {
+  auto suite = workloads::SpecCint2006Suite(0.02);  // tiny but complete
+  const auto& spec = suite[GetParam().bench_index];
+  const ir::Module module = workloads::Generate(spec);
+
+  core::BuildOptions base_options;
+  auto base = core::CompileAndRun(module, base_options,
+                                  core::SystemVariant::kFullRoload);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  ASSERT_TRUE(base->completed);
+
+  core::BuildOptions options;
+  options.defense = GetParam().defense;
+  auto hardened = core::CompileAndRun(module, options,
+                                      core::SystemVariant::kFullRoload);
+  ASSERT_TRUE(hardened.ok()) << hardened.status().ToString();
+  EXPECT_TRUE(hardened->completed);
+  EXPECT_EQ(hardened->exit_code, base->exit_code) << spec.name;
+}
+
+std::vector<SweepCase> AllSweepCases() {
+  std::vector<SweepCase> cases;
+  for (std::size_t i = 0; i < 11; ++i) {
+    for (core::Defense defense :
+         {core::Defense::kVCall, core::Defense::kVTint, core::Defense::kICall,
+          core::Defense::kClassicCfi}) {
+      cases.push_back(SweepCase{i, defense});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SuiteByDefense, DefenseSweepTest, ::testing::ValuesIn(AllSweepCases()),
+    [](const auto& info) {
+      auto suite = workloads::SpecCint2006Suite(0.02);
+      std::string name = suite[info.param.bench_index].name + "_" +
+                         std::string(core::DefenseName(info.param.defense));
+      std::string out;
+      for (char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c))) out += c;
+      }
+      return out;
+    });
+
+}  // namespace
+}  // namespace roload::passes

@@ -1,0 +1,157 @@
+// Unit tests for the support library: bit utilities, string helpers,
+// deterministic RNG, and the status/error types.
+#include <gtest/gtest.h>
+
+#include "support/bits.h"
+#include "support/rng.h"
+#include "support/status.h"
+#include "support/strings.h"
+
+namespace roload {
+namespace {
+
+TEST(BitsTest, ExtractBitsBasics) {
+  EXPECT_EQ(ExtractBits(0xFF00, 15, 8), 0xFFu);
+  EXPECT_EQ(ExtractBits(0xFF00, 7, 0), 0x00u);
+  EXPECT_EQ(ExtractBits(0x1234'5678'9ABC'DEF0ull, 63, 60), 0x1u);
+  EXPECT_EQ(ExtractBits(~0ull, 63, 0), ~0ull);
+}
+
+TEST(BitsTest, InsertBitsRoundTrip) {
+  for (unsigned lo : {0u, 10u, 54u}) {
+    const unsigned hi = lo + 9;
+    for (std::uint64_t field : {0ull, 1ull, 0x3FFull, 0x155ull}) {
+      const std::uint64_t word = InsertBits(0xAAAA'AAAA'AAAA'AAAAull, hi, lo,
+                                            field);
+      EXPECT_EQ(ExtractBits(word, hi, lo), field);
+    }
+  }
+}
+
+TEST(BitsTest, InsertBitsPreservesOtherBits) {
+  const std::uint64_t base = 0x1234'5678'9ABC'DEF0ull;
+  const std::uint64_t word = InsertBits(base, 23, 16, 0xFF);
+  EXPECT_EQ(word & ~(0xFFull << 16), base & ~(0xFFull << 16));
+}
+
+TEST(BitsTest, SignExtend) {
+  EXPECT_EQ(SignExtend(0xFFF, 12), -1);
+  EXPECT_EQ(SignExtend(0x7FF, 12), 2047);
+  EXPECT_EQ(SignExtend(0x800, 12), -2048);
+  EXPECT_EQ(SignExtend(0, 12), 0);
+  EXPECT_EQ(SignExtend(0x80, 8), -128);
+}
+
+TEST(BitsTest, FitsSigned) {
+  EXPECT_TRUE(FitsSigned(2047, 12));
+  EXPECT_FALSE(FitsSigned(2048, 12));
+  EXPECT_TRUE(FitsSigned(-2048, 12));
+  EXPECT_FALSE(FitsSigned(-2049, 12));
+  EXPECT_TRUE(FitsSigned(0, 1));
+}
+
+TEST(BitsTest, FitsUnsigned) {
+  EXPECT_TRUE(FitsUnsigned(1023, 10));
+  EXPECT_FALSE(FitsUnsigned(1024, 10));
+  EXPECT_TRUE(FitsUnsigned(~0ull, 64));
+}
+
+TEST(BitsTest, PowersAndAlignment) {
+  EXPECT_TRUE(IsPowerOfTwo(4096));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(12));
+  EXPECT_EQ(Log2(4096), 12u);
+  EXPECT_EQ(AlignDown(4097, 4096), 4096u);
+  EXPECT_EQ(AlignUp(4097, 4096), 8192u);
+  EXPECT_EQ(AlignUp(4096, 4096), 4096u);
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  a b  "), "a b");
+  EXPECT_EQ(StripWhitespace("\t\n"), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StringsTest, SplitString) {
+  auto parts = SplitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+  auto kept = SplitString("a,b,,c", ',', /*keep_empty=*/true);
+  ASSERT_EQ(kept.size(), 4u);
+  EXPECT_EQ(kept[2], "");
+}
+
+TEST(StringsTest, ParseIntForms) {
+  EXPECT_EQ(ParseInt("42").value(), 42);
+  EXPECT_EQ(ParseInt("-42").value(), -42);
+  EXPECT_EQ(ParseInt("0x10").value(), 16);
+  EXPECT_EQ(ParseInt("0b101").value(), 5);
+  EXPECT_EQ(ParseInt(" 7 ").value(), 7);
+  EXPECT_FALSE(ParseInt("").has_value());
+  EXPECT_FALSE(ParseInt("abc").has_value());
+  EXPECT_FALSE(ParseInt("0x").has_value());
+  EXPECT_FALSE(ParseInt("12x").has_value());
+  EXPECT_FALSE(ParseInt("0b2").has_value());
+}
+
+TEST(StringsTest, PrefixSuffixAndFormat) {
+  EXPECT_TRUE(StartsWith(".rodata.key.7", ".rodata.key."));
+  EXPECT_FALSE(StartsWith(".rodata", ".rodata.key."));
+  EXPECT_TRUE(EndsWith("a.cpp", ".cpp"));
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, BoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+    const std::int64_t value = rng.NextInRange(-5, 5);
+    EXPECT_GE(value, -5);
+    EXPECT_LE(value, 5);
+    EXPECT_GE(rng.NextDouble(), 0.0);
+    EXPECT_LT(rng.NextDouble(), 1.0);
+  }
+}
+
+TEST(RngTest, WeightedNeverPicksZeroWeight) {
+  Rng rng(9);
+  const std::vector<unsigned> weights = {3, 0, 5, 0, 1};
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t pick = rng.NextWeighted(weights);
+    EXPECT_NE(pick, 1u);
+    EXPECT_NE(pick, 3u);
+    EXPECT_LT(pick, weights.size());
+  }
+}
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  const Status status = Status::InvalidArgument("bad");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad");
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+}
+
+TEST(StatusTest, StatusOrValueAndError) {
+  StatusOr<int> value(42);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 42);
+  StatusOr<int> error(Status::NotFound("missing"));
+  EXPECT_FALSE(error.ok());
+  EXPECT_EQ(error.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace roload

@@ -1,0 +1,223 @@
+// Tests for the tool-facing surfaces: .rimg image serialization (round
+// trip + corrupted-input rejection), the CPU trace hook, and the generic
+// AllowlistProtectPass of Section IV-C.
+#include <gtest/gtest.h>
+
+#include "asmtool/assembler.h"
+#include "asmtool/image_io.h"
+#include "core/toolchain.h"
+#include "ir/builder.h"
+#include "passes/passes.h"
+#include "tests/guest_util.h"
+
+namespace roload {
+namespace {
+
+const char kProgram[] = R"(
+.section .text
+_start:
+  la t0, allowlist
+  ld.ro a0, (t0), 111
+  andi a0, a0, 63
+  li a7, 93
+  ecall
+.section .rodata.key.111
+allowlist:
+  .quad 42
+.section .data
+mut:
+  .zero 64
+)";
+
+TEST(ImageIoTest, SerializeDeserializeRoundTrip) {
+  auto image = asmtool::Assemble(kProgram);
+  ASSERT_TRUE(image.ok());
+  const std::string bytes = asmtool::SerializeImage(*image);
+  auto loaded = asmtool::DeserializeImage(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->entry, image->entry);
+  ASSERT_EQ(loaded->sections.size(), image->sections.size());
+  for (std::size_t i = 0; i < image->sections.size(); ++i) {
+    const auto& a = image->sections[i];
+    const auto& b = loaded->sections[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.vaddr, b.vaddr);
+    EXPECT_EQ(a.size, b.size);
+    EXPECT_EQ(a.bytes, b.bytes);
+    EXPECT_EQ(a.perms, b.perms);
+    EXPECT_EQ(a.key, b.key);
+  }
+  EXPECT_EQ(loaded->symbols, image->symbols);
+}
+
+TEST(ImageIoTest, DeserializedImageStillRuns) {
+  auto image = asmtool::Assemble(kProgram);
+  ASSERT_TRUE(image.ok());
+  auto loaded =
+      asmtool::DeserializeImage(asmtool::SerializeImage(*image));
+  ASSERT_TRUE(loaded.ok());
+  core::System system;
+  ASSERT_TRUE(system.Load(*loaded).ok());
+  const auto result = system.Run();
+  EXPECT_EQ(result.kind, kernel::ExitKind::kExited);
+  EXPECT_EQ(result.exit_code, 42);
+}
+
+TEST(ImageIoTest, RejectsGarbage) {
+  EXPECT_FALSE(asmtool::DeserializeImage("").ok());
+  EXPECT_FALSE(asmtool::DeserializeImage("ELF!").ok());
+  EXPECT_FALSE(asmtool::DeserializeImage("RIMG").ok());  // truncated
+}
+
+TEST(ImageIoTest, RejectsTruncationAtEveryPrefix) {
+  auto image = asmtool::Assemble(kProgram);
+  ASSERT_TRUE(image.ok());
+  const std::string bytes = asmtool::SerializeImage(*image);
+  // Every strict prefix must be rejected, never crash.
+  for (std::size_t cut = 0; cut < bytes.size();
+       cut += std::max<std::size_t>(1, bytes.size() / 97)) {
+    EXPECT_FALSE(asmtool::DeserializeImage(bytes.substr(0, cut)).ok())
+        << "prefix length " << cut;
+  }
+}
+
+TEST(ImageIoTest, RejectsVersionMismatch) {
+  auto image = asmtool::Assemble(kProgram);
+  ASSERT_TRUE(image.ok());
+  std::string bytes = asmtool::SerializeImage(*image);
+  bytes[4] = 99;  // version field
+  EXPECT_FALSE(asmtool::DeserializeImage(bytes).ok());
+}
+
+TEST(ImageIoTest, FileRoundTrip) {
+  auto image = asmtool::Assemble(kProgram);
+  ASSERT_TRUE(image.ok());
+  const std::string path = ::testing::TempDir() + "/roload_test.rimg";
+  ASSERT_TRUE(asmtool::SaveImage(*image, path).ok());
+  auto loaded = asmtool::LoadImage(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->entry, image->entry);
+  EXPECT_FALSE(asmtool::LoadImage(path + ".does-not-exist").ok());
+}
+
+// ---------------------------------------------------------------------------
+TEST(TraceHookTest, SeesEveryRetiredInstruction) {
+  auto image = asmtool::Assemble(kProgram);
+  ASSERT_TRUE(image.ok());
+  core::System system;
+  ASSERT_TRUE(system.Load(*image).ok());
+  std::vector<std::pair<std::uint64_t, isa::Opcode>> trace;
+  system.cpu().set_trace_hook(
+      [&trace](std::uint64_t pc, const isa::Instruction& inst) {
+        trace.emplace_back(pc, inst.op);
+      });
+  const auto result = system.Run();
+  ASSERT_EQ(result.kind, kernel::ExitKind::kExited);
+  // la (2) + ld.ro + andi + li + ecall = 6 traced instructions.
+  ASSERT_EQ(trace.size(), 6u);
+  EXPECT_EQ(trace[0].second, isa::Opcode::kLui);
+  EXPECT_EQ(trace[2].second, isa::Opcode::kLdRo);
+  EXPECT_EQ(trace[5].second, isa::Opcode::kEcall);
+  EXPECT_EQ(trace[0].first, image->entry);
+}
+
+// ---------------------------------------------------------------------------
+// AllowlistProtectPass (Section IV-C).
+constexpr int kListId = 3;
+
+ir::Module AllowlistModule() {
+  ir::Module module;
+  module.name = "allowlist";
+  ir::Global list;
+  list.name = "list";
+  list.read_only = false;  // the pass must move it to RO
+  list.quads.push_back(ir::GlobalInit{40, ""});
+  module.globals.push_back(list);
+  ir::FunctionBuilder b(&module, "main", "i64()", 0);
+  const int addr = b.AddrOf("list");
+  const int value =
+      b.Load(addr, 0, 8, ir::Trait::kAllowlistLoad, kListId);
+  const int other = b.Load(addr);  // untraited load: must stay plain
+  b.Ret(b.Bin(ir::BinOp::kAdd, value, other));
+  return module;
+}
+
+TEST(AllowlistPassTest, MovesGlobalAndTagsMatchingLoads) {
+  ir::Module module = AllowlistModule();
+  passes::AllowlistOptions options;
+  options.rules.push_back(passes::AllowlistRule{
+      .global_name = "list", .key = 222,
+      .trait = ir::Trait::kAllowlistLoad, .trait_id = kListId});
+  ASSERT_TRUE(passes::AllowlistProtectPass(&module, options).ok());
+  EXPECT_TRUE(module.FindGlobal("list")->read_only);
+  EXPECT_EQ(module.FindGlobal("list")->key, 222u);
+  int tagged = 0, plain = 0;
+  for (const auto& block : module.functions[0].blocks) {
+    for (const auto& instr : block.instrs) {
+      if (instr.kind != ir::InstrKind::kLoad) continue;
+      if (instr.has_roload_md) {
+        ++tagged;
+        EXPECT_EQ(instr.roload_key, 222u);
+      } else {
+        ++plain;
+      }
+    }
+  }
+  EXPECT_EQ(tagged, 1);
+  EXPECT_EQ(plain, 1);
+}
+
+TEST(AllowlistPassTest, HardenedProgramRunsAndStillComputes) {
+  ir::Module module = AllowlistModule();
+  passes::AllowlistOptions options;
+  options.rules.push_back(passes::AllowlistRule{
+      .global_name = "list", .key = 222,
+      .trait = ir::Trait::kAllowlistLoad, .trait_id = kListId});
+  ASSERT_TRUE(passes::AllowlistProtectPass(&module, options).ok());
+  auto metrics = core::CompileAndRun(module, core::BuildOptions{},
+                                     core::SystemVariant::kFullRoload);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_TRUE(metrics->completed);
+  EXPECT_EQ(metrics->exit_code, 80);
+  EXPECT_EQ(metrics->roload_loads, 1u);
+}
+
+TEST(AllowlistPassTest, RejectsBadRules) {
+  {
+    ir::Module module = AllowlistModule();
+    passes::AllowlistOptions options;
+    options.rules.push_back(passes::AllowlistRule{
+        .global_name = "list", .key = 0,
+        .trait = ir::Trait::kAllowlistLoad, .trait_id = kListId});
+    EXPECT_FALSE(passes::AllowlistProtectPass(&module, options).ok());
+  }
+  {
+    ir::Module module = AllowlistModule();
+    passes::AllowlistOptions options;
+    options.rules.push_back(passes::AllowlistRule{
+        .global_name = "ghost", .key = 5,
+        .trait = ir::Trait::kAllowlistLoad, .trait_id = kListId});
+    EXPECT_FALSE(passes::AllowlistProtectPass(&module, options).ok());
+  }
+  {
+    // Trait filter matches nothing: refuse (likely a config mistake).
+    ir::Module module = AllowlistModule();
+    passes::AllowlistOptions options;
+    options.rules.push_back(passes::AllowlistRule{
+        .global_name = "list", .key = 5,
+        .trait = ir::Trait::kAllowlistLoad, .trait_id = 999});
+    EXPECT_FALSE(passes::AllowlistProtectPass(&module, options).ok());
+  }
+}
+
+TEST(AllowlistPassTest, WildcardTraitIdMatchesAllIds) {
+  ir::Module module = AllowlistModule();
+  passes::AllowlistOptions options;
+  options.rules.push_back(passes::AllowlistRule{
+      .global_name = "list", .key = 9,
+      .trait = ir::Trait::kAllowlistLoad, .trait_id = -1});
+  ASSERT_TRUE(passes::AllowlistProtectPass(&module, options).ok());
+}
+
+}  // namespace
+}  // namespace roload

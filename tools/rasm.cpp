@@ -1,0 +1,100 @@
+// rasm — the ROLoad assembler CLI: assembles a .s file (with ld.ro-family
+// instructions and .rodata.key.<K> sections) into a loadable .rimg image.
+//
+//   rasm input.s [-o output.rimg] [--entry SYMBOL] [--list]
+//
+// --list prints the section layout and symbol table after assembly.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "asmtool/assembler.h"
+#include "asmtool/image_io.h"
+
+using namespace roload;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: rasm input.s [-o output.rimg] [--entry SYMBOL] "
+               "[--list]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  std::string output;
+  asmtool::AssemblerOptions options;
+  bool list = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) {
+      output = argv[++i];
+    } else if (arg == "--entry" && i + 1 < argc) {
+      options.entry_symbol = argv[++i];
+    } else if (arg == "--list") {
+      list = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (input.empty()) return Usage();
+  if (output.empty()) {
+    output = input;
+    const std::size_t dot = output.rfind('.');
+    if (dot != std::string::npos) output.resize(dot);
+    output += ".rimg";
+  }
+
+  std::ifstream in(input);
+  if (!in) {
+    std::fprintf(stderr, "rasm: cannot open %s\n", input.c_str());
+    return 1;
+  }
+  const std::string source((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+
+  auto image = asmtool::Assemble(source, options);
+  if (!image.ok()) {
+    std::fprintf(stderr, "rasm: %s: %s\n", input.c_str(),
+                 image.status().ToString().c_str());
+    return 1;
+  }
+
+  if (Status status = asmtool::SaveImage(*image, output); !status.ok()) {
+    std::fprintf(stderr, "rasm: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  if (list) {
+    std::printf("entry: 0x%llx\n",
+                static_cast<unsigned long long>(image->entry));
+    std::printf("%-24s %10s %8s %5s %5s\n", "section", "vaddr", "size",
+                "perms", "key");
+    for (const auto& section : image->sections) {
+      std::printf("%-24s 0x%08llx %8llu   %c%c%c %5u\n",
+                  section.name.c_str(),
+                  static_cast<unsigned long long>(section.vaddr),
+                  static_cast<unsigned long long>(section.size),
+                  section.perms.read ? 'r' : '-',
+                  section.perms.write ? 'w' : '-',
+                  section.perms.exec ? 'x' : '-', section.key);
+    }
+    std::printf("\n%zu symbols\n", image->symbols.size());
+    for (const auto& [name, value] : image->symbols) {
+      std::printf("  0x%08llx  %s\n", static_cast<unsigned long long>(value),
+                  name.c_str());
+    }
+  }
+  std::printf("rasm: wrote %s\n", output.c_str());
+  return 0;
+}

@@ -1,0 +1,87 @@
+// rdis — disassemble the executable sections of a .rimg image.
+//
+//   rdis program.rimg [--section NAME]
+//
+// Prints addresses, raw encodings and assembly, annotating symbols.
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "asmtool/image_io.h"
+#include "isa/disasm.h"
+#include "isa/encoding.h"
+
+using namespace roload;
+
+int main(int argc, char** argv) {
+  std::string input;
+  std::string only_section;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--section" && i + 1 < argc) {
+      only_section = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "usage: rdis program.rimg [--section NAME]\n");
+      return 2;
+    } else {
+      input = arg;
+    }
+  }
+  if (input.empty()) {
+    std::fprintf(stderr, "usage: rdis program.rimg [--section NAME]\n");
+    return 2;
+  }
+
+  auto image = asmtool::LoadImage(input);
+  if (!image.ok()) {
+    std::fprintf(stderr, "rdis: %s\n", image.status().ToString().c_str());
+    return 1;
+  }
+
+  // Reverse symbol map for annotation.
+  std::map<std::uint64_t, std::string> by_addr;
+  for (const auto& [name, value] : image->symbols) {
+    by_addr.emplace(value, name);
+  }
+
+  for (const auto& section : image->sections) {
+    if (!section.perms.exec) continue;
+    if (!only_section.empty() && section.name != only_section) continue;
+    std::printf("section %s @ 0x%llx (%llu bytes):\n", section.name.c_str(),
+                static_cast<unsigned long long>(section.vaddr),
+                static_cast<unsigned long long>(section.size));
+    std::uint64_t offset = 0;
+    while (offset + 2 <= section.bytes.size()) {
+      const std::uint64_t addr = section.vaddr + offset;
+      if (auto it = by_addr.find(addr); it != by_addr.end()) {
+        std::printf("%s:\n", it->second.c_str());
+      }
+      std::uint32_t raw = static_cast<std::uint32_t>(
+          section.bytes[offset] | (section.bytes[offset + 1] << 8));
+      const unsigned length =
+          isa::ParcelLength(static_cast<std::uint16_t>(raw));
+      if (length == 4 && offset + 4 <= section.bytes.size()) {
+        raw |= static_cast<std::uint32_t>(section.bytes[offset + 2]) << 16;
+        raw |= static_cast<std::uint32_t>(section.bytes[offset + 3]) << 24;
+      }
+      const auto inst = isa::Decode(raw);
+      if (inst.has_value()) {
+        if (length == 4) {
+          std::printf("  %8llx:  %08x   %s\n",
+                      static_cast<unsigned long long>(addr), raw,
+                      isa::Disassemble(*inst).c_str());
+        } else {
+          std::printf("  %8llx:  %04x       %s\n",
+                      static_cast<unsigned long long>(addr), raw & 0xFFFF,
+                      isa::Disassemble(*inst).c_str());
+        }
+        offset += inst->length;
+      } else {
+        std::printf("  %8llx:  %08x   <unknown>\n",
+                    static_cast<unsigned long long>(addr), raw);
+        offset += length;
+      }
+    }
+  }
+  return 0;
+}

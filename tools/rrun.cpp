@@ -1,0 +1,162 @@
+// rrun — run a guest program (.rimg image or .s source) on the simulated
+// ROLoad machine.
+//
+//   rrun program.rimg|program.s [--variant baseline|proc|full]
+//        [--max-instructions N] [--trace] [--stats]
+//
+// Exit code mirrors the guest's exit code (or 128+signal when killed),
+// like a shell would report it.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "asmtool/assembler.h"
+#include "asmtool/image_io.h"
+#include "core/system.h"
+#include "isa/disasm.h"
+#include "support/strings.h"
+
+using namespace roload;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: rrun program.rimg|program.s "
+               "[--variant baseline|proc|full] [--max-instructions N] "
+               "[--trace] [--stats]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  core::SystemVariant variant = core::SystemVariant::kFullRoload;
+  std::uint64_t max_instructions = 1ull << 32;
+  bool trace = false;
+  bool stats = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--variant" && i + 1 < argc) {
+      const std::string value = argv[++i];
+      if (value == "baseline") {
+        variant = core::SystemVariant::kBaseline;
+      } else if (value == "proc") {
+        variant = core::SystemVariant::kProcessorModified;
+      } else if (value == "full") {
+        variant = core::SystemVariant::kFullRoload;
+      } else {
+        return Usage();
+      }
+    } else if (arg == "--max-instructions" && i + 1 < argc) {
+      max_instructions = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (input.empty()) return Usage();
+
+  asmtool::LinkImage image;
+  if (EndsWith(input, ".s") || EndsWith(input, ".asm")) {
+    std::ifstream in(input);
+    if (!in) {
+      std::fprintf(stderr, "rrun: cannot open %s\n", input.c_str());
+      return 1;
+    }
+    const std::string source((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+    auto assembled = asmtool::Assemble(source);
+    if (!assembled.ok()) {
+      std::fprintf(stderr, "rrun: %s\n",
+                   assembled.status().ToString().c_str());
+      return 1;
+    }
+    image = *std::move(assembled);
+  } else {
+    auto loaded = asmtool::LoadImage(input);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "rrun: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    image = *std::move(loaded);
+  }
+
+  core::SystemConfig config;
+  config.variant = variant;
+  core::System system(config);
+  if (Status status = system.Load(image); !status.ok()) {
+    std::fprintf(stderr, "rrun: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (trace) {
+    system.cpu().set_trace_hook(
+        [](std::uint64_t pc, const isa::Instruction& inst) {
+          std::fprintf(stderr, "%10llx:  %s\n",
+                       static_cast<unsigned long long>(pc),
+                       isa::Disassemble(inst).c_str());
+        });
+  }
+
+  const kernel::RunResult result = system.Run(max_instructions);
+  if (!result.stdout_text.empty()) {
+    std::fwrite(result.stdout_text.data(), 1, result.stdout_text.size(),
+                stdout);
+  }
+
+  if (stats) {
+    const auto& cpu = system.cpu().stats();
+    std::fprintf(stderr,
+                 "instructions %llu\ncycles       %llu\nIPC          %.3f\n"
+                 "loads        %llu (ld.ro %llu)\nstores       %llu\n"
+                 "branches     %llu (taken %llu)\n"
+                 "i$ miss      %.4f%%\nd$ miss      %.4f%%\n"
+                 "dtlb miss    %llu\npeak memory  %llu KiB\n",
+                 static_cast<unsigned long long>(cpu.instructions),
+                 static_cast<unsigned long long>(cpu.cycles),
+                 cpu.cycles ? static_cast<double>(cpu.instructions) /
+                                  static_cast<double>(cpu.cycles)
+                            : 0.0,
+                 static_cast<unsigned long long>(cpu.loads),
+                 static_cast<unsigned long long>(cpu.roload_loads),
+                 static_cast<unsigned long long>(cpu.stores),
+                 static_cast<unsigned long long>(cpu.branches),
+                 static_cast<unsigned long long>(cpu.taken_branches),
+                 system.cpu().icache_stats().MissRate() * 100,
+                 system.cpu().dcache_stats().MissRate() * 100,
+                 static_cast<unsigned long long>(
+                     system.cpu().dtlb_stats().misses),
+                 static_cast<unsigned long long>(result.peak_mem_kib));
+  }
+
+  switch (result.kind) {
+    case kernel::ExitKind::kExited:
+      return static_cast<int>(result.exit_code & 0xFF);
+    case kernel::ExitKind::kKilled:
+      std::fprintf(stderr, "rrun: killed by signal %d (%.*s)%s at pc=0x%llx"
+                   " addr=0x%llx\n",
+                   result.signal,
+                   static_cast<int>(
+                       isa::TrapCauseName(result.trap_cause).size()),
+                   isa::TrapCauseName(result.trap_cause).data(),
+                   result.roload_violation ? " [ROLoad violation]" : "",
+                   static_cast<unsigned long long>(result.fault_pc),
+                   static_cast<unsigned long long>(result.fault_addr));
+      return 128 + result.signal;
+    case kernel::ExitKind::kInstructionLimit:
+      std::fprintf(stderr, "rrun: instruction limit reached\n");
+      return 124;
+  }
+  return 1;
+}
