@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_addi.dir/ablation_addi.cpp.o"
+  "CMakeFiles/ablation_addi.dir/ablation_addi.cpp.o.d"
+  "ablation_addi"
+  "ablation_addi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_addi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ctxswitch.dir/ablation_ctxswitch.cpp.o"
+  "CMakeFiles/ablation_ctxswitch.dir/ablation_ctxswitch.cpp.o.d"
+  "ablation_ctxswitch"
+  "ablation_ctxswitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ctxswitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_hw.cpp" "bench/CMakeFiles/ablation_hw.dir/ablation_hw.cpp.o" "gcc" "bench/CMakeFiles/ablation_hw.dir/ablation_hw.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/roload_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/roload_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sec/CMakeFiles/roload_sec.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/roload_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/roload_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/roload_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/roload_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/roload_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/roload_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/passes/CMakeFiles/roload_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/roload_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmtool/CMakeFiles/roload_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/roload_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/roload_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/roload_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hw.dir/ablation_hw.cpp.o"
+  "CMakeFiles/ablation_hw.dir/ablation_hw.cpp.o.d"
+  "ablation_hw"
+  "ablation_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

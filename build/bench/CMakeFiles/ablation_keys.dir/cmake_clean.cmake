@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_keys.dir/ablation_keys.cpp.o"
+  "CMakeFiles/ablation_keys.dir/ablation_keys.cpp.o.d"
+  "ablation_keys"
+  "ablation_keys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

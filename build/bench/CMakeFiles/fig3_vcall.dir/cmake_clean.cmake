@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_vcall.dir/fig3_vcall.cpp.o"
+  "CMakeFiles/fig3_vcall.dir/fig3_vcall.cpp.o.d"
+  "fig3_vcall"
+  "fig3_vcall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_vcall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secVB_compat.dir/secVB_compat.cpp.o"
+  "CMakeFiles/secVB_compat.dir/secVB_compat.cpp.o.d"
+  "secVB_compat"
+  "secVB_compat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secVB_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

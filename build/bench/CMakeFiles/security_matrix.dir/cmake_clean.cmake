@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_matrix.dir/security_matrix.cpp.o"
+  "CMakeFiles/security_matrix.dir/security_matrix.cpp.o.d"
+  "security_matrix"
+  "security_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allowlist_guard.dir/allowlist_guard.cpp.o"
+  "CMakeFiles/allowlist_guard.dir/allowlist_guard.cpp.o.d"
+  "allowlist_guard"
+  "allowlist_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allowlist_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icall_cfi.dir/icall_cfi.cpp.o"
+  "CMakeFiles/icall_cfi.dir/icall_cfi.cpp.o.d"
+  "icall_cfi"
+  "icall_cfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icall_cfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for icall_cfi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for icall_cfi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/userspace_keys.dir/userspace_keys.cpp.o"
+  "CMakeFiles/userspace_keys.dir/userspace_keys.cpp.o.d"
+  "userspace_keys"
+  "userspace_keys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/userspace_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcall_protection.dir/vcall_protection.cpp.o"
+  "CMakeFiles/vcall_protection.dir/vcall_protection.cpp.o.d"
+  "vcall_protection"
+  "vcall_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcall_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

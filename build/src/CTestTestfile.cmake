@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("isa")
+subdirs("mem")
+subdirs("tlb")
+subdirs("cache")
+subdirs("cpu")
+subdirs("kernel")
+subdirs("asmtool")
+subdirs("ir")
+subdirs("passes")
+subdirs("backend")
+subdirs("hw")
+subdirs("workloads")
+subdirs("sec")
+subdirs("core")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roload_asm.dir/assembler.cpp.o"
+  "CMakeFiles/roload_asm.dir/assembler.cpp.o.d"
+  "CMakeFiles/roload_asm.dir/image.cpp.o"
+  "CMakeFiles/roload_asm.dir/image.cpp.o.d"
+  "CMakeFiles/roload_asm.dir/image_io.cpp.o"
+  "CMakeFiles/roload_asm.dir/image_io.cpp.o.d"
+  "libroload_asm.a"
+  "libroload_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roload_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

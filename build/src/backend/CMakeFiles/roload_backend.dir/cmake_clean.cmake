@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roload_backend.dir/codegen.cpp.o"
+  "CMakeFiles/roload_backend.dir/codegen.cpp.o.d"
+  "libroload_backend.a"
+  "libroload_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roload_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

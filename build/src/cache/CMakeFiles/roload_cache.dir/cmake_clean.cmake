@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roload_cache.dir/cache.cpp.o"
+  "CMakeFiles/roload_cache.dir/cache.cpp.o.d"
+  "libroload_cache.a"
+  "libroload_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roload_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roload_core.dir/system.cpp.o"
+  "CMakeFiles/roload_core.dir/system.cpp.o.d"
+  "CMakeFiles/roload_core.dir/toolchain.cpp.o"
+  "CMakeFiles/roload_core.dir/toolchain.cpp.o.d"
+  "libroload_core.a"
+  "libroload_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roload_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roload_cpu.dir/cpu.cpp.o"
+  "CMakeFiles/roload_cpu.dir/cpu.cpp.o.d"
+  "libroload_cpu.a"
+  "libroload_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roload_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

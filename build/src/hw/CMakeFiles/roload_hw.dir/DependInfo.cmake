@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/mapper.cpp" "src/hw/CMakeFiles/roload_hw.dir/mapper.cpp.o" "gcc" "src/hw/CMakeFiles/roload_hw.dir/mapper.cpp.o.d"
+  "/root/repo/src/hw/netlist.cpp" "src/hw/CMakeFiles/roload_hw.dir/netlist.cpp.o" "gcc" "src/hw/CMakeFiles/roload_hw.dir/netlist.cpp.o.d"
+  "/root/repo/src/hw/tlb_datapath.cpp" "src/hw/CMakeFiles/roload_hw.dir/tlb_datapath.cpp.o" "gcc" "src/hw/CMakeFiles/roload_hw.dir/tlb_datapath.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/roload_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

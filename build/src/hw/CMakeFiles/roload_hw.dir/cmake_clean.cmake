@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roload_hw.dir/mapper.cpp.o"
+  "CMakeFiles/roload_hw.dir/mapper.cpp.o.d"
+  "CMakeFiles/roload_hw.dir/netlist.cpp.o"
+  "CMakeFiles/roload_hw.dir/netlist.cpp.o.d"
+  "CMakeFiles/roload_hw.dir/tlb_datapath.cpp.o"
+  "CMakeFiles/roload_hw.dir/tlb_datapath.cpp.o.d"
+  "libroload_hw.a"
+  "libroload_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roload_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roload_ir.dir/builder.cpp.o"
+  "CMakeFiles/roload_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/roload_ir.dir/interp.cpp.o"
+  "CMakeFiles/roload_ir.dir/interp.cpp.o.d"
+  "CMakeFiles/roload_ir.dir/ir.cpp.o"
+  "CMakeFiles/roload_ir.dir/ir.cpp.o.d"
+  "libroload_ir.a"
+  "libroload_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roload_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/disasm.cpp" "src/isa/CMakeFiles/roload_isa.dir/disasm.cpp.o" "gcc" "src/isa/CMakeFiles/roload_isa.dir/disasm.cpp.o.d"
+  "/root/repo/src/isa/encoding.cpp" "src/isa/CMakeFiles/roload_isa.dir/encoding.cpp.o" "gcc" "src/isa/CMakeFiles/roload_isa.dir/encoding.cpp.o.d"
+  "/root/repo/src/isa/opcodes.cpp" "src/isa/CMakeFiles/roload_isa.dir/opcodes.cpp.o" "gcc" "src/isa/CMakeFiles/roload_isa.dir/opcodes.cpp.o.d"
+  "/root/repo/src/isa/registers.cpp" "src/isa/CMakeFiles/roload_isa.dir/registers.cpp.o" "gcc" "src/isa/CMakeFiles/roload_isa.dir/registers.cpp.o.d"
+  "/root/repo/src/isa/traps.cpp" "src/isa/CMakeFiles/roload_isa.dir/traps.cpp.o" "gcc" "src/isa/CMakeFiles/roload_isa.dir/traps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/roload_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

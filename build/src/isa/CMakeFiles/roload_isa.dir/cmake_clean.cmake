@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roload_isa.dir/disasm.cpp.o"
+  "CMakeFiles/roload_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/roload_isa.dir/encoding.cpp.o"
+  "CMakeFiles/roload_isa.dir/encoding.cpp.o.d"
+  "CMakeFiles/roload_isa.dir/opcodes.cpp.o"
+  "CMakeFiles/roload_isa.dir/opcodes.cpp.o.d"
+  "CMakeFiles/roload_isa.dir/registers.cpp.o"
+  "CMakeFiles/roload_isa.dir/registers.cpp.o.d"
+  "CMakeFiles/roload_isa.dir/traps.cpp.o"
+  "CMakeFiles/roload_isa.dir/traps.cpp.o.d"
+  "libroload_isa.a"
+  "libroload_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roload_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

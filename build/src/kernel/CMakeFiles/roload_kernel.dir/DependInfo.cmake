@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/address_space.cpp" "src/kernel/CMakeFiles/roload_kernel.dir/address_space.cpp.o" "gcc" "src/kernel/CMakeFiles/roload_kernel.dir/address_space.cpp.o.d"
+  "/root/repo/src/kernel/kernel.cpp" "src/kernel/CMakeFiles/roload_kernel.dir/kernel.cpp.o" "gcc" "src/kernel/CMakeFiles/roload_kernel.dir/kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/roload_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmtool/CMakeFiles/roload_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/roload_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/roload_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/roload_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/roload_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/roload_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roload_kernel.dir/address_space.cpp.o"
+  "CMakeFiles/roload_kernel.dir/address_space.cpp.o.d"
+  "CMakeFiles/roload_kernel.dir/kernel.cpp.o"
+  "CMakeFiles/roload_kernel.dir/kernel.cpp.o.d"
+  "libroload_kernel.a"
+  "libroload_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roload_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libroload_kernel.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roload_mem.dir/page_table.cpp.o"
+  "CMakeFiles/roload_mem.dir/page_table.cpp.o.d"
+  "CMakeFiles/roload_mem.dir/phys_memory.cpp.o"
+  "CMakeFiles/roload_mem.dir/phys_memory.cpp.o.d"
+  "libroload_mem.a"
+  "libroload_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roload_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libroload_mem.a"
+)

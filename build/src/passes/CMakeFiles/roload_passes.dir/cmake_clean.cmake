@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roload_passes.dir/optimize.cpp.o"
+  "CMakeFiles/roload_passes.dir/optimize.cpp.o.d"
+  "CMakeFiles/roload_passes.dir/passes.cpp.o"
+  "CMakeFiles/roload_passes.dir/passes.cpp.o.d"
+  "libroload_passes.a"
+  "libroload_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roload_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

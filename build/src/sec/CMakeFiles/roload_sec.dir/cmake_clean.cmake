@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roload_sec.dir/attack.cpp.o"
+  "CMakeFiles/roload_sec.dir/attack.cpp.o.d"
+  "libroload_sec.a"
+  "libroload_sec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roload_sec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

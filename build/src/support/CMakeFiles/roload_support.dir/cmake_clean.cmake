@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roload_support.dir/bits.cpp.o"
+  "CMakeFiles/roload_support.dir/bits.cpp.o.d"
+  "CMakeFiles/roload_support.dir/logging.cpp.o"
+  "CMakeFiles/roload_support.dir/logging.cpp.o.d"
+  "CMakeFiles/roload_support.dir/rng.cpp.o"
+  "CMakeFiles/roload_support.dir/rng.cpp.o.d"
+  "CMakeFiles/roload_support.dir/status.cpp.o"
+  "CMakeFiles/roload_support.dir/status.cpp.o.d"
+  "CMakeFiles/roload_support.dir/strings.cpp.o"
+  "CMakeFiles/roload_support.dir/strings.cpp.o.d"
+  "libroload_support.a"
+  "libroload_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roload_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

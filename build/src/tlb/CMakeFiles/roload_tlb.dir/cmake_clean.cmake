@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roload_tlb.dir/tlb.cpp.o"
+  "CMakeFiles/roload_tlb.dir/tlb.cpp.o.d"
+  "libroload_tlb.a"
+  "libroload_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roload_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roload_workloads.dir/spec_like.cpp.o"
+  "CMakeFiles/roload_workloads.dir/spec_like.cpp.o.d"
+  "libroload_workloads.a"
+  "libroload_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roload_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libroload_workloads.a"
+)

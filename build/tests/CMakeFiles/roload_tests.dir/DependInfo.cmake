@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_asm.cpp" "tests/CMakeFiles/roload_tests.dir/test_asm.cpp.o" "gcc" "tests/CMakeFiles/roload_tests.dir/test_asm.cpp.o.d"
+  "/root/repo/tests/test_backend.cpp" "tests/CMakeFiles/roload_tests.dir/test_backend.cpp.o" "gcc" "tests/CMakeFiles/roload_tests.dir/test_backend.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/roload_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/roload_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_cpu.cpp" "tests/CMakeFiles/roload_tests.dir/test_cpu.cpp.o" "gcc" "tests/CMakeFiles/roload_tests.dir/test_cpu.cpp.o.d"
+  "/root/repo/tests/test_end_to_end.cpp" "tests/CMakeFiles/roload_tests.dir/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/roload_tests.dir/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/test_experiments.cpp" "tests/CMakeFiles/roload_tests.dir/test_experiments.cpp.o" "gcc" "tests/CMakeFiles/roload_tests.dir/test_experiments.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/roload_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/roload_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_hw.cpp" "tests/CMakeFiles/roload_tests.dir/test_hw.cpp.o" "gcc" "tests/CMakeFiles/roload_tests.dir/test_hw.cpp.o.d"
+  "/root/repo/tests/test_interp.cpp" "tests/CMakeFiles/roload_tests.dir/test_interp.cpp.o" "gcc" "tests/CMakeFiles/roload_tests.dir/test_interp.cpp.o.d"
+  "/root/repo/tests/test_ir.cpp" "tests/CMakeFiles/roload_tests.dir/test_ir.cpp.o" "gcc" "tests/CMakeFiles/roload_tests.dir/test_ir.cpp.o.d"
+  "/root/repo/tests/test_isa.cpp" "tests/CMakeFiles/roload_tests.dir/test_isa.cpp.o" "gcc" "tests/CMakeFiles/roload_tests.dir/test_isa.cpp.o.d"
+  "/root/repo/tests/test_kernel.cpp" "tests/CMakeFiles/roload_tests.dir/test_kernel.cpp.o" "gcc" "tests/CMakeFiles/roload_tests.dir/test_kernel.cpp.o.d"
+  "/root/repo/tests/test_mem.cpp" "tests/CMakeFiles/roload_tests.dir/test_mem.cpp.o" "gcc" "tests/CMakeFiles/roload_tests.dir/test_mem.cpp.o.d"
+  "/root/repo/tests/test_multiprocess.cpp" "tests/CMakeFiles/roload_tests.dir/test_multiprocess.cpp.o" "gcc" "tests/CMakeFiles/roload_tests.dir/test_multiprocess.cpp.o.d"
+  "/root/repo/tests/test_optimize.cpp" "tests/CMakeFiles/roload_tests.dir/test_optimize.cpp.o" "gcc" "tests/CMakeFiles/roload_tests.dir/test_optimize.cpp.o.d"
+  "/root/repo/tests/test_passes.cpp" "tests/CMakeFiles/roload_tests.dir/test_passes.cpp.o" "gcc" "tests/CMakeFiles/roload_tests.dir/test_passes.cpp.o.d"
+  "/root/repo/tests/test_sec.cpp" "tests/CMakeFiles/roload_tests.dir/test_sec.cpp.o" "gcc" "tests/CMakeFiles/roload_tests.dir/test_sec.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/roload_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/roload_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_tlb.cpp" "tests/CMakeFiles/roload_tests.dir/test_tlb.cpp.o" "gcc" "tests/CMakeFiles/roload_tests.dir/test_tlb.cpp.o.d"
+  "/root/repo/tests/test_tools.cpp" "tests/CMakeFiles/roload_tests.dir/test_tools.cpp.o" "gcc" "tests/CMakeFiles/roload_tests.dir/test_tools.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/roload_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/roload_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/roload_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/roload_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sec/CMakeFiles/roload_sec.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/roload_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/roload_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/roload_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/roload_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/roload_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/roload_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/passes/CMakeFiles/roload_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/roload_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmtool/CMakeFiles/roload_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/roload_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/roload_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/roload_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

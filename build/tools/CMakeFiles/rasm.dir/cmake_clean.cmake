@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasm.dir/rasm.cpp.o"
+  "CMakeFiles/rasm.dir/rasm.cpp.o.d"
+  "rasm"
+  "rasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

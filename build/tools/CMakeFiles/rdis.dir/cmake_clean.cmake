@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdis.dir/rdis.cpp.o"
+  "CMakeFiles/rdis.dir/rdis.cpp.o.d"
+  "rdis"
+  "rdis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rdis.
+# This may be replaced when dependencies are built.

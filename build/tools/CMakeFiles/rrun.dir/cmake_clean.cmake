@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrun.dir/rrun.cpp.o"
+  "CMakeFiles/rrun.dir/rrun.cpp.o.d"
+  "rrun"
+  "rrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_rasm "/root/repo/build/tools/rasm" "/root/repo/examples/hello.s" "-o" "/root/repo/build/hello.rimg" "--list")
+set_tests_properties(tool_rasm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_rrun "/root/repo/build/tools/rrun" "/root/repo/build/hello.rimg" "--stats")
+set_tests_properties(tool_rrun PROPERTIES  DEPENDS "tool_rasm" PASS_REGULAR_EXPRESSION "hello from roload vm" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_rrun_source "/root/repo/build/tools/rrun" "/root/repo/examples/hello.s")
+set_tests_properties(tool_rrun_source PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_rdis "/root/repo/build/tools/rdis" "/root/repo/build/hello.rimg")
+set_tests_properties(tool_rdis PROPERTIES  DEPENDS "tool_rasm" PASS_REGULAR_EXPRESSION "ld.ro t1, \\(t0\\), 77" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
