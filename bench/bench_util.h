@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/toolchain.h"
+#include "trace/session.h"
 #include "workloads/spec_like.h"
 
 namespace roload::bench {
@@ -48,6 +49,19 @@ inline core::RunMetrics MustRun(const ir::Module& module,
 inline void PrintRule(int width = 100) {
   for (int i = 0; i < width; ++i) std::fputc('-', stdout);
   std::fputc('\n', stdout);
+}
+
+// Writes the session as BENCH_<name>.json in the working directory — the
+// machine-readable sibling of the table printed on stdout, consumed by
+// the perf-trajectory tooling. Failure to write is reported but does not
+// fail the bench (the text output already happened).
+inline void WriteBenchJson(const trace::TelemetrySession& session) {
+  const std::string path = "BENCH_" + session.name() + ".json";
+  if (Status status = session.WriteJson(path); !status.ok()) {
+    std::fprintf(stderr, "bench: %s\n", status.ToString().c_str());
+    return;
+  }
+  std::printf("\nwrote %s\n", path.c_str());
 }
 
 }  // namespace roload::bench

@@ -20,6 +20,8 @@ int main() {
               "base cycles", "VCall%", "VTint%", "VCall m%", "VTint m%");
   bench::PrintRule();
 
+  trace::TelemetrySession session("fig3_vcall");
+  session.Record("scale", scale);
   double time_vcall = 0, time_vtint = 0, mem_vcall = 0, mem_vtint = 0;
   int count = 0;
   for (const auto& spec : workloads::SpecCppSubset(scale)) {
@@ -47,6 +49,14 @@ int main() {
                 spec.name.c_str(),
                 static_cast<unsigned long long>(base.cycles), t_vc, t_vt,
                 m_vc, m_vt);
+    session.Record(spec.name + ".base_cycles", base.cycles);
+    session.Record(spec.name + ".vcall_time_pct", t_vc);
+    session.Record(spec.name + ".vtint_time_pct", t_vt);
+    session.Record(spec.name + ".vcall_mem_pct", m_vc);
+    session.Record(spec.name + ".vtint_mem_pct", m_vt);
+    session.Record(spec.name + ".vcall_roload_loads", vcall.roload_loads);
+    session.Record(spec.name + ".vcall_key_checks",
+                   vcall.Counter("tlb.d.key_check"));
     time_vcall += t_vc;
     time_vtint += t_vt;
     mem_vcall += m_vc;
@@ -59,5 +69,12 @@ int main() {
               mem_vtint / count);
   std::printf("%-24s | %12s | %8.3f %8.3f | %9.4f %9.4f\n",
               "paper (DAC'21)", "", 0.303, 2.750, 0.0347, 0.0644);
+  session.Record("average.vcall_time_pct", time_vcall / count);
+  session.Record("average.vtint_time_pct", time_vtint / count);
+  session.Record("average.vcall_mem_pct", mem_vcall / count);
+  session.Record("average.vtint_mem_pct", mem_vtint / count);
+  session.Record("paper.vcall_time_pct", 0.303);
+  session.Record("paper.vtint_time_pct", 2.750);
+  bench::WriteBenchJson(session);
   return 0;
 }

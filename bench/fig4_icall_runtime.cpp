@@ -19,6 +19,8 @@ int main() {
               "ICall%", "CFI%");
   bench::PrintRule(64);
 
+  trace::TelemetrySession session("fig4_icall_runtime");
+  session.Record("scale", scale);
   double time_icall = 0, time_cfi = 0;
   int count = 0;
   for (const auto& spec : workloads::SpecCint2006Suite(scale)) {
@@ -35,6 +37,12 @@ int main() {
         static_cast<double>(base.cycles), static_cast<double>(cfi.cycles));
     std::printf("%-24s | %12llu | %8.3f %8.3f\n", spec.name.c_str(),
                 static_cast<unsigned long long>(base.cycles), t_ic, t_cfi);
+    session.Record(spec.name + ".base_cycles", base.cycles);
+    session.Record(spec.name + ".icall_time_pct", t_ic);
+    session.Record(spec.name + ".cfi_time_pct", t_cfi);
+    session.Record(spec.name + ".icall_roload_loads", icall.roload_loads);
+    session.Record(spec.name + ".icall_key_checks",
+                   icall.Counter("tlb.d.key_check"));
     time_icall += t_ic;
     time_cfi += t_cfi;
     ++count;
@@ -44,5 +52,9 @@ int main() {
               time_icall / count, time_cfi / count);
   std::printf("%-24s | %12s | %8s %8.3f\n", "paper (DAC'21)", "", "~0",
               9.073);
+  session.Record("average.icall_time_pct", time_icall / count);
+  session.Record("average.cfi_time_pct", time_cfi / count);
+  session.Record("paper.cfi_time_pct", 9.073);
+  bench::WriteBenchJson(session);
   return 0;
 }

@@ -19,6 +19,8 @@ int main() {
               "ICall m%", "CFI m%");
   bench::PrintRule(64);
 
+  trace::TelemetrySession session("fig5_icall_memory");
+  session.Record("scale", scale);
   double mem_icall = 0, mem_cfi = 0;
   int count = 0;
   for (const auto& spec : workloads::SpecCint2006Suite(scale)) {
@@ -38,6 +40,10 @@ int main() {
     std::printf("%-24s | %12llu | %9.4f %9.4f\n", spec.name.c_str(),
                 static_cast<unsigned long long>(base.peak_mem_kib), m_ic,
                 m_cfi);
+    session.Record(spec.name + ".base_kib", base.peak_mem_kib);
+    session.Record(spec.name + ".icall_mem_pct", m_ic);
+    session.Record(spec.name + ".cfi_mem_pct", m_cfi);
+    session.Record(spec.name + ".icall_image_bytes", icall.image_bytes);
     mem_icall += m_ic;
     mem_cfi += m_cfi;
     ++count;
@@ -47,5 +53,10 @@ int main() {
               mem_icall / count, mem_cfi / count);
   std::printf("%-24s | %12s | %9.4f %9.4f\n", "paper (DAC'21)", "", 0.0859,
               0.0500);
+  session.Record("average.icall_mem_pct", mem_icall / count);
+  session.Record("average.cfi_mem_pct", mem_cfi / count);
+  session.Record("paper.icall_mem_pct", 0.0859);
+  session.Record("paper.cfi_mem_pct", 0.0500);
+  bench::WriteBenchJson(session);
   return 0;
 }

@@ -22,6 +22,8 @@ int main() {
               "proc+k m%");
   bench::PrintRule(92);
 
+  trace::TelemetrySession session("secVB_compat");
+  session.Record("scale", scale);
   double worst_time = 0, worst_mem = 0;
   for (const auto& spec : workloads::SpecCint2006Suite(scale)) {
     const ir::Module module = workloads::Generate(spec);
@@ -51,6 +53,11 @@ int main() {
                 spec.name.c_str(),
                 static_cast<unsigned long long>(base.cycles), tp, tf, mp,
                 mf);
+    session.Record(spec.name + ".base_cycles", base.cycles);
+    session.Record(spec.name + ".proc_time_pct", tp);
+    session.Record(spec.name + ".full_time_pct", tf);
+    session.Record(spec.name + ".proc_mem_pct", mp);
+    session.Record(spec.name + ".full_mem_pct", mf);
     worst_time = std::max({worst_time, tp, tf});
     worst_mem = std::max({worst_mem, mp, mf});
   }
@@ -59,5 +66,9 @@ int main() {
               "(backward compatible).\n");
   std::printf("Worst runtime overhead: %.4f%%, worst memory overhead: "
               "%.4f%% (paper: ~0%% for both).\n", worst_time, worst_mem);
+  session.Record("worst_time_pct", worst_time);
+  session.Record("worst_mem_pct", worst_mem);
+  session.Record("backward_compatible", std::string_view("yes"));
+  bench::WriteBenchJson(session);
   return 0;
 }

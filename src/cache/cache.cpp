@@ -41,6 +41,12 @@ unsigned Cache::Access(std::uint64_t phys_addr, bool write) {
   }
 
   ++stats_.misses;
+  const bool trace_events =
+      trace_ != nullptr && trace_->enabled(trace::EventCategory::kCache);
+  if (trace_events) {
+    trace_->Emit(unit_, trace::EventCategory::kCache,
+                 trace::EventType::kCacheMiss, 0, phys_addr, write ? 1 : 0);
+  }
   Line* victim = base;
   for (unsigned way = 0; way < config_.ways; ++way) {
     Line& line = base[way];
@@ -54,6 +60,12 @@ unsigned Cache::Access(std::uint64_t phys_addr, bool write) {
   if (victim->valid && victim->dirty) {
     ++stats_.writebacks;
     cycles += config_.writeback_cycles;
+    if (trace_events) {
+      const std::uint64_t victim_addr =
+          (victim->tag * num_sets_ + set) * config_.line_bytes;
+      trace_->Emit(unit_, trace::EventCategory::kCache,
+                   trace::EventType::kCacheWriteback, 0, victim_addr, 0);
+    }
   }
   victim->valid = true;
   victim->dirty = write;

@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "trace/hub.h"
+
 namespace roload::cache {
 
 struct CacheConfig {
@@ -45,6 +47,13 @@ class Cache {
   const CacheStats& stats() const { return stats_; }
   void ResetStats() { stats_ = CacheStats{}; }
 
+  // Telemetry attachment (null disables); `unit` distinguishes I$ and D$
+  // in the event stream.
+  void set_trace(trace::Hub* hub, trace::Unit unit) {
+    trace_ = hub;
+    unit_ = unit;
+  }
+
  private:
   struct Line {
     bool valid = false;
@@ -62,6 +71,9 @@ class Cache {
   // line (stack slots, straight-line code); self-validated shortcut.
   Line* last_line_ = nullptr;
   std::uint64_t last_line_addr_ = ~std::uint64_t{0};
+
+  trace::Hub* trace_ = nullptr;
+  trace::Unit unit_ = trace::Unit::kDCache;
 };
 
 }  // namespace roload::cache

@@ -1,9 +1,63 @@
 #include "core/system.h"
 
 namespace roload::core {
+namespace {
+
+// Bridges every module's stats struct into the hierarchical counter
+// namespace. The registry stores pointers into the live structs, so the
+// hot paths keep their plain-increment cost and a snapshot always shows
+// the current values.
+void RegisterCounters(trace::CounterRegistry* counters, const cpu::Cpu& cpu,
+                      const kernel::Kernel& kernel) {
+  const cpu::CpuStats& c = cpu.stats();
+  counters->Register("cpu.cycles", &c.cycles);
+  counters->Register("cpu.instret", &c.instructions);
+  counters->Register("cpu.loads", &c.loads);
+  counters->Register("cpu.stores", &c.stores);
+  counters->Register("cpu.roload_loads", &c.roload_loads);
+  counters->Register("cpu.branches", &c.branches);
+  counters->Register("cpu.taken_branches", &c.taken_branches);
+  counters->Register("cpu.indirect_jumps", &c.indirect_jumps);
+
+  const tlb::TlbStats& it = cpu.itlb_stats();
+  counters->Register("tlb.i.hit", &it.hits);
+  counters->Register("tlb.i.miss", &it.misses);
+  counters->Register("tlb.i.flush", &it.flushes);
+  counters->Register("tlb.i.permission_fault", &it.permission_faults);
+
+  const tlb::TlbStats& dt = cpu.dtlb_stats();
+  counters->Register("tlb.d.hit", &dt.hits);
+  counters->Register("tlb.d.miss", &dt.misses);
+  counters->Register("tlb.d.flush", &dt.flushes);
+  counters->Register("tlb.d.permission_fault", &dt.permission_faults);
+  counters->Register("tlb.d.key_check", &dt.key_checks);
+  counters->Register("tlb.d.key_check_hit", &dt.key_check_hits);
+  counters->Register("tlb.d.key_fault", &dt.roload_key_faults);
+  counters->Register("tlb.d.writable_fault", &dt.roload_writable_faults);
+
+  const cache::CacheStats& ic = cpu.icache_stats();
+  counters->Register("cache.i.hit", &ic.hits);
+  counters->Register("cache.i.miss", &ic.misses);
+  counters->Register("cache.i.writeback", &ic.writebacks);
+
+  const cache::CacheStats& dc = cpu.dcache_stats();
+  counters->Register("cache.d.hit", &dc.hits);
+  counters->Register("cache.d.miss", &dc.misses);
+  counters->Register("cache.d.writeback", &dc.writebacks);
+
+  const kernel::KernelStats& k = kernel.stats();
+  counters->Register("kernel.syscalls", &k.syscalls);
+  counters->Register("kernel.traps", &k.traps);
+  counters->Register("kernel.fault.roload", &k.roload_faults);
+  counters->Register("kernel.signals", &k.signals);
+  counters->Register("kernel.context_switches", &k.context_switches);
+}
+
+}  // namespace
 
 System::System(const SystemConfig& config) : config_(config) {
   memory_ = std::make_unique<mem::PhysMemory>(config.memory_bytes);
+  trace_ = std::make_unique<trace::Hub>(config.trace);
 
   cpu::CpuConfig cpu_config = config.cpu;
   cpu_config.roload_enabled =
@@ -14,6 +68,11 @@ System::System(const SystemConfig& config) : config_(config) {
   kernel_config.roload_aware = config.variant == SystemVariant::kFullRoload;
   kernel_ = std::make_unique<kernel::Kernel>(kernel_config, memory_.get(),
                                              cpu_.get());
+
+  trace_->set_clock(&cpu_->stats().cycles);
+  cpu_->set_trace(trace_.get());
+  kernel_->set_trace(trace_.get());
+  RegisterCounters(&trace_->counters(), *cpu_, *kernel_);
 }
 
 Status System::Load(const asmtool::LinkImage& image) {

@@ -13,6 +13,7 @@
 #include "cpu/cpu.h"
 #include "kernel/kernel.h"
 #include "mem/phys_memory.h"
+#include "trace/hub.h"
 
 namespace roload::core {
 
@@ -26,6 +27,9 @@ struct SystemConfig {
   SystemVariant variant = SystemVariant::kFullRoload;
   std::uint64_t memory_bytes = 64ull * 1024 * 1024;
   cpu::CpuConfig cpu;  // cache/TLB geometry defaults match Table II
+  // Telemetry: event-category mask / profiler switch. The defaults record
+  // nothing; counters are always registered and queryable.
+  trace::TraceConfig trace;
 };
 
 class System {
@@ -43,9 +47,16 @@ class System {
   mem::PhysMemory& memory() { return *memory_; }
   SystemVariant variant() const { return config_.variant; }
 
+  // The machine's telemetry hub: every module's counters live in
+  // trace().counters() ("cpu.instret", "tlb.d.key_check", ...); events
+  // and the cycle profiler obey SystemConfig::trace.
+  trace::Hub& trace() { return *trace_; }
+  const trace::Hub& trace() const { return *trace_; }
+
  private:
   SystemConfig config_;
   std::unique_ptr<mem::PhysMemory> memory_;
+  std::unique_ptr<trace::Hub> trace_;
   std::unique_ptr<cpu::Cpu> cpu_;
   std::unique_ptr<kernel::Kernel> kernel_;
 };

@@ -82,6 +82,7 @@ StatusOr<RunMetrics> CompileAndRun(const ir::Module& module,
                           system.cpu().dtlb_stats().misses + 1);
   metrics.dcache_miss_rate = system.cpu().dcache_stats().MissRate();
   metrics.icache_miss_rate = system.cpu().icache_stats().MissRate();
+  metrics.counters = system.trace().counters().Snapshot();
   return metrics;
 }
 

@@ -5,6 +5,9 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "asmtool/image.h"
 #include "backend/codegen.h"
@@ -59,6 +62,16 @@ struct RunMetrics {
   double dtlb_miss_rate = 0.0;
   double dcache_miss_rate = 0.0;
   double icache_miss_rate = 0.0;
+  // Full end-of-run counter snapshot (sorted by name) from the system's
+  // telemetry registry — what the bench JSON exporters embed.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+
+  std::uint64_t Counter(std::string_view name) const {
+    for (const auto& [key, value] : counters) {
+      if (key == name) return value;
+    }
+    return 0;
+  }
 };
 
 // Builds `module` under `defense` and runs it on a fresh system of

@@ -31,6 +31,14 @@ void Cpu::FlushTlbs() {
   dtlb_.Flush();
 }
 
+void Cpu::set_trace(trace::Hub* hub) {
+  trace_ = hub;
+  itlb_.set_trace(hub, trace::Unit::kITlb);
+  dtlb_.set_trace(hub, trace::Unit::kDTlb);
+  icache_.set_trace(hub, trace::Unit::kICache);
+  dcache_.set_trace(hub, trace::Unit::kDCache);
+}
+
 void Cpu::ResetStats() {
   stats_ = CpuStats{};
   itlb_.ResetStats();
@@ -48,8 +56,12 @@ bool Cpu::FetchDecode(isa::Instruction* inst, unsigned* cycles) {
     RaiseTrap(isa::TrapCause::kInstructionAddressMisaligned, pc_);
     return false;
   }
+  const bool profiling = trace_ != nullptr && trace_->profiling();
   auto low = itlb_.Translate(root_ppn_, pc_, tlb::AccessType::kFetch, 0);
   *cycles += low.cycles;
+  if (profiling) {
+    trace_->profiler().Charge(trace::CycleBucket::kITlbWalk, low.cycles);
+  }
   if (!low.ok) {
     RaiseTrap(low.cause, pc_);
     return false;
@@ -58,7 +70,14 @@ bool Cpu::FetchDecode(isa::Instruction* inst, unsigned* cycles) {
     RaiseTrap(isa::TrapCause::kInstructionAccessFault, pc_);
     return false;
   }
-  *cycles += icache_.Access(low.phys_addr, /*write=*/false);
+  const unsigned ifetch_cycles = icache_.Access(low.phys_addr, /*write=*/false);
+  *cycles += ifetch_cycles;
+  if (profiling) {
+    // The hit latency is part of ordinary execution; only the fill beyond
+    // it is a miss stall.
+    trace_->profiler().Charge(trace::CycleBucket::kICacheMiss,
+                              ifetch_cycles - config_.icache.hit_cycles);
+  }
 
   std::uint32_t raw =
       static_cast<std::uint32_t>(memory_->Read(low.phys_addr, 2));
@@ -70,12 +89,22 @@ bool Cpu::FetchDecode(isa::Instruction* inst, unsigned* cycles) {
       auto high =
           itlb_.Translate(root_ppn_, pc_ + 2, tlb::AccessType::kFetch, 0);
       *cycles += high.cycles;
+      if (profiling) {
+        trace_->profiler().Charge(trace::CycleBucket::kITlbWalk,
+                                  high.cycles);
+      }
       if (!high.ok) {
         RaiseTrap(high.cause, pc_ + 2);
         return false;
       }
       upper_phys = high.phys_addr;
-      *cycles += icache_.Access(upper_phys, /*write=*/false);
+      const unsigned upper_cycles =
+          icache_.Access(upper_phys, /*write=*/false);
+      *cycles += upper_cycles;
+      if (profiling) {
+        trace_->profiler().Charge(trace::CycleBucket::kICacheMiss,
+                                  upper_cycles - config_.icache.hit_cycles);
+      }
     }
     if (!memory_->Contains(upper_phys, 2)) {
       RaiseTrap(isa::TrapCause::kInstructionAccessFault, pc_);
@@ -112,8 +141,12 @@ bool Cpu::MemAccess(const isa::Instruction& inst, std::uint64_t virt_addr,
       write ? tlb::AccessType::kStore
             : (isa::IsRoLoad(inst.op) ? tlb::AccessType::kRoLoad
                                       : tlb::AccessType::kLoad);
+  const bool profiling = trace_ != nullptr && trace_->profiling();
   auto xlat = dtlb_.Translate(root_ppn_, virt_addr, access, inst.key);
   *cycles += xlat.cycles;
+  if (profiling) {
+    trace_->profiler().Charge(trace::CycleBucket::kDTlbWalk, xlat.cycles);
+  }
   if (!xlat.ok) {
     RaiseTrap(xlat.cause, virt_addr);
     return false;
@@ -124,7 +157,12 @@ bool Cpu::MemAccess(const isa::Instruction& inst, std::uint64_t virt_addr,
               virt_addr);
     return false;
   }
-  *cycles += dcache_.Access(xlat.phys_addr, write);
+  const unsigned dcache_cycles = dcache_.Access(xlat.phys_addr, write);
+  *cycles += dcache_cycles;
+  if (profiling) {
+    trace_->profiler().Charge(trace::CycleBucket::kDCacheMiss,
+                              dcache_cycles - config_.dcache.hit_cycles);
+  }
   if (write) {
     memory_->Write(xlat.phys_addr, bytes, *value);
   } else {
@@ -141,8 +179,15 @@ bool Cpu::MemAccess(const isa::Instruction& inst, std::uint64_t virt_addr,
 StepEvent Cpu::Step() {
   isa::Instruction inst;
   unsigned cycles = 0;
+  const bool profiling = trace_ != nullptr && trace_->profiling();
+  const std::uint64_t step_pc = pc_;
+  if (profiling) trace_->profiler().BeginStep();
   if (!FetchDecode(&inst, &cycles)) {
     stats_.cycles += cycles + 1;
+    if (profiling) {
+      trace_->profiler().EndStep(trace::CycleBucket::kTrap, step_pc,
+                                 cycles + 1);
+    }
     return StepEvent::kTrap;
   }
   if (trace_hook_) trace_hook_(pc_, inst);
@@ -404,6 +449,10 @@ StepEvent Cpu::Step() {
       if (isa::IsRoLoad(inst.op)) ++stats_.roload_loads;
       if (!MemAccess(inst, addr, /*write=*/false, &rd_value, &cycles)) {
         stats_.cycles += cycles + 1;
+        if (profiling) {
+          trace_->profiler().EndStep(trace::CycleBucket::kTrap, step_pc,
+                                     cycles + 1);
+        }
         return StepEvent::kTrap;
       }
       break;
@@ -418,6 +467,10 @@ StepEvent Cpu::Step() {
       std::uint64_t value = rs2;
       if (!MemAccess(inst, addr, /*write=*/true, &value, &cycles)) {
         stats_.cycles += cycles + 1;
+        if (profiling) {
+          trace_->profiler().EndStep(trace::CycleBucket::kTrap, step_pc,
+                                     cycles + 1);
+        }
         return StepEvent::kTrap;
       }
       break;
@@ -426,10 +479,18 @@ StepEvent Cpu::Step() {
       stats_.cycles += cycles + 1;
       ++stats_.instructions;
       pc_ = next_pc;
+      if (profiling) {
+        trace_->profiler().EndStep(trace::CycleBucket::kSyscall, step_pc,
+                                   cycles + 1);
+      }
       return StepEvent::kEcall;
     case Opcode::kEbreak:
       RaiseTrap(isa::TrapCause::kBreakpoint, pc_);
       stats_.cycles += cycles + 1;
+      if (profiling) {
+        trace_->profiler().EndStep(trace::CycleBucket::kTrap, step_pc,
+                                   cycles + 1);
+      }
       return StepEvent::kTrap;
     case Opcode::kFence:
       writes_rd = false;
@@ -440,6 +501,21 @@ StepEvent Cpu::Step() {
   pc_ = new_pc;
   stats_.cycles += cycles + 1;
   ++stats_.instructions;
+  if (trace_ != nullptr) {
+    if (profiling) {
+      // A ld.ro's own execution cycles form the "roload_load" bucket —
+      // the direct cost of the checked-load path (Fig 3/4 decomposition).
+      trace_->profiler().EndStep(isa::IsRoLoad(inst.op)
+                                     ? trace::CycleBucket::kRoLoadLoad
+                                     : trace::CycleBucket::kCompute,
+                                 step_pc, cycles + 1);
+    }
+    if (trace_->enabled(trace::EventCategory::kInstruction)) {
+      trace_->Emit(trace::Unit::kCpu, trace::EventCategory::kInstruction,
+                   trace::EventType::kRetire, step_pc, 0,
+                   static_cast<std::uint64_t>(inst.op));
+    }
+  }
   return StepEvent::kRetired;
 }
 

@@ -16,6 +16,7 @@
 #include "isa/traps.h"
 #include "mem/phys_memory.h"
 #include "tlb/tlb.h"
+#include "trace/hub.h"
 
 namespace roload::cpu {
 
@@ -86,6 +87,12 @@ class Cpu {
                                        const isa::Instruction& inst)>;
   void set_trace_hook(TraceHook hook) { trace_hook_ = std::move(hook); }
 
+  // Telemetry attachment: retire events, cycle attribution, and the
+  // TLB/cache event streams all flow into `hub` (null detaches). The hub
+  // observes only — attaching one never changes architectural state or
+  // cycle counts.
+  void set_trace(trace::Hub* hub);
+
   // Direct (debug/kernel) access to guest memory through the page tables,
   // bypassing caches and permission checks. Used by the loader, the syscall
   // layer, and the attack-injection harness (which models an arbitrary
@@ -118,6 +125,7 @@ class Cpu {
   isa::Trap pending_trap_{isa::TrapCause::kIllegalInstruction, 0};
   CpuStats stats_;
   TraceHook trace_hook_;
+  trace::Hub* trace_ = nullptr;
 };
 
 }  // namespace roload::cpu

@@ -76,7 +76,13 @@ void Kernel::SwitchTo(int pid) {
     Process& old = active();
     old.pc = cpu_->pc();
     for (unsigned r = 0; r < isa::kNumRegs; ++r) old.regs[r] = cpu_->reg(r);
-    ++context_switches_;
+    ++stats_.context_switches;
+    if (trace_ != nullptr &&
+        trace_->enabled(trace::EventCategory::kKernel)) {
+      trace_->Emit(trace::Unit::kKernel, trace::EventCategory::kKernel,
+                   trace::EventType::kContextSwitch, cpu_->pc(), 0,
+                   static_cast<std::uint64_t>(pid));
+    }
   }
   active_ = pid;
   Process& next = active();
@@ -104,6 +110,12 @@ bool Kernel::HandleSyscall(RunResult* result) {
   const std::uint64_t a0 = cpu_->reg(isa::kA0);
   const std::uint64_t a1 = cpu_->reg(isa::kA1);
   const std::uint64_t a2 = cpu_->reg(isa::kA2);
+
+  ++stats_.syscalls;
+  if (trace_ != nullptr && trace_->enabled(trace::EventCategory::kKernel)) {
+    trace_->Emit(trace::Unit::kKernel, trace::EventCategory::kKernel,
+                 trace::EventType::kSyscall, cpu_->pc(), a0, number);
+  }
 
   switch (number) {
     case kSysExit:
@@ -218,6 +230,14 @@ void Kernel::HandleTrap(const isa::Trap& trap, RunResult* result) {
   result->fault_addr = trap.tval;
   result->fault_pc = cpu_->pc();
 
+  ++stats_.traps;
+  if (trap.cause == isa::TrapCause::kRoLoadPageFault) ++stats_.roload_faults;
+  if (trace_ != nullptr && trace_->enabled(trace::EventCategory::kTrap)) {
+    trace_->Emit(trace::Unit::kKernel, trace::EventCategory::kTrap,
+                 trace::EventType::kTrapEnter, cpu_->pc(), trap.tval,
+                 static_cast<std::uint64_t>(trap.cause));
+  }
+
   switch (trap.cause) {
     case isa::TrapCause::kRoLoadPageFault:
       // The modified fault handler (arch/riscv/mm/fault.c in the paper)
@@ -233,6 +253,7 @@ void Kernel::HandleTrap(const isa::Trap& trap, RunResult* result) {
       result->signal = kSigsegv;
       break;
   }
+  ++stats_.signals;
 }
 
 RunResult Kernel::Run(std::uint64_t max_instructions) {

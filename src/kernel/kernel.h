@@ -21,6 +21,7 @@
 #include "asmtool/image.h"
 #include "cpu/cpu.h"
 #include "kernel/address_space.h"
+#include "trace/hub.h"
 
 namespace roload::kernel {
 
@@ -61,6 +62,16 @@ struct RunResult {
   std::uint64_t peak_mem_kib = 0;
 };
 
+// Kernel-side activity counters, exposed to the telemetry registry
+// ("kernel.syscalls", "kernel.fault.roload", ...).
+struct KernelStats {
+  std::uint64_t syscalls = 0;
+  std::uint64_t traps = 0;
+  std::uint64_t roload_faults = 0;   // hardware kRoLoadPageFault causes seen
+  std::uint64_t signals = 0;         // fatal signals delivered
+  std::uint64_t context_switches = 0;
+};
+
 // Guest syscall numbers (RISC-V Linux numbers where they exist).
 inline constexpr std::uint64_t kSysExit = 93;
 inline constexpr std::uint64_t kSysWrite = 64;
@@ -99,9 +110,14 @@ class Kernel {
   std::vector<RunResult> RunAll(std::uint64_t slice,
                                 std::uint64_t total_limit);
 
-  std::uint64_t context_switches() const { return context_switches_; }
+  std::uint64_t context_switches() const { return stats_.context_switches; }
+  const KernelStats& stats() const { return stats_; }
   AddressSpace* address_space();
   const KernelConfig& config() const { return config_; }
+
+  // Telemetry attachment (null disables): trap/syscall/context-switch
+  // events flow into `hub`; the counter cells stay in stats_.
+  void set_trace(trace::Hub* hub) { trace_ = hub; }
 
  private:
   struct Process {
@@ -135,7 +151,8 @@ class Kernel {
   std::unique_ptr<FrameAllocator> frames_;
   std::vector<Process> processes_;
   int active_ = -1;
-  std::uint64_t context_switches_ = 0;
+  KernelStats stats_;
+  trace::Hub* trace_ = nullptr;
 };
 
 }  // namespace roload::kernel

@@ -1,0 +1,156 @@
+#include "support/json.h"
+
+#include <cmath>
+
+#include "support/status.h"
+#include "support/strings.h"
+
+namespace roload {
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Indent() {
+  if (!pretty_) return;
+  out_ += '\n';
+  out_.append(stack_.size() * 2, ' ');
+}
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) {
+    ROLOAD_CHECK(out_.empty());  // exactly one top-level value
+    return;
+  }
+  if (stack_.back() == Scope::kObject) {
+    ROLOAD_CHECK(key_pending_);
+    key_pending_ = false;
+    return;
+  }
+  // Array element.
+  if (!first_in_scope_.back()) out_ += ',';
+  first_in_scope_.back() = false;
+  Indent();
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  ROLOAD_CHECK(!stack_.empty() && stack_.back() == Scope::kObject);
+  ROLOAD_CHECK(!key_pending_);
+  if (!first_in_scope_.back()) out_ += ',';
+  first_in_scope_.back() = false;
+  Indent();
+  out_ += '"';
+  out_ += JsonEscape(key);
+  out_ += pretty_ ? "\": " : "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.push_back(Scope::kObject);
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  ROLOAD_CHECK(!stack_.empty() && stack_.back() == Scope::kObject);
+  ROLOAD_CHECK(!key_pending_);
+  const bool empty = first_in_scope_.back();
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+  if (!empty) Indent();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.push_back(Scope::kArray);
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  ROLOAD_CHECK(!stack_.empty() && stack_.back() == Scope::kArray);
+  const bool empty = first_in_scope_.back();
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+  if (!empty) Indent();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += JsonEscape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::uint64_t value) {
+  BeforeValue();
+  out_ += StrFormat("%llu", static_cast<unsigned long long>(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::int64_t value) {
+  BeforeValue();
+  out_ += StrFormat("%lld", static_cast<long long>(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";  // JSON has no Inf/NaN
+    return *this;
+  }
+  // %.6g keeps integers short ("3" not "3.000000") and is stable across
+  // platforms for the magnitudes we emit (percentages, cycle ratios).
+  out_ += StrFormat("%.6g", value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  ROLOAD_CHECK(stack_.empty() && !out_.empty());
+  return out_;
+}
+
+}  // namespace roload

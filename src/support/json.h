@@ -1,0 +1,65 @@
+// Minimal streaming JSON writer used by the telemetry exporters and the
+// bench result files. Emits deterministic, human-diffable output (fixed
+// key order is the caller's responsibility; numbers are printed with a
+// stable format), which is what the golden-file tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace roload {
+
+// Escapes `text` per RFC 8259 (quotes, backslash, control characters).
+std::string JsonEscape(std::string_view text);
+
+// Structured writer: push objects/arrays, emit key/value pairs, and read
+// the finished document with str(). Misuse (value without a key inside an
+// object, unclosed containers) trips a ROLOAD_CHECK.
+class JsonWriter {
+ public:
+  explicit JsonWriter(bool pretty = true) : pretty_(pretty) {}
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Keys apply to the next Begin*/value inside an object.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view value);
+  JsonWriter& Value(const char* value) {
+    return Value(std::string_view(value));
+  }
+  JsonWriter& Value(std::uint64_t value);
+  JsonWriter& Value(std::int64_t value);
+  JsonWriter& Value(int value) { return Value(static_cast<std::int64_t>(value)); }
+  JsonWriter& Value(double value);
+  JsonWriter& Value(bool value);
+
+  // Convenience: Key(key) + Value(value).
+  template <typename T>
+  JsonWriter& KV(std::string_view key, T&& value) {
+    Key(key);
+    return Value(std::forward<T>(value));
+  }
+
+  // The finished document; checks every container was closed.
+  const std::string& str() const;
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+
+  void BeforeValue();
+  void Indent();
+
+  bool pretty_;
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> first_in_scope_;
+  bool key_pending_ = false;
+};
+
+}  // namespace roload

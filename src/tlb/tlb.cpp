@@ -43,10 +43,14 @@ std::optional<isa::TrapCause> Tlb::CheckPermissions(const mem::Pte& pte,
       // The ROLoad check runs in parallel with the conventional read check
       // and the two outputs are ANDed; a failure of either raises the
       // ROLoad page fault that the kernel distinguishes from benign loads.
+      ++stats->key_checks;
       const bool base_ok = pte.readable() && pte.user();
       const bool ro_ok =
           RoLoadCheck(pte.readable(), pte.writable(), pte.key(), key);
-      if (base_ok && ro_ok) return std::nullopt;
+      if (base_ok && ro_ok) {
+        ++stats->key_check_hits;
+        return std::nullopt;
+      }
       if (!base_ok || pte.writable()) {
         ++stats->roload_writable_faults;
       } else {
@@ -56,6 +60,16 @@ std::optional<isa::TrapCause> Tlb::CheckPermissions(const mem::Pte& pte,
     }
   }
   return isa::TrapCause::kLoadPageFault;
+}
+
+void Tlb::EmitRoLoadFault(isa::TrapCause cause, std::uint64_t virt_addr,
+                          std::uint32_t key) {
+  if (cause != isa::TrapCause::kRoLoadPageFault || trace_ == nullptr ||
+      !trace_->enabled(trace::EventCategory::kRoLoad)) {
+    return;
+  }
+  trace_->Emit(unit_, trace::EventCategory::kRoLoad,
+               trace::EventType::kRoLoadFault, 0, virt_addr, key);
 }
 
 Tlb::Entry* Tlb::LookupEntry(std::uint64_t vpn, std::uint64_t root_ppn) {
@@ -84,6 +98,16 @@ void Tlb::InsertEntry(std::uint64_t vpn, std::uint64_t root_ppn,
       victim = &entry;
     }
   }
+  if (trace_ != nullptr && trace_->enabled(trace::EventCategory::kTlb)) {
+    if (victim->valid) {
+      trace_->Emit(unit_, trace::EventCategory::kTlb,
+                   trace::EventType::kTlbEvict, 0,
+                   victim->vpn << mem::kPageShift, victim->pte.key());
+    }
+    trace_->Emit(unit_, trace::EventCategory::kTlb,
+                 trace::EventType::kTlbFill, 0, vpn << mem::kPageShift,
+                 pte.key());
+  }
   victim->valid = true;
   victim->vpn = vpn;
   victim->asid_root = root_ppn;
@@ -105,6 +129,7 @@ TlbResult Tlb::Translate(std::uint64_t root_ppn, std::uint64_t virt_addr,
     if (auto cause = CheckPermissions(entry->pte, access, key, &stats_)) {
       result.ok = false;
       result.cause = *cause;
+      EmitRoLoadFault(result.cause, virt_addr, key);
       return result;
     }
     result.ok = true;
@@ -137,6 +162,7 @@ TlbResult Tlb::Translate(std::uint64_t root_ppn, std::uint64_t virt_addr,
         ++stats_.roload_writable_faults;
         break;
     }
+    EmitRoLoadFault(result.cause, virt_addr, key);
     return result;
   }
 
@@ -149,6 +175,7 @@ TlbResult Tlb::Translate(std::uint64_t root_ppn, std::uint64_t virt_addr,
     result.ok = false;
     result.cycles = walk_cycles;
     result.cause = *cause;
+    EmitRoLoadFault(result.cause, virt_addr, key);
     return result;
   }
   result.ok = true;
@@ -161,6 +188,10 @@ void Tlb::Flush() {
   for (Entry& entry : entries_) entry.valid = false;
   last_entry_ = nullptr;
   ++stats_.flushes;
+  if (trace_ != nullptr && trace_->enabled(trace::EventCategory::kTlb)) {
+    trace_->Emit(unit_, trace::EventCategory::kTlb,
+                 trace::EventType::kTlbFlush, 0, 0, 0);
+  }
 }
 
 }  // namespace roload::tlb

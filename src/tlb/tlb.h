@@ -11,6 +11,7 @@
 
 #include "isa/traps.h"
 #include "mem/page_table.h"
+#include "trace/hub.h"
 
 namespace roload::tlb {
 
@@ -40,6 +41,10 @@ struct TlbStats {
   std::uint64_t permission_faults = 0;
   std::uint64_t roload_key_faults = 0;
   std::uint64_t roload_writable_faults = 0;
+  // ROLoad check invocations (one per kRoLoad translation) and how many
+  // passed — the "tlb.d.key_check" telemetry counters.
+  std::uint64_t key_checks = 0;
+  std::uint64_t key_check_hits = 0;
 };
 
 // Translation outcome: either a physical address (plus cycle cost) or a trap.
@@ -68,6 +73,13 @@ class Tlb {
   const TlbStats& stats() const { return stats_; }
   void ResetStats() { stats_ = TlbStats{}; }
 
+  // Telemetry attachment (null disables). `unit` tells the event stream
+  // whether this is the I-side or D-side TLB.
+  void set_trace(trace::Hub* hub, trace::Unit unit) {
+    trace_ = hub;
+    unit_ = unit;
+  }
+
  private:
   struct Entry {
     bool valid = false;
@@ -87,11 +99,18 @@ class Tlb {
   Entry* LookupEntry(std::uint64_t vpn, std::uint64_t root_ppn);
   void InsertEntry(std::uint64_t vpn, std::uint64_t root_ppn,
                    const mem::Pte& pte, std::uint64_t phys_page);
+  // Records a key-check failure in the event stream (no-op for other
+  // causes or when the kRoLoad category is masked off).
+  void EmitRoLoadFault(isa::TrapCause cause, std::uint64_t virt_addr,
+                       std::uint32_t key);
 
   // Simulation fast path (no architectural effect): most lookups hit the
   // same page as the previous one, so cache the last matched entry and
   // self-validate it before the associative scan.
   Entry* last_entry_ = nullptr;
+
+  trace::Hub* trace_ = nullptr;
+  trace::Unit unit_ = trace::Unit::kDTlb;
 
   TlbConfig config_;
   mem::PhysMemory* memory_;

@@ -1,0 +1,47 @@
+#include "trace/counters.h"
+
+#include <algorithm>
+
+#include "support/status.h"
+
+namespace roload::trace {
+
+void CounterRegistry::Register(std::string name, const std::uint64_t* cell) {
+  ROLOAD_CHECK(cell != nullptr);
+  for (const Entry& entry : counters_) {
+    ROLOAD_CHECK(entry.name != name);  // duplicate counter registration
+  }
+  counters_.push_back(Entry{std::move(name), cell});
+}
+
+std::uint64_t* CounterRegistry::RegisterOwned(std::string name) {
+  owned_.push_back(std::make_unique<std::uint64_t>(0));
+  std::uint64_t* cell = owned_.back().get();
+  Register(std::move(name), cell);
+  return cell;
+}
+
+std::uint64_t CounterRegistry::Value(std::string_view name,
+                                     bool* found) const {
+  for (const Entry& entry : counters_) {
+    if (entry.name == name) {
+      if (found != nullptr) *found = true;
+      return *entry.cell;
+    }
+  }
+  if (found != nullptr) *found = false;
+  return 0;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> CounterRegistry::Snapshot()
+    const {
+  std::vector<std::pair<std::string, std::uint64_t>> snapshot;
+  snapshot.reserve(counters_.size());
+  for (const Entry& entry : counters_) {
+    snapshot.emplace_back(entry.name, *entry.cell);
+  }
+  std::sort(snapshot.begin(), snapshot.end());
+  return snapshot;
+}
+
+}  // namespace roload::trace

@@ -1,0 +1,52 @@
+// Hierarchical counter registry: the one queryable namespace for every
+// statistic the simulator produces ("cpu.instret", "tlb.d.key_check",
+// "kernel.fault.roload", ...). Modules do not push values into the
+// registry; they register a *pointer to the cell they already maintain*
+// (the fields of CpuStats, TlbStats, CacheStats, ...), so the hot paths
+// keep their existing single-increment cost and the registry is free
+// until somebody reads it. Counters that have no legacy home can be
+// allocated inside the registry with RegisterOwned().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace roload::trace {
+
+class CounterRegistry {
+ public:
+  // Registers `name` as a view over `cell`. The cell must outlive the
+  // registry (in practice: stats structs owned by the System's modules).
+  // Registering a duplicate name is a programming error.
+  void Register(std::string name, const std::uint64_t* cell);
+
+  // Registers a counter whose storage lives in the registry itself;
+  // returns the mutable cell. The pointer is stable for the registry's
+  // lifetime.
+  std::uint64_t* RegisterOwned(std::string name);
+
+  // Current value of `name`; 0 for unknown counters (`found` reports
+  // whether the name exists when the caller needs to distinguish).
+  std::uint64_t Value(std::string_view name, bool* found = nullptr) const;
+
+  // All counters, sorted by name — the deterministic export order.
+  std::vector<std::pair<std::string, std::uint64_t>> Snapshot() const;
+
+  std::size_t size() const { return counters_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    const std::uint64_t* cell;
+  };
+
+  std::vector<Entry> counters_;
+  // Deque-like stable storage for owned cells.
+  std::vector<std::unique_ptr<std::uint64_t>> owned_;
+};
+
+}  // namespace roload::trace

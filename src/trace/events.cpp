@@ -1,0 +1,99 @@
+#include "trace/events.h"
+
+#include "support/status.h"
+
+namespace roload::trace {
+
+std::string_view EventCategoryName(EventCategory category) {
+  switch (category) {
+    case EventCategory::kInstruction:
+      return "instruction";
+    case EventCategory::kTlb:
+      return "tlb";
+    case EventCategory::kCache:
+      return "cache";
+    case EventCategory::kRoLoad:
+      return "roload";
+    case EventCategory::kTrap:
+      return "trap";
+    case EventCategory::kKernel:
+      return "kernel";
+    case EventCategory::kNumCategories:
+      break;
+  }
+  return "?";
+}
+
+std::string_view EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kRetire:
+      return "retire";
+    case EventType::kTlbFill:
+      return "tlb_fill";
+    case EventType::kTlbEvict:
+      return "tlb_evict";
+    case EventType::kTlbFlush:
+      return "tlb_flush";
+    case EventType::kCacheMiss:
+      return "cache_miss";
+    case EventType::kCacheWriteback:
+      return "cache_writeback";
+    case EventType::kRoLoadFault:
+      return "roload_fault";
+    case EventType::kTrapEnter:
+      return "trap_enter";
+    case EventType::kSyscall:
+      return "syscall";
+    case EventType::kContextSwitch:
+      return "context_switch";
+  }
+  return "?";
+}
+
+std::string_view UnitName(Unit unit) {
+  switch (unit) {
+    case Unit::kCpu:
+      return "cpu";
+    case Unit::kITlb:
+      return "itlb";
+    case Unit::kDTlb:
+      return "dtlb";
+    case Unit::kICache:
+      return "icache";
+    case Unit::kDCache:
+      return "dcache";
+    case Unit::kKernel:
+      return "kernel";
+  }
+  return "?";
+}
+
+EventBuffer::EventBuffer(std::size_t capacity) {
+  ROLOAD_CHECK(capacity > 0);
+  events_.resize(capacity);
+}
+
+void EventBuffer::Push(const TraceEvent& event) {
+  events_[head_] = event;
+  head_ = (head_ + 1) % events_.size();
+  if (size_ < events_.size()) {
+    ++size_;
+  } else {
+    ++dropped_;  // overwrote the oldest retained event
+  }
+}
+
+const TraceEvent& EventBuffer::at(std::size_t i) const {
+  ROLOAD_CHECK(i < size_);
+  // `head_` points one past the newest; the oldest sits `size_` slots back.
+  const std::size_t oldest = (head_ + events_.size() - size_) % events_.size();
+  return events_[(oldest + i) % events_.size()];
+}
+
+void EventBuffer::Clear() {
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace roload::trace

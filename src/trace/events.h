@@ -1,0 +1,95 @@
+// Structured event tracing: a fixed-capacity ring buffer of small typed
+// records emitted by the CPU, TLBs, caches and kernel. Categories are
+// individually maskable so a run can record, say, only ROLoad faults and
+// context switches at full speed while instruction-retire tracing (the
+// expensive one) stays off.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace roload::trace {
+
+// One bit per category in TraceConfig::categories.
+enum class EventCategory : std::uint8_t {
+  kInstruction,  // per-retire records (high volume)
+  kTlb,          // fills, evictions, flushes
+  kCache,        // misses, writebacks
+  kRoLoad,       // key-check failures (the paper's attack-detected signal)
+  kTrap,         // trap entry / fatal signal delivery
+  kKernel,       // syscalls, context switches
+  kNumCategories,
+};
+
+constexpr std::uint32_t CategoryBit(EventCategory category) {
+  return 1u << static_cast<unsigned>(category);
+}
+inline constexpr std::uint32_t kAllCategories =
+    (1u << static_cast<unsigned>(EventCategory::kNumCategories)) - 1;
+
+std::string_view EventCategoryName(EventCategory category);
+
+enum class EventType : std::uint8_t {
+  kRetire,
+  kTlbFill,
+  kTlbEvict,
+  kTlbFlush,
+  kCacheMiss,
+  kCacheWriteback,
+  kRoLoadFault,
+  kTrapEnter,
+  kSyscall,
+  kContextSwitch,
+};
+
+std::string_view EventTypeName(EventType type);
+
+// Which hardware/software unit emitted the event (the exporter's "thread").
+enum class Unit : std::uint8_t {
+  kCpu,
+  kITlb,
+  kDTlb,
+  kICache,
+  kDCache,
+  kKernel,
+};
+
+std::string_view UnitName(Unit unit);
+
+struct TraceEvent {
+  std::uint64_t cycle = 0;  // simulated-cycle timestamp
+  std::uint64_t pc = 0;     // guest pc at emission (0 when not applicable)
+  std::uint64_t addr = 0;   // subject address (virt or phys per type)
+  std::uint64_t arg = 0;    // type-specific payload (opcode, key, cause, pid)
+  EventType type = EventType::kRetire;
+  EventCategory category = EventCategory::kInstruction;
+  Unit unit = Unit::kCpu;
+};
+
+// Fixed-capacity ring: when full, the oldest event is overwritten and
+// counted in dropped(). Iteration yields chronological order.
+class EventBuffer {
+ public:
+  explicit EventBuffer(std::size_t capacity);
+
+  void Push(const TraceEvent& event);
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return events_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t total_pushed() const { return dropped_ + size_; }
+
+  // The i-th retained event in chronological order, 0 == oldest.
+  const TraceEvent& at(std::size_t i) const;
+
+  void Clear();
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::size_t head_ = 0;  // slot the next Push writes
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace roload::trace

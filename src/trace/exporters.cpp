@@ -1,0 +1,153 @@
+#include "trace/exporters.h"
+
+#include <fstream>
+
+#include "support/json.h"
+#include "support/strings.h"
+
+namespace roload::trace {
+namespace {
+
+std::string Hex(std::uint64_t value) {
+  return StrFormat("0x%llx", static_cast<unsigned long long>(value));
+}
+
+void WriteCountersObject(JsonWriter* json, const CounterRegistry& counters) {
+  json->Key("counters").BeginObject();
+  for (const auto& [name, value] : counters.Snapshot()) {
+    json->KV(name, value);
+  }
+  json->EndObject();
+}
+
+}  // namespace
+
+std::string ExportCountersJson(const CounterRegistry& counters) {
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("schema", "roload.counters.v1");
+  WriteCountersObject(&json, counters);
+  json.EndObject();
+  return json.str() + "\n";
+}
+
+std::string ExportProfileJson(const Hub& hub, std::size_t max_pc_ranges) {
+  const CycleProfiler& profiler = hub.profiler();
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("schema", "roload.profile.v1");
+  WriteCountersObject(&json, hub.counters());
+
+  json.Key("profile").BeginObject();
+  json.KV("total_cycles", profiler.total_cycles());
+  json.Key("buckets").BeginObject();
+  for (unsigned b = 0;
+       b < static_cast<unsigned>(CycleBucket::kNumBuckets); ++b) {
+    const auto bucket = static_cast<CycleBucket>(b);
+    json.KV(CycleBucketName(bucket), profiler.bucket(bucket));
+  }
+  json.EndObject();
+
+  json.KV("pc_range_bytes", profiler.pc_range_bytes());
+  json.Key("pc_ranges").BeginArray();
+  const auto ranges = profiler.PcRanges();
+  std::uint64_t other = 0;
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    if (i >= max_pc_ranges) {
+      other += ranges[i].second;
+      continue;
+    }
+    json.BeginObject();
+    json.KV("base", Hex(ranges[i].first));
+    json.KV("cycles", ranges[i].second);
+    json.EndObject();
+  }
+  if (other > 0) {
+    json.BeginObject();
+    json.KV("base", "other");
+    json.KV("cycles", other);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();  // profile
+
+  json.EndObject();
+  return json.str() + "\n";
+}
+
+std::string ExportChromeTrace(const EventBuffer& events) {
+  // Compact form: one event per line keeps multi-megabyte traces diffable
+  // and loads in Perfetto unchanged.
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  // Metadata records naming the process and one "thread" per unit.
+  out +=
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"roload-sim\"}}";
+  for (unsigned u = 0; u <= static_cast<unsigned>(Unit::kKernel); ++u) {
+    const auto unit = static_cast<Unit>(u);
+    out += StrFormat(
+        ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%u,\"name\":\"thread_name\","
+        "\"args\":{\"name\":\"%.*s\"}}",
+        u, static_cast<int>(UnitName(unit).size()), UnitName(unit).data());
+  }
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& event = events.at(i);
+    const std::string_view name = EventTypeName(event.type);
+    const std::string_view cat = EventCategoryName(event.category);
+    const bool slice = event.type == EventType::kRetire;
+    out += StrFormat(
+        ",\n{\"name\":\"%.*s\",\"cat\":\"%.*s\",\"ph\":\"%s\"%s,"
+        "\"ts\":%llu,\"pid\":1,\"tid\":%u,\"args\":{\"pc\":\"%s\","
+        "\"addr\":\"%s\",\"arg\":%llu}}",
+        static_cast<int>(name.size()), name.data(),
+        static_cast<int>(cat.size()), cat.data(), slice ? "X" : "i",
+        slice ? ",\"dur\":1" : ",\"s\":\"t\"",
+        static_cast<unsigned long long>(event.cycle),
+        static_cast<unsigned>(event.unit), Hex(event.pc).c_str(),
+        Hex(event.addr).c_str(),
+        static_cast<unsigned long long>(event.arg));
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string ExportTextSummary(const Hub& hub) {
+  std::string out = "== counters ==\n";
+  for (const auto& [name, value] : hub.counters().Snapshot()) {
+    out += StrFormat("%-28s %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  const CycleProfiler& profiler = hub.profiler();
+  if (profiler.total_cycles() > 0) {
+    out += "== cycle attribution ==\n";
+    for (unsigned b = 0;
+         b < static_cast<unsigned>(CycleBucket::kNumBuckets); ++b) {
+      const auto bucket = static_cast<CycleBucket>(b);
+      const std::uint64_t cycles = profiler.bucket(bucket);
+      out += StrFormat(
+          "%-28s %llu (%.2f%%)\n",
+          std::string(CycleBucketName(bucket)).c_str(),
+          static_cast<unsigned long long>(cycles),
+          100.0 * static_cast<double>(cycles) /
+              static_cast<double>(profiler.total_cycles()));
+    }
+  }
+  const EventBuffer& events = hub.events();
+  if (events.total_pushed() > 0) {
+    out += StrFormat("== events == %llu recorded, %llu dropped\n",
+                     static_cast<unsigned long long>(events.size()),
+                     static_cast<unsigned long long>(events.dropped()));
+  }
+  return out;
+}
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::InvalidArgument("cannot open for write: " + path);
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size()));
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace roload::trace

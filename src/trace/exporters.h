@@ -1,0 +1,37 @@
+// Machine-readable views of a Hub: a flat counters JSON, a profile JSON
+// (counters + cycle buckets + hot pc ranges), a Chrome trace_event JSON
+// stream loadable in Perfetto / chrome://tracing, and a human text
+// summary. All outputs are deterministic for a deterministic run — the
+// golden-file tests diff them byte-for-byte.
+#pragma once
+
+#include <string>
+
+#include "support/status.h"
+#include "trace/hub.h"
+
+namespace roload::trace {
+
+// {"schema":"roload.counters.v1","counters":{name:value,...}} with names
+// in sorted order.
+std::string ExportCountersJson(const CounterRegistry& counters);
+
+// Counters plus the cycle-attribution breakdown:
+// {"schema":"roload.profile.v1","counters":{...},
+//  "profile":{"total_cycles":N,"buckets":{...},"pc_ranges":[...]}}
+// At most `max_pc_ranges` hottest ranges are listed; the tail is folded
+// into one "other" entry so nothing is silently dropped.
+std::string ExportProfileJson(const Hub& hub, std::size_t max_pc_ranges = 32);
+
+// Chrome trace_event JSON object format: {"traceEvents":[...]}. Retire
+// events become complete ("X") slices of their cycle; everything else is
+// an instant ("i"). Timestamps are simulated cycles in the `ts` field.
+std::string ExportChromeTrace(const EventBuffer& events);
+
+// Multi-line human summary (counters + bucket percentages).
+std::string ExportTextSummary(const Hub& hub);
+
+// Writes `contents` to `path` (overwrite).
+Status WriteFile(const std::string& path, const std::string& contents);
+
+}  // namespace roload::trace

@@ -1,0 +1,23 @@
+#include "trace/hub.h"
+
+namespace roload::trace {
+
+Hub::Hub(const TraceConfig& config)
+    : config_(config),
+      events_(config.event_capacity),
+      profiler_(config.pc_bucket_bits) {}
+
+void Hub::Emit(Unit unit, EventCategory category, EventType type,
+               std::uint64_t pc, std::uint64_t addr, std::uint64_t arg) {
+  TraceEvent event;
+  event.cycle = now();
+  event.pc = pc;
+  event.addr = addr;
+  event.arg = arg;
+  event.type = type;
+  event.category = category;
+  event.unit = unit;
+  events_.Push(event);
+}
+
+}  // namespace roload::trace

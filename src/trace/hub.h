@@ -1,0 +1,63 @@
+// The telemetry hub: one per System, holding the counter registry, the
+// event ring and the cycle profiler. Modules keep a `Hub*` (null or with
+// everything masked off in normal runs) and guard every emission with the
+// inline enabled()/profiling() checks, so a disabled hub costs a pointer
+// test and nothing else — it never touches architectural state or the
+// cycle accounting, which is what the bit-identical differential test in
+// tests/test_trace.cpp pins down.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "trace/counters.h"
+#include "trace/events.h"
+#include "trace/profiler.h"
+
+namespace roload::trace {
+
+struct TraceConfig {
+  // Bitmask of EventCategory bits to record (see CategoryBit); 0 disables
+  // event tracing entirely.
+  std::uint32_t categories = 0;
+  std::size_t event_capacity = 1 << 16;
+  bool profile = false;
+  unsigned pc_bucket_bits = 12;  // 4 KiB pc-attribution ranges
+};
+
+class Hub {
+ public:
+  explicit Hub(const TraceConfig& config = {});
+
+  bool enabled(EventCategory category) const {
+    return (config_.categories & CategoryBit(category)) != 0;
+  }
+  bool profiling() const { return config_.profile; }
+
+  // Timestamp source: the CPU's cycle counter. Set once by the System.
+  void set_clock(const std::uint64_t* cycles) { clock_ = cycles; }
+  std::uint64_t now() const { return clock_ != nullptr ? *clock_ : 0; }
+
+  // Records an event stamped with now(). Callers must check enabled()
+  // first (the emission sites are hot paths; Emit assumes the check).
+  void Emit(Unit unit, EventCategory category, EventType type,
+            std::uint64_t pc, std::uint64_t addr, std::uint64_t arg);
+
+  CounterRegistry& counters() { return counters_; }
+  const CounterRegistry& counters() const { return counters_; }
+  EventBuffer& events() { return events_; }
+  const EventBuffer& events() const { return events_; }
+  CycleProfiler& profiler() { return profiler_; }
+  const CycleProfiler& profiler() const { return profiler_; }
+
+  const TraceConfig& config() const { return config_; }
+
+ private:
+  TraceConfig config_;
+  const std::uint64_t* clock_ = nullptr;
+  CounterRegistry counters_;
+  EventBuffer events_;
+  CycleProfiler profiler_;
+};
+
+}  // namespace roload::trace

@@ -1,0 +1,49 @@
+// TelemetrySession: the experiment-facing wrapper that turns a run (or a
+// whole bench campaign) into one machine-readable JSON document. Benches
+// record scalar results (overhead percentages, key counters) in insertion
+// order; a live Hub can be attached so its counters and profile ride
+// along. The bench binaries write these as BENCH_<name>.json next to
+// their text output — the perf-trajectory files future PRs diff against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "support/status.h"
+#include "trace/hub.h"
+
+namespace roload::trace {
+
+class TelemetrySession {
+ public:
+  explicit TelemetrySession(std::string name) : name_(std::move(name)) {}
+
+  // Optional: export this hub's counters (and profile when enabled)
+  // alongside the recorded results. The hub must outlive WriteJson/ToJson.
+  void set_hub(const Hub* hub) { hub_ = hub; }
+
+  // Records a scalar under `key` ("omnetpp_like.vcall_time_pct", ...).
+  // Re-recording a key overwrites its value but keeps its position.
+  void Record(std::string_view key, double value);
+  void Record(std::string_view key, std::uint64_t value);
+  void Record(std::string_view key, std::string_view value);
+
+  // {"schema":"roload.bench.v1","name":...,"results":{...}[,counters][,profile]}
+  std::string ToJson() const;
+  Status WriteJson(const std::string& path) const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  using Scalar = std::variant<double, std::uint64_t, std::string>;
+
+  std::string name_;
+  const Hub* hub_ = nullptr;
+  std::vector<std::pair<std::string, Scalar>> results_;
+};
+
+}  // namespace roload::trace

@@ -1,0 +1,443 @@
+// Telemetry subsystem tests: counter registry bridging and determinism,
+// event ring-buffer semantics, exact cycle attribution, the exporters'
+// golden output, and — the load-bearing guarantee — that enabling the
+// full tracing stack never perturbs architectural state or cycle counts.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/toolchain.h"
+#include "ir/builder.h"
+#include "tests/guest_util.h"
+#include "trace/exporters.h"
+#include "trace/session.h"
+
+namespace roload {
+namespace {
+
+using trace::CycleBucket;
+using trace::EventCategory;
+using trace::EventType;
+using trace::TraceEvent;
+
+// ---------------------------------------------------------------------------
+// Unit level: registry, ring buffer, profiler.
+
+TEST(CounterRegistryTest, BridgedCellTracksLiveValue) {
+  trace::CounterRegistry registry;
+  std::uint64_t cell = 0;
+  registry.Register("unit.bridged", &cell);
+  EXPECT_EQ(registry.Value("unit.bridged"), 0u);
+  cell = 41;
+  ++cell;
+  EXPECT_EQ(registry.Value("unit.bridged"), 42u);
+}
+
+TEST(CounterRegistryTest, OwnedCellAndUnknownLookup) {
+  trace::CounterRegistry registry;
+  std::uint64_t* owned = registry.RegisterOwned("unit.owned");
+  *owned = 7;
+  bool found = false;
+  EXPECT_EQ(registry.Value("unit.owned", &found), 7u);
+  EXPECT_TRUE(found);
+  EXPECT_EQ(registry.Value("unit.no_such", &found), 0u);
+  EXPECT_FALSE(found);
+}
+
+TEST(CounterRegistryTest, SnapshotSortsByName) {
+  trace::CounterRegistry registry;
+  *registry.RegisterOwned("z.last") = 1;
+  *registry.RegisterOwned("a.first") = 2;
+  *registry.RegisterOwned("m.middle") = 3;
+  const auto snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].first, "a.first");
+  EXPECT_EQ(snapshot[1].first, "m.middle");
+  EXPECT_EQ(snapshot[2].first, "z.last");
+  EXPECT_EQ(snapshot[2].second, 1u);
+}
+
+TEST(EventBufferTest, WrapsOverwritingOldest) {
+  trace::EventBuffer buffer(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    TraceEvent event;
+    event.cycle = i;
+    buffer.Push(event);
+  }
+  EXPECT_EQ(buffer.size(), 4u);
+  EXPECT_EQ(buffer.capacity(), 4u);
+  EXPECT_EQ(buffer.dropped(), 6u);
+  EXPECT_EQ(buffer.total_pushed(), 10u);
+  // Chronological iteration yields the newest four, oldest first.
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    EXPECT_EQ(buffer.at(i).cycle, 6u + i);
+  }
+  buffer.Clear();
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_EQ(buffer.dropped(), 0u);
+}
+
+TEST(CycleProfilerTest, ResidualProtocolSumsExactly) {
+  trace::CycleProfiler profiler(/*pc_bucket_bits=*/12);
+  profiler.BeginStep();
+  profiler.Charge(CycleBucket::kDCacheMiss, 3);
+  profiler.Charge(CycleBucket::kDTlbWalk, 2);
+  profiler.EndStep(CycleBucket::kCompute, /*pc=*/0x10000, /*total_cycles=*/10);
+  profiler.BeginStep();
+  profiler.EndStep(CycleBucket::kSyscall, /*pc=*/0x10008, /*total_cycles=*/4);
+
+  EXPECT_EQ(profiler.bucket(CycleBucket::kDCacheMiss), 3u);
+  EXPECT_EQ(profiler.bucket(CycleBucket::kDTlbWalk), 2u);
+  EXPECT_EQ(profiler.bucket(CycleBucket::kCompute), 5u);
+  EXPECT_EQ(profiler.bucket(CycleBucket::kSyscall), 4u);
+  EXPECT_EQ(profiler.total_cycles(), 14u);
+  std::uint64_t sum = 0;
+  for (unsigned b = 0; b < static_cast<unsigned>(CycleBucket::kNumBuckets);
+       ++b) {
+    sum += profiler.bucket(static_cast<CycleBucket>(b));
+  }
+  EXPECT_EQ(sum, profiler.total_cycles());
+  // Both steps land in the same 4 KiB pc range.
+  const auto ranges = profiler.PcRanges();
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].first, 0x10000u);
+  EXPECT_EQ(ranges[0].second, 14u);
+}
+
+// ---------------------------------------------------------------------------
+// System level: a small guest exercising ld.ro, syscalls and the MMU.
+
+constexpr const char* kGuestSource = R"(
+.section .text
+_start:
+  la t0, secret
+  ld.ro t1, (t0), 9
+  li t2, 1234
+  sub a0, t1, t2
+  snez a0, a0
+  li a7, 93
+  ecall
+.section .rodata.key.9
+secret:
+  .quad 1234
+)";
+
+TEST(TraceSystemTest, CountersMatchLegacyStats) {
+  const testing::GuestRun run = testing::RunGuest(kGuestSource);
+  ASSERT_EQ(run.result.kind, kernel::ExitKind::kExited);
+  ASSERT_EQ(run.result.exit_code, 0);
+  core::System& system = *run.system;
+  const trace::CounterRegistry& counters = system.trace().counters();
+  const cpu::CpuStats& cpu = system.cpu().stats();
+
+  EXPECT_EQ(counters.Value("cpu.instret"), cpu.instructions);
+  EXPECT_EQ(counters.Value("cpu.cycles"), cpu.cycles);
+  EXPECT_EQ(counters.Value("cpu.roload_loads"), cpu.roload_loads);
+  EXPECT_EQ(cpu.roload_loads, 1u);
+  // Every retired ld.ro went through exactly one key check, and all passed.
+  EXPECT_EQ(counters.Value("tlb.d.key_check"), cpu.roload_loads);
+  EXPECT_EQ(counters.Value("tlb.d.key_check_hit"),
+            counters.Value("tlb.d.key_check"));
+  EXPECT_EQ(counters.Value("kernel.fault.roload"), 0u);
+  EXPECT_GE(counters.Value("kernel.syscalls"), 1u);
+}
+
+TEST(TraceSystemTest, CounterSnapshotIsDeterministicAcrossRuns) {
+  const testing::GuestRun first = testing::RunGuest(kGuestSource);
+  const testing::GuestRun second = testing::RunGuest(kGuestSource);
+  ASSERT_EQ(first.result.kind, kernel::ExitKind::kExited);
+  ASSERT_EQ(second.result.kind, kernel::ExitKind::kExited);
+  const auto a = first.system->trace().counters().Snapshot();
+  const auto b = second.system->trace().counters().Snapshot();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.size(), 20u);  // the full registry, not a stub
+}
+
+// The bit-identical guarantee: running with every category traced and the
+// profiler on must leave cycles, retired instructions, the exit code and
+// all architectural state exactly as a run with telemetry disabled.
+TEST(TraceSystemTest, FullTracingIsBitIdenticalToDisabled) {
+  const testing::GuestRun plain = testing::RunGuest(kGuestSource);
+
+  auto image = asmtool::Assemble(kGuestSource);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  core::SystemConfig config;
+  config.trace.categories = trace::kAllCategories;
+  config.trace.profile = true;
+  core::System traced(config);
+  ASSERT_TRUE(traced.Load(*image).ok());
+  const kernel::RunResult result = traced.Run(1 << 22);
+
+  ASSERT_EQ(result.kind, plain.result.kind);
+  EXPECT_EQ(result.exit_code, plain.result.exit_code);
+  const cpu::CpuStats& a = plain.system->cpu().stats();
+  const cpu::CpuStats& b = traced.cpu().stats();
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.loads, b.loads);
+  EXPECT_EQ(a.stores, b.stores);
+  EXPECT_EQ(plain.system->cpu().pc(), traced.cpu().pc());
+  for (unsigned r = 0; r < isa::kNumRegs; ++r) {
+    EXPECT_EQ(plain.system->cpu().reg(r), traced.cpu().reg(r)) << "x" << r;
+  }
+  // And the traced run actually recorded something.
+  EXPECT_GT(traced.trace().events().total_pushed(), 0u);
+  EXPECT_GT(traced.trace().profiler().total_cycles(), 0u);
+}
+
+TEST(TraceSystemTest, ProfilerBucketsSumToCpuCycles) {
+  auto image = asmtool::Assemble(kGuestSource);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  core::SystemConfig config;
+  config.trace.profile = true;
+  core::System system(config);
+  ASSERT_TRUE(system.Load(*image).ok());
+  const kernel::RunResult result = system.Run(1 << 22);
+  ASSERT_EQ(result.kind, kernel::ExitKind::kExited);
+
+  const trace::CycleProfiler& profiler = system.trace().profiler();
+  std::uint64_t sum = 0;
+  for (unsigned b = 0; b < static_cast<unsigned>(CycleBucket::kNumBuckets);
+       ++b) {
+    sum += profiler.bucket(static_cast<CycleBucket>(b));
+  }
+  EXPECT_EQ(sum, system.cpu().stats().cycles);
+  EXPECT_EQ(profiler.total_cycles(), system.cpu().stats().cycles);
+  // The guest retires one ld.ro; its base cycles must be attributed to the
+  // dedicated ROLoad bucket.
+  EXPECT_GT(profiler.bucket(CycleBucket::kRoLoadLoad), 0u);
+  EXPECT_GT(profiler.bucket(CycleBucket::kSyscall), 0u);
+}
+
+TEST(TraceSystemTest, EventStreamIsChronologicalAndTyped) {
+  auto image = asmtool::Assemble(kGuestSource);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  core::SystemConfig config;
+  config.trace.categories = trace::kAllCategories;
+  core::System system(config);
+  ASSERT_TRUE(system.Load(*image).ok());
+  const kernel::RunResult result = system.Run(1 << 22);
+  ASSERT_EQ(result.kind, kernel::ExitKind::kExited);
+
+  const trace::EventBuffer& events = system.trace().events();
+  ASSERT_GT(events.size(), 0u);
+  bool saw_retire = false, saw_syscall = false, saw_tlb_fill = false;
+  std::uint64_t last_cycle = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& event = events.at(i);
+    EXPECT_GE(event.cycle, last_cycle);
+    last_cycle = event.cycle;
+    saw_retire |= event.type == EventType::kRetire;
+    saw_syscall |= event.type == EventType::kSyscall;
+    saw_tlb_fill |= event.type == EventType::kTlbFill;
+  }
+  EXPECT_TRUE(saw_retire);
+  EXPECT_TRUE(saw_syscall);
+  EXPECT_TRUE(saw_tlb_fill);
+  // Retires match the architectural count (ring large enough not to drop).
+  EXPECT_EQ(events.dropped(), 0u);
+}
+
+TEST(TraceSystemTest, RoLoadKeyMismatchEmitsFaultEvent) {
+  constexpr const char* kBadKeySource = R"(
+.section .text
+_start:
+  la t0, secret
+  ld.ro t1, (t0), 8
+  li a7, 93
+  ecall
+.section .rodata.key.9
+secret:
+  .quad 1234
+)";
+  auto image = asmtool::Assemble(kBadKeySource);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  core::SystemConfig config;
+  config.trace.categories = trace::kAllCategories;
+  core::System system(config);
+  ASSERT_TRUE(system.Load(*image).ok());
+  const kernel::RunResult result = system.Run(1 << 22);
+  ASSERT_EQ(result.kind, kernel::ExitKind::kKilled);
+  EXPECT_TRUE(result.roload_violation);
+
+  bool saw_fault = false;
+  const trace::EventBuffer& events = system.trace().events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    saw_fault |= events.at(i).type == EventType::kRoLoadFault;
+  }
+  EXPECT_TRUE(saw_fault);
+  EXPECT_EQ(system.trace().counters().Value("kernel.fault.roload"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Toolchain level: a hardened workload reports identical counters on
+// repeated builds+runs (what the bench JSON files rely on).
+
+ir::Module MakeVcallModule() {
+  ir::Module module;
+  module.name = "trace_vcall";
+  const int class_id = module.InternClass("Widget");
+
+  ir::Global object;
+  object.name = "widget";
+  object.read_only = false;
+  object.quads.push_back(ir::GlobalInit{0, "vtable_Widget"});
+  module.globals.push_back(object);
+
+  ir::Global vtable;
+  vtable.name = "vtable_Widget";
+  vtable.read_only = true;
+  vtable.trait = ir::GlobalTrait::kVTable;
+  vtable.trait_id = class_id;
+  vtable.quads.push_back(ir::GlobalInit{0, "Widget_get"});
+  module.globals.push_back(vtable);
+
+  {
+    ir::FunctionBuilder b(&module, "Widget_get", "i64(ptr)", 1);
+    b.Ret(b.Const(5));
+  }
+  {
+    ir::FunctionBuilder b(&module, "main", "i64()", 0);
+    const int obj = b.AddrOf("widget");
+    const int vptr = b.Load(obj, 0, 8, ir::Trait::kVPtrLoad, 0);
+    const int method = b.Load(vptr, 0, 8, ir::Trait::kVTableEntryLoad, 0);
+    const int r = b.ICall(method, {obj}, module.InternFnType("i64(ptr)"),
+                          /*has_result=*/true, /*is_vcall=*/true);
+    b.Ret(r);
+  }
+  module.RecomputeAddressTaken();
+  return module;
+}
+
+TEST(TraceToolchainTest, HardenedRunCountersAreDeterministic) {
+  core::BuildOptions options;
+  options.defense = core::Defense::kVCall;
+  const ir::Module module = MakeVcallModule();
+  auto first = core::CompileAndRun(module, options,
+                                   core::SystemVariant::kFullRoload);
+  auto second = core::CompileAndRun(module, options,
+                                    core::SystemVariant::kFullRoload);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_FALSE(first->counters.empty());
+  EXPECT_EQ(first->counters, second->counters);
+  // The hardened vcall executes ld.ro and its key checks show up under the
+  // registry names the bench JSON exports.
+  EXPECT_GT(first->Counter("cpu.roload_loads"), 0u);
+  EXPECT_EQ(first->Counter("tlb.d.key_check"),
+            first->Counter("cpu.roload_loads"));
+  EXPECT_EQ(first->Counter("cpu.instret"), first->instructions);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters: golden output.
+
+TEST(ExportersTest, CountersJsonGolden) {
+  trace::CounterRegistry registry;
+  *registry.RegisterOwned("b.second") = 1;
+  *registry.RegisterOwned("a.first") = 42;
+  const std::string expected =
+      "{\n"
+      "  \"schema\": \"roload.counters.v1\",\n"
+      "  \"counters\": {\n"
+      "    \"a.first\": 42,\n"
+      "    \"b.second\": 1\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(trace::ExportCountersJson(registry), expected);
+}
+
+TEST(ExportersTest, ChromeTraceGolden) {
+  trace::EventBuffer events(8);
+  TraceEvent retire;
+  retire.cycle = 5;
+  retire.pc = 0x1000;
+  retire.arg = 3;
+  retire.type = EventType::kRetire;
+  retire.category = EventCategory::kInstruction;
+  retire.unit = trace::Unit::kCpu;
+  events.Push(retire);
+  TraceEvent fault;
+  fault.cycle = 9;
+  fault.pc = 0x1004;
+  fault.addr = 0x2000;
+  fault.arg = 7;
+  fault.type = EventType::kRoLoadFault;
+  fault.category = EventCategory::kRoLoad;
+  fault.unit = trace::Unit::kDTlb;
+  events.Push(fault);
+
+  const std::string out = trace::ExportChromeTrace(events);
+  // Perfetto-required envelope and metadata.
+  EXPECT_NE(out.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(out.find("\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+                     "\"name\":\"process_name\""),
+            std::string::npos);
+  // The retire is a complete slice, the fault an instant, both timestamped
+  // with their simulated cycle.
+  EXPECT_NE(out.find("{\"name\":\"retire\",\"cat\":\"instruction\","
+                     "\"ph\":\"X\",\"dur\":1,\"ts\":5,\"pid\":1,\"tid\":0,"
+                     "\"args\":{\"pc\":\"0x1000\",\"addr\":\"0x0\","
+                     "\"arg\":3}}"),
+            std::string::npos);
+  EXPECT_NE(out.find("{\"name\":\"roload_fault\",\"cat\":\"roload\","
+                     "\"ph\":\"i\",\"s\":\"t\",\"ts\":9,\"pid\":1,\"tid\":2,"
+                     "\"args\":{\"pc\":\"0x1004\",\"addr\":\"0x2000\","
+                     "\"arg\":7}}"),
+            std::string::npos);
+  // Valid JSON shape: balanced braces, closing envelope.
+  EXPECT_EQ(out.substr(out.size() - 4), "\n]}\n");
+}
+
+TEST(ExportersTest, ProfileJsonListsBucketsAndRanges) {
+  trace::Hub hub({.categories = 0, .event_capacity = 8, .profile = true});
+  hub.profiler().BeginStep();
+  hub.profiler().Charge(CycleBucket::kICacheMiss, 4);
+  hub.profiler().EndStep(CycleBucket::kCompute, 0x4000, 10);
+  *hub.counters().RegisterOwned("x.count") = 3;
+
+  const std::string out = trace::ExportProfileJson(hub);
+  EXPECT_NE(out.find("\"schema\": \"roload.profile.v1\""), std::string::npos);
+  EXPECT_NE(out.find("\"total_cycles\": 10"), std::string::npos);
+  EXPECT_NE(out.find("\"icache_miss\": 4"), std::string::npos);
+  EXPECT_NE(out.find("\"compute\": 6"), std::string::npos);
+  EXPECT_NE(out.find("\"base\": \"0x4000\""), std::string::npos);
+  EXPECT_NE(out.find("\"x.count\": 3"), std::string::npos);
+}
+
+TEST(ExportersTest, TextSummaryCoversCountersAndAttribution) {
+  trace::Hub hub({.categories = trace::kAllCategories, .event_capacity = 4,
+                  .profile = true});
+  *hub.counters().RegisterOwned("y.thing") = 2;
+  hub.profiler().BeginStep();
+  hub.profiler().EndStep(CycleBucket::kCompute, 0, 8);
+  hub.Emit(trace::Unit::kCpu, EventCategory::kInstruction, EventType::kRetire,
+           0, 0, 0);
+  const std::string out = trace::ExportTextSummary(hub);
+  EXPECT_NE(out.find("y.thing"), std::string::npos);
+  EXPECT_NE(out.find("== cycle attribution =="), std::string::npos);
+  EXPECT_NE(out.find("compute"), std::string::npos);
+  EXPECT_NE(out.find("== events =="), std::string::npos);
+}
+
+TEST(TelemetrySessionTest, BenchJsonGolden) {
+  trace::TelemetrySession session("unit");
+  session.Record("alpha", std::uint64_t{3});
+  session.Record("beta", 1.5);
+  session.Record("note", std::string_view("ok"));
+  session.Record("alpha", std::uint64_t{4});  // overwrite keeps position
+  const std::string expected =
+      "{\n"
+      "  \"schema\": \"roload.bench.v1\",\n"
+      "  \"name\": \"unit\",\n"
+      "  \"results\": {\n"
+      "    \"alpha\": 4,\n"
+      "    \"beta\": 1.5,\n"
+      "    \"note\": \"ok\"\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(session.ToJson(), expected);
+}
+
+}  // namespace
+}  // namespace roload

@@ -3,6 +3,11 @@
 //
 //   rrun program.rimg|program.s [--variant baseline|proc|full]
 //        [--max-instructions N] [--trace] [--stats]
+//        [--stats-json FILE] [--profile FILE] [--trace-events FILE]
+//
+// --stats-json    machine-readable counters (the --stats numbers and more)
+// --profile       counters + cycle-attribution profile JSON
+// --trace-events  Chrome trace_event JSON (open in Perfetto / about:tracing)
 //
 // Exit code mirrors the guest's exit code (or 128+signal when killed),
 // like a shell would report it.
@@ -17,6 +22,7 @@
 #include "core/system.h"
 #include "isa/disasm.h"
 #include "support/strings.h"
+#include "trace/exporters.h"
 
 using namespace roload;
 
@@ -26,8 +32,26 @@ int Usage() {
   std::fprintf(stderr,
                "usage: rrun program.rimg|program.s "
                "[--variant baseline|proc|full] [--max-instructions N] "
-               "[--trace] [--stats]\n");
+               "[--trace] [--stats] [--stats-json FILE] [--profile FILE] "
+               "[--trace-events FILE]\n");
   return 2;
+}
+
+// Accepts "--flag value" and "--flag=value"; on match stores the value and
+// advances *i past a separate value argument.
+bool FlagValue(int argc, char** argv, int* i, const char* flag,
+               std::string* value) {
+  const std::string arg = argv[*i];
+  const std::string prefix = std::string(flag) + "=";
+  if (StartsWith(arg, prefix)) {
+    *value = arg.substr(prefix.size());
+    return true;
+  }
+  if (arg == flag && *i + 1 < argc) {
+    *value = argv[++*i];
+    return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -38,9 +62,17 @@ int main(int argc, char** argv) {
   std::uint64_t max_instructions = 1ull << 32;
   bool trace = false;
   bool stats = false;
+  std::string stats_json_path;
+  std::string profile_path;
+  std::string trace_events_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (FlagValue(argc, argv, &i, "--stats-json", &stats_json_path) ||
+        FlagValue(argc, argv, &i, "--profile", &profile_path) ||
+        FlagValue(argc, argv, &i, "--trace-events", &trace_events_path)) {
+      continue;
+    }
     if (arg == "--variant" && i + 1 < argc) {
       const std::string value = argv[++i];
       if (value == "baseline") {
@@ -95,6 +127,10 @@ int main(int argc, char** argv) {
 
   core::SystemConfig config;
   config.variant = variant;
+  config.trace.profile = !profile_path.empty();
+  if (!trace_events_path.empty()) {
+    config.trace.categories = trace::kAllCategories;
+  }
   core::System system(config);
   if (Status status = system.Load(image); !status.ok()) {
     std::fprintf(stderr, "rrun: %s\n", status.ToString().c_str());
@@ -138,6 +174,33 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(
                      system.cpu().dtlb_stats().misses),
                  static_cast<unsigned long long>(result.peak_mem_kib));
+  }
+
+  if (!stats_json_path.empty()) {
+    if (Status status = trace::WriteFile(
+            stats_json_path,
+            trace::ExportCountersJson(system.trace().counters()));
+        !status.ok()) {
+      std::fprintf(stderr, "rrun: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!profile_path.empty()) {
+    if (Status status = trace::WriteFile(
+            profile_path, trace::ExportProfileJson(system.trace()));
+        !status.ok()) {
+      std::fprintf(stderr, "rrun: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!trace_events_path.empty()) {
+    if (Status status = trace::WriteFile(
+            trace_events_path,
+            trace::ExportChromeTrace(system.trace().events()));
+        !status.ok()) {
+      std::fprintf(stderr, "rrun: %s\n", status.ToString().c_str());
+      return 1;
+    }
   }
 
   switch (result.kind) {
