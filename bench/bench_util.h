@@ -1,9 +1,11 @@
 // Shared helpers for the table/figure reproduction binaries.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/toolchain.h"
@@ -25,14 +27,27 @@ inline double BenchScale(double default_scale = 0.5) {
   return default_scale;
 }
 
+// When set (ROLOAD_BENCH_PROFILE=1), the figure benches run with the
+// cycle-attribution profiler attached and print/record the overhead
+// decomposition (TLB walks vs cache misses vs the ld.ro path) next to the
+// totals. Profiling is observational: the measured cycles are identical.
+inline bool BenchProfileEnabled() {
+  const char* env = std::getenv("ROLOAD_BENCH_PROFILE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
 // Runs one workload under one defense on one system variant; aborts the
 // process on toolchain errors (benches have no meaningful recovery).
 inline core::RunMetrics MustRun(const ir::Module& module,
                                 core::Defense defense,
-                                core::SystemVariant variant) {
+                                core::SystemVariant variant,
+                                bool profile = false) {
   core::BuildOptions options;
   options.defense = defense;
-  auto metrics = core::CompileAndRun(module, options, variant);
+  trace::TraceConfig trace;
+  trace.profile = profile;
+  auto metrics =
+      core::CompileAndRun(module, options, variant, 1ull << 34, trace);
   if (!metrics.ok()) {
     std::fprintf(stderr, "bench run failed: %s\n",
                  metrics.status().ToString().c_str());
@@ -49,6 +64,44 @@ inline core::RunMetrics MustRun(const ir::Module& module,
 inline void PrintRule(int width = 100) {
   for (int i = 0; i < width; ++i) std::fputc('-', stdout);
   std::fputc('\n', stdout);
+}
+
+// Looks up one cycle-attribution bucket of a profiled run (0 when the run
+// was not profiled — buckets are recorded in full whenever they are).
+inline std::uint64_t ProfileBucket(const core::RunMetrics& metrics,
+                                   std::string_view bucket) {
+  for (const auto& [name, cycles] : metrics.profile) {
+    if (name == bucket) return cycles;
+  }
+  return 0;
+}
+
+// Prints and records the Fig 3/4 overhead decomposition for one hardened
+// run vs its base: how much of the extra time is the ld.ro path itself vs
+// second-order TLB-walk / cache-miss changes. Keys land in the session as
+// `<prefix>.delta.<bucket>` (signed percent of base cycles).
+inline void RecordProfileDelta(trace::TelemetrySession* session,
+                               const std::string& prefix,
+                               const core::RunMetrics& base,
+                               const core::RunMetrics& hardened) {
+  static constexpr std::string_view kBuckets[] = {
+      "compute", "roload_load", "icache_miss", "dcache_miss",
+      "itlb_walk", "dtlb_walk", "trap", "syscall"};
+  const double base_cycles = static_cast<double>(base.cycles);
+  if (base_cycles == 0) return;
+  std::printf("    %-22s", (prefix + " Δcycles%:").c_str());
+  for (std::string_view bucket : kBuckets) {
+    const double delta_pct =
+        (static_cast<double>(ProfileBucket(hardened, bucket)) -
+         static_cast<double>(ProfileBucket(base, bucket))) /
+        base_cycles * 100.0;
+    session->Record(prefix + ".delta." + std::string(bucket), delta_pct);
+    if (delta_pct != 0.0) {
+      std::printf(" %.*s %+0.3f", static_cast<int>(bucket.size()),
+                  bucket.data(), delta_pct);
+    }
+  }
+  std::printf("\n");
 }
 
 // Writes the session as BENCH_<name>.json in the working directory — the

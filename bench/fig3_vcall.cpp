@@ -14,8 +14,9 @@ using namespace roload;
 
 int main() {
   const double scale = bench::BenchScale();
+  const bool profile = bench::BenchProfileEnabled();
   std::printf("Figure 3: VCall vs VTint on the C++ benchmarks "
-              "(scale=%.2f)\n\n", scale);
+              "(scale=%.2f%s)\n\n", scale, profile ? ", profiled" : "");
   std::printf("%-24s | %12s | %8s %8s | %9s %9s\n", "benchmark",
               "base cycles", "VCall%", "VTint%", "VCall m%", "VTint m%");
   bench::PrintRule();
@@ -28,13 +29,13 @@ int main() {
     const ir::Module module = workloads::Generate(spec);
     const auto base =
         bench::MustRun(module, core::Defense::kNone,
-                       core::SystemVariant::kFullRoload);
+                       core::SystemVariant::kFullRoload, profile);
     const auto vcall =
         bench::MustRun(module, core::Defense::kVCall,
-                       core::SystemVariant::kFullRoload);
+                       core::SystemVariant::kFullRoload, profile);
     const auto vtint =
         bench::MustRun(module, core::Defense::kVTint,
-                       core::SystemVariant::kFullRoload);
+                       core::SystemVariant::kFullRoload, profile);
     const double t_vc = core::OverheadPercent(
         static_cast<double>(base.cycles), static_cast<double>(vcall.cycles));
     const double t_vt = core::OverheadPercent(
@@ -57,6 +58,10 @@ int main() {
     session.Record(spec.name + ".vcall_roload_loads", vcall.roload_loads);
     session.Record(spec.name + ".vcall_key_checks",
                    vcall.Counter("tlb.d.key_check"));
+    if (profile) {
+      bench::RecordProfileDelta(&session, spec.name + ".vcall", base, vcall);
+      bench::RecordProfileDelta(&session, spec.name + ".vtint", base, vtint);
+    }
     time_vcall += t_vc;
     time_vtint += t_vt;
     mem_vcall += m_vc;

@@ -13,8 +13,9 @@ using namespace roload;
 
 int main() {
   const double scale = bench::BenchScale();
-  std::printf("Figure 4: ICall vs CFI runtime overheads (scale=%.2f)\n\n",
-              scale);
+  const bool profile = bench::BenchProfileEnabled();
+  std::printf("Figure 4: ICall vs CFI runtime overheads (scale=%.2f%s)\n\n",
+              scale, profile ? ", profiled" : "");
   std::printf("%-24s | %12s | %8s %8s\n", "benchmark", "base cycles",
               "ICall%", "CFI%");
   bench::PrintRule(64);
@@ -26,11 +27,14 @@ int main() {
   for (const auto& spec : workloads::SpecCint2006Suite(scale)) {
     const ir::Module module = workloads::Generate(spec);
     const auto base = bench::MustRun(module, core::Defense::kNone,
-                                     core::SystemVariant::kFullRoload);
+                                     core::SystemVariant::kFullRoload,
+                                     profile);
     const auto icall = bench::MustRun(module, core::Defense::kICall,
-                                      core::SystemVariant::kFullRoload);
+                                      core::SystemVariant::kFullRoload,
+                                      profile);
     const auto cfi = bench::MustRun(module, core::Defense::kClassicCfi,
-                                    core::SystemVariant::kFullRoload);
+                                    core::SystemVariant::kFullRoload,
+                                    profile);
     const double t_ic = core::OverheadPercent(
         static_cast<double>(base.cycles), static_cast<double>(icall.cycles));
     const double t_cfi = core::OverheadPercent(
@@ -43,6 +47,10 @@ int main() {
     session.Record(spec.name + ".icall_roload_loads", icall.roload_loads);
     session.Record(spec.name + ".icall_key_checks",
                    icall.Counter("tlb.d.key_check"));
+    if (profile) {
+      bench::RecordProfileDelta(&session, spec.name + ".icall", base, icall);
+      bench::RecordProfileDelta(&session, spec.name + ".cfi", base, cfi);
+    }
     time_icall += t_ic;
     time_cfi += t_cfi;
     ++count;

@@ -1,0 +1,201 @@
+// Host throughput: simulated-MIPS of the simulator itself, with the
+// host-only fast paths (decode cache, indexed TLB lookup, cache index
+// math) off vs on. "Off" is the reference implementation — the seed
+// simulator before the fast paths landed — so the `baseline` column is a
+// recorded pre-change baseline, not an estimate.
+//
+// The fast paths claim to be invisible to the simulation: every run pair
+// is checked for bit-identical cycles, instructions, exit code and the
+// full telemetry counter snapshot, and the bench exits nonzero on any
+// mismatch. Workloads are the Figure 3 C++ subset (base + VCall) and the
+// Figure 4 CINT2006 suite (ICall), i.e. the exact guest programs whose
+// tables the fast paths must not perturb.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+
+using namespace roload;
+
+namespace {
+
+struct TimedRun {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::int64_t exit_code = 0;
+  double seconds = 0.0;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+
+  double Mips() const {
+    return seconds > 0 ? static_cast<double>(instructions) / 1e6 / seconds
+                       : 0.0;
+  }
+};
+
+// Runs a prebuilt image on a fresh system, wall-clock timing Run() only
+// (not the build). Best-of-`reps` to shave scheduler noise; the simulated
+// results of every rep are identical by construction (fresh system each
+// time), so only the time varies.
+TimedRun RunImage(const asmtool::LinkImage& image, bool fast_paths,
+                  int reps) {
+  TimedRun best;
+  for (int rep = 0; rep < reps; ++rep) {
+    core::SystemConfig config;
+    cpu::SetHostFastPaths(&config.cpu, fast_paths);
+    core::System system(config);
+    if (Status status = system.Load(image); !status.ok()) {
+      std::fprintf(stderr, "host_throughput: load failed: %s\n",
+                   status.ToString().c_str());
+      std::exit(1);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const kernel::RunResult run = system.Run();
+    const auto t1 = std::chrono::steady_clock::now();
+    if (run.kind != kernel::ExitKind::kExited) {
+      std::fprintf(stderr, "host_throughput: run did not complete\n");
+      std::exit(1);
+    }
+    TimedRun result;
+    result.cycles = run.cycles;
+    result.instructions = run.instructions;
+    result.exit_code = run.exit_code;
+    result.seconds = std::chrono::duration<double>(t1 - t0).count();
+    result.counters = system.trace().counters().Snapshot();
+    if (rep == 0 || result.seconds < best.seconds) best = result;
+  }
+  return best;
+}
+
+// Any divergence between the reference and fast-path runs means a fast
+// path leaked into the simulation — fail loudly, the figure tables can no
+// longer be trusted.
+bool CheckIdentical(const std::string& label, const TimedRun& ref,
+                    const TimedRun& fast) {
+  bool ok = true;
+  if (ref.cycles != fast.cycles || ref.instructions != fast.instructions ||
+      ref.exit_code != fast.exit_code) {
+    std::fprintf(stderr,
+                 "MISMATCH %s: cycles %llu/%llu instret %llu/%llu "
+                 "exit %lld/%lld\n",
+                 label.c_str(), static_cast<unsigned long long>(ref.cycles),
+                 static_cast<unsigned long long>(fast.cycles),
+                 static_cast<unsigned long long>(ref.instructions),
+                 static_cast<unsigned long long>(fast.instructions),
+                 static_cast<long long>(ref.exit_code),
+                 static_cast<long long>(fast.exit_code));
+    ok = false;
+  }
+  if (ref.counters != fast.counters) {
+    std::fprintf(stderr, "MISMATCH %s: counter snapshots differ\n",
+                 label.c_str());
+    for (std::size_t i = 0;
+         i < ref.counters.size() && i < fast.counters.size(); ++i) {
+      if (ref.counters[i] != fast.counters[i]) {
+        std::fprintf(stderr, "  %s=%llu vs %s=%llu\n",
+                     ref.counters[i].first.c_str(),
+                     static_cast<unsigned long long>(ref.counters[i].second),
+                     fast.counters[i].first.c_str(),
+                     static_cast<unsigned long long>(fast.counters[i].second));
+      }
+    }
+    ok = false;
+  }
+  return ok;
+}
+
+struct SuiteTotals {
+  double ref_seconds = 0.0;
+  double fast_seconds = 0.0;
+  std::uint64_t instructions = 0;
+
+  double RefMips() const {
+    return static_cast<double>(instructions) / 1e6 / ref_seconds;
+  }
+  double FastMips() const {
+    return static_cast<double>(instructions) / 1e6 / fast_seconds;
+  }
+  double Speedup() const { return ref_seconds / fast_seconds; }
+};
+
+// One workload × one defense: build once, time both modes, verify, print
+// one table row and record the numbers.
+bool MeasureOne(trace::TelemetrySession* session, SuiteTotals* totals,
+                const workloads::WorkloadSpec& spec, core::Defense defense,
+                int reps) {
+  const ir::Module module = workloads::Generate(spec);
+  core::BuildOptions options;
+  options.defense = defense;
+  auto build = core::Build(module, options);
+  if (!build.ok()) {
+    std::fprintf(stderr, "host_throughput: build failed: %s\n",
+                 build.status().ToString().c_str());
+    std::exit(1);
+  }
+  const std::string label =
+      spec.name + "." + std::string(core::DefenseName(defense));
+  const TimedRun ref = RunImage(build->image, /*fast_paths=*/false, reps);
+  const TimedRun fast = RunImage(build->image, /*fast_paths=*/true, reps);
+  const bool identical = CheckIdentical(label, ref, fast);
+  const double speedup =
+      fast.seconds > 0 ? ref.seconds / fast.seconds : 0.0;
+  std::printf("%-32s | %10.2f %10.2f | %7.2fx %s\n", label.c_str(),
+              ref.Mips(), fast.Mips(), speedup, identical ? "" : "MISMATCH");
+  session->Record(label + ".baseline_mips", ref.Mips());
+  session->Record(label + ".optimized_mips", fast.Mips());
+  session->Record(label + ".speedup", speedup);
+  totals->ref_seconds += ref.seconds;
+  totals->fast_seconds += fast.seconds;
+  totals->instructions += ref.instructions;
+  return identical;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::BenchScale();
+  const int reps = 2;  // best-of-2 per mode
+  std::printf("Host throughput: simulated MIPS, reference vs fast paths "
+              "(scale=%.2f)\n\n", scale);
+  std::printf("%-32s | %10s %10s | %8s\n", "workload.defense",
+              "base MIPS", "fast MIPS", "speedup");
+  bench::PrintRule(70);
+
+  trace::TelemetrySession session("host_throughput");
+  session.Record("scale", scale);
+  bool all_identical = true;
+
+  // Figure 3 workloads: the C++ subset, unhardened and under VCall.
+  SuiteTotals fig3;
+  for (const auto& spec : workloads::SpecCppSubset(scale)) {
+    all_identical &=
+        MeasureOne(&session, &fig3, spec, core::Defense::kNone, reps);
+    all_identical &=
+        MeasureOne(&session, &fig3, spec, core::Defense::kVCall, reps);
+  }
+  // Figure 4 workloads: the full CINT2006 suite under ICall.
+  SuiteTotals fig4;
+  for (const auto& spec : workloads::SpecCint2006Suite(scale)) {
+    all_identical &=
+        MeasureOne(&session, &fig4, spec, core::Defense::kICall, reps);
+  }
+
+  bench::PrintRule(70);
+  std::printf("%-32s | %10.2f %10.2f | %7.2fx\n", "fig3 aggregate",
+              fig3.RefMips(), fig3.FastMips(), fig3.Speedup());
+  std::printf("%-32s | %10.2f %10.2f | %7.2fx\n", "fig4 aggregate",
+              fig4.RefMips(), fig4.FastMips(), fig4.Speedup());
+  std::printf("\nbit-identical simulation across modes: %s\n",
+              all_identical ? "yes" : "NO");
+
+  session.Record("fig3.baseline_mips", fig3.RefMips());
+  session.Record("fig3.optimized_mips", fig3.FastMips());
+  session.Record("fig3.speedup", fig3.Speedup());
+  session.Record("fig4.baseline_mips", fig4.RefMips());
+  session.Record("fig4.optimized_mips", fig4.FastMips());
+  session.Record("fig4.speedup", fig4.Speedup());
+  session.Record("bit_identical", std::uint64_t{all_identical ? 1u : 0u});
+  session.Record("required.fig3_speedup", 1.5);
+  bench::WriteBenchJson(session);
+  return all_identical ? 0 : 1;
+}

@@ -12,11 +12,15 @@ Cache::Cache(const CacheConfig& config) : config_(config) {
   ROLOAD_CHECK(lines_total % config.ways == 0);
   num_sets_ = static_cast<unsigned>(lines_total / config.ways);
   ROLOAD_CHECK(IsPowerOfTwo(num_sets_));
+  line_shift_ = Log2(config.line_bytes);
+  set_shift_ = Log2(num_sets_);
   lines_.resize(lines_total);
 }
 
-unsigned Cache::Access(std::uint64_t phys_addr, bool write) {
-  const std::uint64_t line_addr = phys_addr / config_.line_bytes;
+unsigned Cache::AccessSlow(std::uint64_t phys_addr, bool write) {
+  const std::uint64_t line_addr = config_.host_fast_path
+                                      ? phys_addr >> line_shift_
+                                      : phys_addr / config_.line_bytes;
   if (last_line_ != nullptr && line_addr == last_line_addr_ &&
       last_line_->valid) {
     ++stats_.hits;
@@ -25,7 +29,8 @@ unsigned Cache::Access(std::uint64_t phys_addr, bool write) {
     return config_.hit_cycles;
   }
   const unsigned set = static_cast<unsigned>(line_addr & (num_sets_ - 1));
-  const std::uint64_t tag = line_addr / num_sets_;
+  const std::uint64_t tag = config_.host_fast_path ? line_addr >> set_shift_
+                                                   : line_addr / num_sets_;
   Line* base = &lines_[static_cast<std::size_t>(set) * config_.ways];
 
   for (unsigned way = 0; way < config_.ways; ++way) {
@@ -62,7 +67,9 @@ unsigned Cache::Access(std::uint64_t phys_addr, bool write) {
     cycles += config_.writeback_cycles;
     if (trace_events) {
       const std::uint64_t victim_addr =
-          (victim->tag * num_sets_ + set) * config_.line_bytes;
+          config_.host_fast_path
+              ? ((victim->tag << set_shift_) | set) << line_shift_
+              : (victim->tag * num_sets_ + set) * config_.line_bytes;
       trace_->Emit(unit_, trace::EventCategory::kCache,
                    trace::EventType::kCacheWriteback, 0, victim_addr, 0);
     }

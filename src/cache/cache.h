@@ -19,6 +19,11 @@ struct CacheConfig {
   unsigned hit_cycles = 1;
   unsigned miss_cycles = 40;       // DRAM fill latency
   unsigned writeback_cycles = 10;  // dirty eviction cost
+  // Host-only fast path: index/tag math via precomputed shifts instead of
+  // the divide-based reference expressions (exact, since the geometry is
+  // power-of-two checked). Never changes hits, misses, writebacks or
+  // cycles — pinned by the differential tests in tests/test_cache.cpp.
+  bool host_fast_path = true;
 };
 
 struct CacheStats {
@@ -39,7 +44,22 @@ class Cache {
 
   // Performs an access to physical address `phys_addr`; returns the cycle
   // cost. `write` marks the line dirty (write-allocate policy).
-  unsigned Access(std::uint64_t phys_addr, bool write);
+  //
+  // The inline body is the host fast path: a same-line hit (the common
+  // case — stack slots, straight-line code) completes without an
+  // out-of-line call. It performs exactly the steps AccessSlow performs
+  // for the same hit, so stats and cycle costs are bit-identical
+  // whichever path serves the access.
+  unsigned Access(std::uint64_t phys_addr, bool write) {
+    if (config_.host_fast_path && last_line_ != nullptr &&
+        (phys_addr >> line_shift_) == last_line_addr_ && last_line_->valid) {
+      ++stats_.hits;
+      last_line_->lru_tick = ++tick_;
+      last_line_->dirty = last_line_->dirty || write;
+      return config_.hit_cycles;
+    }
+    return AccessSlow(phys_addr, write);
+  }
 
   void Flush();
 
@@ -55,6 +75,10 @@ class Cache {
   }
 
  private:
+  // The scan/miss half of Access: everything past the inline same-line
+  // shortcut (and the whole of the reference path).
+  unsigned AccessSlow(std::uint64_t phys_addr, bool write);
+
   struct Line {
     bool valid = false;
     bool dirty = false;
@@ -64,6 +88,10 @@ class Cache {
 
   CacheConfig config_;
   unsigned num_sets_;
+  // Precomputed index math for the host fast path: line_bytes and
+  // num_sets_ are powers of two, so shifts are exactly the divisions.
+  unsigned line_shift_ = 0;
+  unsigned set_shift_ = 0;
   std::vector<Line> lines_;  // num_sets_ * ways, row-major by set
   std::uint64_t tick_ = 0;
   CacheStats stats_;

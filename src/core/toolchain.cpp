@@ -56,12 +56,14 @@ StatusOr<BuildResult> Build(ir::Module module, const BuildOptions& options) {
 StatusOr<RunMetrics> CompileAndRun(const ir::Module& module,
                                    const BuildOptions& options,
                                    SystemVariant variant,
-                                   std::uint64_t max_instructions) {
+                                   std::uint64_t max_instructions,
+                                   const trace::TraceConfig& trace) {
   auto build = Build(module, options);
   if (!build.ok()) return build.status();
 
   SystemConfig config;
   config.variant = variant;
+  config.trace = trace;
   System system(config);
   ROLOAD_RETURN_IF_ERROR(system.Load(build->image));
   const kernel::RunResult run = system.Run(max_instructions);
@@ -83,6 +85,15 @@ StatusOr<RunMetrics> CompileAndRun(const ir::Module& module,
   metrics.dcache_miss_rate = system.cpu().dcache_stats().MissRate();
   metrics.icache_miss_rate = system.cpu().icache_stats().MissRate();
   metrics.counters = system.trace().counters().Snapshot();
+  if (trace.profile) {
+    const trace::CycleProfiler& profiler = system.trace().profiler();
+    for (std::size_t b = 0;
+         b < static_cast<std::size_t>(trace::CycleBucket::kNumBuckets); ++b) {
+      const auto bucket = static_cast<trace::CycleBucket>(b);
+      metrics.profile.emplace_back(std::string(trace::CycleBucketName(bucket)),
+                                   profiler.bucket(bucket));
+    }
+  }
   return metrics;
 }
 

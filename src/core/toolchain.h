@@ -65,6 +65,10 @@ struct RunMetrics {
   // Full end-of-run counter snapshot (sorted by name) from the system's
   // telemetry registry — what the bench JSON exporters embed.
   std::vector<std::pair<std::string, std::uint64_t>> counters;
+  // Cycle-attribution profile (bucket name -> cycles, every bucket, in
+  // declaration order; the sum equals `cycles`). Filled only when the run
+  // was profiled via CompileAndRun's `trace` argument, else empty.
+  std::vector<std::pair<std::string, std::uint64_t>> profile;
 
   std::uint64_t Counter(std::string_view name) const {
     for (const auto& [key, value] : counters) {
@@ -75,12 +79,16 @@ struct RunMetrics {
 };
 
 // Builds `module` under `defense` and runs it on a fresh system of
-// `variant`. The workhorse of every table/figure bench.
+// `variant`. The workhorse of every table/figure bench. `trace` configures
+// the run's telemetry (pass `.profile = true` to fill RunMetrics::profile
+// with the cycle-attribution buckets); tracing is observational only and
+// never changes the measured cycles.
 StatusOr<RunMetrics> CompileAndRun(const ir::Module& module,
                                    const BuildOptions& options,
                                    SystemVariant variant,
                                    std::uint64_t max_instructions = 1ull
-                                                                    << 34);
+                                                                    << 34,
+                                   const trace::TraceConfig& trace = {});
 
 // Relative overhead helper: (value - base) / base * 100, in percent.
 double OverheadPercent(double base, double value);

@@ -13,13 +13,24 @@ std::uint64_t MulHigh(std::uint64_t a, std::uint64_t b) {
 
 }  // namespace
 
+void SetHostFastPaths(CpuConfig* config, bool enabled) {
+  config->host_decode_cache = enabled;
+  config->icache.host_fast_path = enabled;
+  config->dcache.host_fast_path = enabled;
+  config->itlb.host_indexed_lookup = enabled;
+  config->dtlb.host_indexed_lookup = enabled;
+  config->host_unchecked_mem = enabled;
+}
+
 Cpu::Cpu(const CpuConfig& config, mem::PhysMemory* memory)
     : config_(config),
       memory_(memory),
       icache_(config.icache),
       dcache_(config.dcache),
       itlb_(config.itlb, memory),
-      dtlb_(config.dtlb, memory) {}
+      dtlb_(config.dtlb, memory) {
+  if (config.host_decode_cache) decode_cache_.resize(kDecodeCacheSlots);
+}
 
 void Cpu::set_reg(unsigned index, std::uint64_t value) {
   ROLOAD_CHECK(index < isa::kNumRegs);
@@ -29,6 +40,19 @@ void Cpu::set_reg(unsigned index, std::uint64_t value) {
 void Cpu::FlushTlbs() {
   itlb_.Flush();
   dtlb_.Flush();
+  // The sfence.vma analogue also drops host-cached decodes: a remap can
+  // change the bytes behind an unchanged pc, and a same-bytes remap must
+  // not resurrect a decode taken under dropped translations.
+  InvalidateDecodeCache();
+}
+
+void Cpu::InvalidateDecodeCache() {
+  if (++decode_generation_ == 0) {
+    // Generation wrapped: scrub the slots so pre-wrap entries can never
+    // alias the restarted counter.
+    for (DecodeSlot& slot : decode_cache_) slot = DecodeSlot{};
+    decode_generation_ = 1;
+  }
 }
 
 void Cpu::set_trace(trace::Hub* hub) {
@@ -79,8 +103,9 @@ bool Cpu::FetchDecode(isa::Instruction* inst, unsigned* cycles) {
                               ifetch_cycles - config_.icache.hit_cycles);
   }
 
-  std::uint32_t raw =
-      static_cast<std::uint32_t>(memory_->Read(low.phys_addr, 2));
+  std::uint32_t raw = static_cast<std::uint32_t>(
+      config_.host_unchecked_mem ? memory_->ReadUnchecked(low.phys_addr, 2)
+                                 : memory_->Read(low.phys_addr, 2));
   const unsigned length = isa::ParcelLength(static_cast<std::uint16_t>(raw));
   if (length == 4) {
     // The upper half may live on the next page.
@@ -110,7 +135,21 @@ bool Cpu::FetchDecode(isa::Instruction* inst, unsigned* cycles) {
       RaiseTrap(isa::TrapCause::kInstructionAccessFault, pc_);
       return false;
     }
-    raw |= static_cast<std::uint32_t>(memory_->Read(upper_phys, 2)) << 16;
+    raw |= static_cast<std::uint32_t>(
+               config_.host_unchecked_mem
+                   ? memory_->ReadUnchecked(upper_phys, 2)
+                   : memory_->Read(upper_phys, 2))
+           << 16;
+  }
+
+  DecodeSlot* slot = nullptr;
+  if (config_.host_decode_cache) {
+    slot = &decode_cache_[(pc_ >> 1) & (kDecodeCacheSlots - 1)];
+    if (slot->generation == decode_generation_ && slot->pc == pc_ &&
+        slot->raw == raw) {
+      *inst = slot->inst;
+      return true;
+    }
   }
 
   auto decoded = isa::Decode(raw);
@@ -123,6 +162,14 @@ bool Cpu::FetchDecode(isa::Instruction* inst, unsigned* cycles) {
   if (!config_.roload_enabled && isa::IsRoLoad(decoded->op)) {
     RaiseTrap(isa::TrapCause::kIllegalInstruction, raw);
     return false;
+  }
+  // Only successful decodes are cached, so the roload_enabled rejection
+  // (fixed per Cpu) can never be skipped by a hit.
+  if (slot != nullptr) {
+    slot->pc = pc_;
+    slot->raw = raw;
+    slot->generation = decode_generation_;
+    slot->inst = *decoded;
   }
   *inst = *decoded;
   return true;
@@ -164,9 +211,15 @@ bool Cpu::MemAccess(const isa::Instruction& inst, std::uint64_t virt_addr,
                               dcache_cycles - config_.dcache.hit_cycles);
   }
   if (write) {
-    memory_->Write(xlat.phys_addr, bytes, *value);
+    if (config_.host_unchecked_mem) {
+      memory_->WriteUnchecked(xlat.phys_addr, bytes, *value);
+    } else {
+      memory_->Write(xlat.phys_addr, bytes, *value);
+    }
   } else {
-    std::uint64_t raw = memory_->Read(xlat.phys_addr, bytes);
+    std::uint64_t raw = config_.host_unchecked_mem
+                            ? memory_->ReadUnchecked(xlat.phys_addr, bytes)
+                            : memory_->Read(xlat.phys_addr, bytes);
     if (!isa::LoadIsUnsigned(inst.op) && bytes < 8) {
       raw = static_cast<std::uint64_t>(
           SignExtend(raw, bytes * 8));

@@ -8,6 +8,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "cache/cache.h"
 #include "isa/encoding.h"
@@ -29,7 +30,25 @@ struct CpuConfig {
   unsigned mul_cycles = 3;
   unsigned div_cycles = 20;
   unsigned taken_branch_cycles = 1;  // redirect penalty
+  // Host-only decode cache: direct-mapped, keyed by pc and validated
+  // against the raw bits fetched this step, so isa::Decode is skipped for
+  // loop bodies. Never changes simulated cycles, faults or stats (the
+  // fetch-side TLB/cache traffic still happens; only the pure decode
+  // computation is reused). FlushTlbs() invalidates it alongside the TLBs;
+  // self-modified code is additionally caught by the raw-bit check.
+  bool host_decode_cache = true;
+  // Host-only: fetch/load/store guest bytes through PhysMemory's inline
+  // unchecked accessors instead of the checked out-of-line ones. Every such
+  // access sits behind the Contains() test that the checked accessor would
+  // merely repeat, so the values (and everything downstream) are identical.
+  bool host_unchecked_mem = true;
 };
+
+// Toggles every host-only fast path in one call: the decode cache, the
+// indexed TLB lookup (both TLBs) and the cache index math (both caches).
+// Disabled reproduces the reference implementations that the differential
+// tests and bench/host_throughput compare against.
+void SetHostFastPaths(CpuConfig* config, bool enabled);
 
 // What happened during one Step().
 enum class StepEvent : std::uint8_t {
@@ -103,6 +122,18 @@ class Cpu {
                       std::uint64_t value);
 
  private:
+  // One decode-cache slot: the decoded form of the parcel whose raw bits
+  // were `raw` at address `pc`. A slot is live only while its generation
+  // matches decode_generation_ (bumping the generation is the O(1)
+  // whole-cache invalidation used by FlushTlbs).
+  struct DecodeSlot {
+    std::uint64_t pc = ~std::uint64_t{0};
+    std::uint32_t raw = 0;
+    std::uint32_t generation = 0;
+    isa::Instruction inst;
+  };
+  static constexpr std::size_t kDecodeCacheSlots = 4096;  // direct-mapped
+
   // Fetches and decodes the parcel at pc_. Returns false with a pending
   // trap recorded on failure.
   bool FetchDecode(isa::Instruction* inst, unsigned* cycles);
@@ -126,6 +157,10 @@ class Cpu {
   CpuStats stats_;
   TraceHook trace_hook_;
   trace::Hub* trace_ = nullptr;
+
+  std::vector<DecodeSlot> decode_cache_;
+  std::uint32_t decode_generation_ = 1;  // never matches the 0 in fresh slots
+  void InvalidateDecodeCache();
 };
 
 }  // namespace roload::cpu

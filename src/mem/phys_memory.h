@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "support/status.h"
@@ -21,10 +22,24 @@ class PhysMemory {
     return addr + bytes <= bytes_.size() && addr + bytes >= addr;
   }
 
-  // Unchecked fast-path accessors; callers must validate with Contains()
-  // (the MMU does). width in {1,2,4,8}; little-endian.
+  // Checked accessors; width in {1,2,4,8}; little-endian.
   std::uint64_t Read(std::uint64_t addr, unsigned bytes) const;
   void Write(std::uint64_t addr, unsigned bytes, std::uint64_t value);
+
+  // Inline unchecked variants for the CPU's host fast paths: identical to
+  // Read/Write minus the bounds CHECK — every caller sits behind a
+  // Contains() test that already proved the range. Gated in the CPU by
+  // CpuConfig::host_unchecked_mem so the reference mode keeps the checked
+  // out-of-line calls the seed simulator made.
+  std::uint64_t ReadUnchecked(std::uint64_t addr, unsigned bytes) const {
+    std::uint64_t value = 0;
+    std::memcpy(&value, bytes_.data() + addr, bytes);
+    return value;
+  }
+  void WriteUnchecked(std::uint64_t addr, unsigned bytes,
+                      std::uint64_t value) {
+    std::memcpy(bytes_.data() + addr, &value, bytes);
+  }
 
   // Bulk copy used by the loader.
   void WriteBlock(std::uint64_t addr, const std::uint8_t* data,

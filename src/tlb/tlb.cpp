@@ -1,5 +1,7 @@
 #include "tlb/tlb.h"
 
+#include <algorithm>
+
 #include "support/status.h"
 
 namespace roload::tlb {
@@ -13,53 +15,13 @@ Tlb::Tlb(const TlbConfig& config, mem::PhysMemory* memory)
     : config_(config), memory_(memory), walker_(memory) {
   ROLOAD_CHECK(config.entries > 0);
   entries_.resize(config.entries);
-}
-
-std::optional<isa::TrapCause> Tlb::CheckPermissions(const mem::Pte& pte,
-                                                    AccessType access,
-                                                    std::uint32_t key,
-                                                    TlbStats* stats) {
-  // Conventional permission-control logic.
-  switch (access) {
-    case AccessType::kFetch:
-      if (!pte.executable() || !pte.user()) {
-        ++stats->permission_faults;
-        return isa::TrapCause::kInstructionPageFault;
-      }
-      return std::nullopt;
-    case AccessType::kStore:
-      if (!pte.writable() || !pte.user()) {
-        ++stats->permission_faults;
-        return isa::TrapCause::kStorePageFault;
-      }
-      return std::nullopt;
-    case AccessType::kLoad:
-      if (!pte.readable() || !pte.user()) {
-        ++stats->permission_faults;
-        return isa::TrapCause::kLoadPageFault;
-      }
-      return std::nullopt;
-    case AccessType::kRoLoad: {
-      // The ROLoad check runs in parallel with the conventional read check
-      // and the two outputs are ANDed; a failure of either raises the
-      // ROLoad page fault that the kernel distinguishes from benign loads.
-      ++stats->key_checks;
-      const bool base_ok = pte.readable() && pte.user();
-      const bool ro_ok =
-          RoLoadCheck(pte.readable(), pte.writable(), pte.key(), key);
-      if (base_ok && ro_ok) {
-        ++stats->key_check_hits;
-        return std::nullopt;
-      }
-      if (!base_ok || pte.writable()) {
-        ++stats->roload_writable_faults;
-      } else {
-        ++stats->roload_key_faults;
-      }
-      return isa::TrapCause::kRoLoadPageFault;
-    }
-  }
-  return isa::TrapCause::kLoadPageFault;
+  // ~2 buckets per entry keeps the chains at one element in the common
+  // case while the bucket array stays cache-resident.
+  std::uint64_t buckets = 1;
+  while (buckets < 2 * config.entries) buckets <<= 1;
+  bucket_mask_ = buckets - 1;
+  bucket_head_.assign(buckets, -1);
+  chain_next_.assign(config.entries, -1);
 }
 
 void Tlb::EmitRoLoadFault(isa::TrapCause cause, std::uint64_t virt_addr,
@@ -72,18 +34,48 @@ void Tlb::EmitRoLoadFault(isa::TrapCause cause, std::uint64_t virt_addr,
                trace::EventType::kRoLoadFault, 0, virt_addr, key);
 }
 
-Tlb::Entry* Tlb::LookupEntry(std::uint64_t vpn, std::uint64_t root_ppn) {
-  if (last_entry_ != nullptr && last_entry_->valid &&
-      last_entry_->vpn == vpn && last_entry_->asid_root == root_ppn) {
-    return last_entry_;
+Tlb::Entry* Tlb::LookupEntry(std::uint64_t vpn, std::uint64_t root_ppn,
+                             AccessType access) {
+  if (!config_.host_indexed_lookup) {
+    // Reference path: one shared hint, then the fully-associative scan.
+    if (last_entry_ != nullptr && last_entry_->valid &&
+        last_entry_->vpn == vpn && last_entry_->asid_root == root_ppn) {
+      return last_entry_;
+    }
+    for (Entry& entry : entries_) {
+      if (entry.valid && entry.vpn == vpn && entry.asid_root == root_ppn) {
+        last_entry_ = &entry;
+        return &entry;
+      }
+    }
+    return nullptr;
   }
-  for (Entry& entry : entries_) {
+  Entry*& last = last_translation_[static_cast<std::size_t>(access)];
+  if (last != nullptr && last->valid && last->vpn == vpn &&
+      last->asid_root == root_ppn) {
+    return last;
+  }
+  for (std::int32_t i = bucket_head_[BucketOf(vpn, root_ppn)]; i >= 0;
+       i = chain_next_[i]) {
+    Entry& entry = entries_[static_cast<std::size_t>(i)];
     if (entry.valid && entry.vpn == vpn && entry.asid_root == root_ppn) {
-      last_entry_ = &entry;
+      last = &entry;
       return &entry;
     }
   }
   return nullptr;
+}
+
+void Tlb::UnlinkEntry(std::int32_t index) {
+  const Entry& entry = entries_[static_cast<std::size_t>(index)];
+  std::int32_t* link = &bucket_head_[BucketOf(entry.vpn, entry.asid_root)];
+  while (*link >= 0) {
+    if (*link == index) {
+      *link = chain_next_[index];
+      return;
+    }
+    link = &chain_next_[*link];
+  }
 }
 
 void Tlb::InsertEntry(std::uint64_t vpn, std::uint64_t root_ppn,
@@ -97,6 +89,12 @@ void Tlb::InsertEntry(std::uint64_t vpn, std::uint64_t root_ppn,
     if (victim == nullptr || entry.lru_tick < victim->lru_tick) {
       victim = &entry;
     }
+  }
+  if (config_.host_indexed_lookup) {
+    const auto index = static_cast<std::int32_t>(victim - entries_.data());
+    if (victim->valid) UnlinkEntry(index);
+    chain_next_[index] = bucket_head_[BucketOf(vpn, root_ppn)];
+    bucket_head_[BucketOf(vpn, root_ppn)] = index;
   }
   if (trace_ != nullptr && trace_->enabled(trace::EventCategory::kTlb)) {
     if (victim->valid) {
@@ -116,13 +114,13 @@ void Tlb::InsertEntry(std::uint64_t vpn, std::uint64_t root_ppn,
   victim->lru_tick = ++tick_;
 }
 
-TlbResult Tlb::Translate(std::uint64_t root_ppn, std::uint64_t virt_addr,
-                         AccessType access, std::uint32_t key) {
+TlbResult Tlb::TranslateSlow(std::uint64_t root_ppn, std::uint64_t virt_addr,
+                             AccessType access, std::uint32_t key) {
   TlbResult result;
   const std::uint64_t vpn = virt_addr >> mem::kPageShift;
   const std::uint64_t offset = virt_addr & (mem::kPageSize - 1);
 
-  Entry* entry = LookupEntry(vpn, root_ppn);
+  Entry* entry = LookupEntry(vpn, root_ppn, access);
   if (entry != nullptr) {
     ++stats_.hits;
     entry->lru_tick = ++tick_;
@@ -186,7 +184,13 @@ TlbResult Tlb::Translate(std::uint64_t root_ppn, std::uint64_t virt_addr,
 
 void Tlb::Flush() {
   for (Entry& entry : entries_) entry.valid = false;
+  // Drop every lookup shortcut with the entries: the last-translation
+  // registers and bucket chains must never outlive a PTE edit, or a key
+  // change made before the flush could be served stale.
   last_entry_ = nullptr;
+  for (Entry*& last : last_translation_) last = nullptr;
+  std::fill(bucket_head_.begin(), bucket_head_.end(), -1);
+  std::fill(chain_next_.begin(), chain_next_.end(), -1);
   ++stats_.flushes;
   if (trace_ != nullptr && trace_->enabled(trace::EventCategory::kTlb)) {
     trace_->Emit(unit_, trace::EventCategory::kTlb,

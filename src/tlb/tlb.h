@@ -32,6 +32,13 @@ struct TlbConfig {
   // is charged separately by the cache model in the CPU; this is the
   // walker's own latency).
   unsigned walk_cycles_per_level = 20;
+  // Host-only lookup acceleration: VPN-indexed bucket chains plus one
+  // last-translation register per access type, replacing the reference
+  // fully-associative linear scan. Replacement still picks the global LRU
+  // victim, so hits, misses, evictions, fault causes and every TlbStats
+  // field are bit-identical to the reference path (pinned by the
+  // differential tests in tests/test_tlb.cpp).
+  bool host_indexed_lookup = true;
 };
 
 struct TlbStats {
@@ -55,6 +62,14 @@ struct TlbResult {
   isa::TrapCause cause = isa::TrapCause::kLoadPageFault;
 };
 
+// Pure function exposing the ROLoad check logic in isolation; also used by
+// the hardware cost model's functional-equivalence tests (the netlist in
+// src/hw implements exactly this boolean function).
+//
+// allowed = readable && !writable && (page_key == inst_key)
+bool RoLoadCheck(bool readable, bool writable, std::uint32_t page_key,
+                 std::uint32_t inst_key);
+
 // One TLB: tag + leaf PTE copy (permissions and key). Used for both the
 // I-side and D-side TLBs.
 class Tlb {
@@ -63,8 +78,38 @@ class Tlb {
 
   // Translates `virt_addr` for `access` under root page table `root_ppn`.
   // `key` is only consulted for AccessType::kRoLoad.
+  //
+  // The inline body is the host fast path: when the per-access-type
+  // last-translation register covers the page, the hit (including the
+  // stats/LRU updates and the full permission datapath) completes without
+  // an out-of-line call. It performs exactly the steps TranslateSlow
+  // performs for the same hit, so results and TlbStats are bit-identical
+  // whichever path serves the access.
   TlbResult Translate(std::uint64_t root_ppn, std::uint64_t virt_addr,
-                      AccessType access, std::uint32_t key);
+                      AccessType access, std::uint32_t key) {
+    if (config_.host_indexed_lookup) {
+      Entry* entry = last_translation_[static_cast<std::size_t>(access)];
+      if (entry != nullptr && entry->valid &&
+          entry->vpn == (virt_addr >> mem::kPageShift) &&
+          entry->asid_root == root_ppn) {
+        ++stats_.hits;
+        entry->lru_tick = ++tick_;
+        TlbResult result;
+        if (auto cause = CheckPermissions(entry->pte, access, key, &stats_)) {
+          result.ok = false;
+          result.cause = *cause;
+          EmitRoLoadFault(result.cause, virt_addr, key);
+          return result;
+        }
+        result.ok = true;
+        result.phys_addr = (entry->phys_page << mem::kPageShift) +
+                           (virt_addr & (mem::kPageSize - 1));
+        result.cycles = 0;
+        return result;
+      }
+    }
+    return TranslateSlow(root_ppn, virt_addr, access, key);
+  }
 
   // Invalidates all entries (sfence.vma analogue). Must be called by the
   // kernel model after any PTE change.
@@ -91,12 +136,62 @@ class Tlb {
   };
 
   // The permission-check datapath (conventional + ROLoad in parallel).
-  // Returns nullopt when access is allowed, else the trap cause.
-  static std::optional<isa::TrapCause> CheckPermissions(
-      const mem::Pte& pte, AccessType access, std::uint32_t key,
-      TlbStats* stats);
+  // Returns nullopt when access is allowed, else the trap cause. Defined
+  // inline (it sits on the per-access hot path of both lookup paths).
+  static std::optional<isa::TrapCause> CheckPermissions(const mem::Pte& pte,
+                                                        AccessType access,
+                                                        std::uint32_t key,
+                                                        TlbStats* stats) {
+    switch (access) {
+      case AccessType::kFetch:
+        if (!pte.executable() || !pte.user()) {
+          ++stats->permission_faults;
+          return isa::TrapCause::kInstructionPageFault;
+        }
+        return std::nullopt;
+      case AccessType::kStore:
+        if (!pte.writable() || !pte.user()) {
+          ++stats->permission_faults;
+          return isa::TrapCause::kStorePageFault;
+        }
+        return std::nullopt;
+      case AccessType::kLoad:
+        if (!pte.readable() || !pte.user()) {
+          ++stats->permission_faults;
+          return isa::TrapCause::kLoadPageFault;
+        }
+        return std::nullopt;
+      case AccessType::kRoLoad: {
+        // The ROLoad check runs in parallel with the conventional read
+        // check and the two outputs are ANDed; a failure of either raises
+        // the ROLoad page fault that the kernel distinguishes from benign
+        // loads.
+        ++stats->key_checks;
+        const bool base_ok = pte.readable() && pte.user();
+        const bool ro_ok =
+            RoLoadCheck(pte.readable(), pte.writable(), pte.key(), key);
+        if (base_ok && ro_ok) {
+          ++stats->key_check_hits;
+          return std::nullopt;
+        }
+        if (!base_ok || pte.writable()) {
+          ++stats->roload_writable_faults;
+        } else {
+          ++stats->roload_key_faults;
+        }
+        return isa::TrapCause::kRoLoadPageFault;
+      }
+    }
+    return isa::TrapCause::kLoadPageFault;
+  }
 
-  Entry* LookupEntry(std::uint64_t vpn, std::uint64_t root_ppn);
+  // The miss/scan half of Translate: everything past the inline
+  // last-translation shortcut (and the whole of the reference path).
+  TlbResult TranslateSlow(std::uint64_t root_ppn, std::uint64_t virt_addr,
+                          AccessType access, std::uint32_t key);
+
+  Entry* LookupEntry(std::uint64_t vpn, std::uint64_t root_ppn,
+                     AccessType access);
   void InsertEntry(std::uint64_t vpn, std::uint64_t root_ppn,
                    const mem::Pte& pte, std::uint64_t phys_page);
   // Records a key-check failure in the event stream (no-op for other
@@ -104,10 +199,27 @@ class Tlb {
   void EmitRoLoadFault(isa::TrapCause cause, std::uint64_t virt_addr,
                        std::uint32_t key);
 
+  // Indexed-lookup bookkeeping (host_indexed_lookup only).
+  std::size_t BucketOf(std::uint64_t vpn, std::uint64_t root_ppn) const {
+    return (vpn ^ root_ppn) & bucket_mask_;
+  }
+  void UnlinkEntry(std::int32_t index);
+
   // Simulation fast path (no architectural effect): most lookups hit the
   // same page as the previous one, so cache the last matched entry and
-  // self-validate it before the associative scan.
+  // self-validate it before the associative scan. Used by the reference
+  // (non-indexed) lookup path.
   Entry* last_entry_ = nullptr;
+
+  // Host-only indexed lookup state: valid entries are threaded into
+  // singly-linked chains headed by bucket_head_[BucketOf(...)], and each
+  // access type keeps its own last-translation register so alternating
+  // load/store/ld.ro pages do not thrash a single hint. Flush() clears
+  // all of it; entries_ never reallocates, so the pointers stay stable.
+  std::vector<std::int32_t> bucket_head_;  // bucket -> entry index or -1
+  std::vector<std::int32_t> chain_next_;   // entry index -> next or -1
+  std::uint64_t bucket_mask_ = 0;
+  Entry* last_translation_[4] = {nullptr, nullptr, nullptr, nullptr};
 
   trace::Hub* trace_ = nullptr;
   trace::Unit unit_ = trace::Unit::kDTlb;
@@ -119,13 +231,5 @@ class Tlb {
   std::uint64_t tick_ = 0;
   TlbStats stats_;
 };
-
-// Pure function exposing the ROLoad check logic in isolation; also used by
-// the hardware cost model's functional-equivalence tests (the netlist in
-// src/hw implements exactly this boolean function).
-//
-// allowed = readable && !writable && (page_key == inst_key)
-bool RoLoadCheck(bool readable, bool writable, std::uint32_t page_key,
-                 std::uint32_t inst_key);
 
 }  // namespace roload::tlb

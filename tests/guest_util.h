@@ -16,24 +16,31 @@ struct GuestRun {
   std::shared_ptr<core::System> system;
 };
 
-// Assembles and runs `source` on a system of the given variant. Fails the
+// Assembles and runs `source` on a system built from `config`. Fails the
 // current test on assembly/load errors.
-inline GuestRun RunGuest(
-    const std::string& source,
-    core::SystemVariant variant = core::SystemVariant::kFullRoload,
-    std::uint64_t max_instructions = 1 << 22) {
+inline GuestRun RunGuest(const std::string& source,
+                         const core::SystemConfig& config,
+                         std::uint64_t max_instructions = 1 << 22) {
   GuestRun run;
   auto image = asmtool::Assemble(source);
   EXPECT_TRUE(image.ok()) << image.status().ToString();
   if (!image.ok()) return run;
-  core::SystemConfig config;
-  config.variant = variant;
   run.system = std::make_shared<core::System>(config);
   Status status = run.system->Load(*image);
   EXPECT_TRUE(status.ok()) << status.ToString();
   if (!status.ok()) return run;
   run.result = run.system->Run(max_instructions);
   return run;
+}
+
+// Assembles and runs `source` on a default system of the given variant.
+inline GuestRun RunGuest(
+    const std::string& source,
+    core::SystemVariant variant = core::SystemVariant::kFullRoload,
+    std::uint64_t max_instructions = 1 << 22) {
+  core::SystemConfig config;
+  config.variant = variant;
+  return RunGuest(source, config, max_instructions);
 }
 
 // Shorthand: run and expect a clean exit with `expected_code`.

@@ -1,8 +1,10 @@
 // Cache model tests: hit/miss accounting, LRU replacement, write-back
-// behaviour, and geometry sweeps.
+// behaviour, geometry sweeps, and the host-fast-path differential (the
+// shift-based index math must be invisible to the timing model).
 #include <gtest/gtest.h>
 
 #include "cache/cache.h"
+#include "support/rng.h"
 
 namespace roload::cache {
 namespace {
@@ -122,6 +124,72 @@ INSTANTIATE_TEST_SUITE_P(Sweep, GeometryTest,
                            return std::to_string(info.param.first) + "KiB_" +
                                   std::to_string(info.param.second) + "way";
                          });
+
+// ---------------------------------------------------------------------------
+// Host fast path differential: with host_fast_path on, index/tag math uses
+// precomputed shifts and same-line hits take the inline shortcut. Every
+// access of an arbitrary stream must cost the same cycles and move the
+// same stats as the divide-based reference, access by access.
+
+void RunFastPathDifferential(CacheConfig config, std::uint64_t seed) {
+  CacheConfig reference = config;
+  config.host_fast_path = true;
+  reference.host_fast_path = false;
+  Cache fast(config);
+  Cache ref(reference);
+  Rng rng(seed);
+  const std::uint64_t line = config.line_bytes;
+  for (int i = 0; i < 20000; ++i) {
+    // Mix of same-line runs, set conflicts (size_bytes/ways stride maps to
+    // one set) and wide sweeps, so hits, misses, clean and dirty evictions
+    // all occur.
+    std::uint64_t addr = 0;
+    switch (rng.NextBelow(4)) {
+      case 0:
+        addr = 0x4000 + rng.NextBelow(2 * line);
+        break;
+      case 1:
+        addr = rng.NextBelow(3 * config.ways) * (config.size_bytes / config.ways);
+        break;
+      case 2:
+        addr = rng.NextBelow(4 * config.size_bytes);
+        break;
+      default:
+        addr = rng.NextBelow(1 << 26);
+        break;
+    }
+    const bool write = rng.NextPercent(30);
+    ASSERT_EQ(fast.Access(addr, write), ref.Access(addr, write))
+        << "access " << i << " addr 0x" << std::hex << addr;
+    if (rng.NextPercent(1)) {
+      fast.Flush();
+      ref.Flush();
+    }
+  }
+  EXPECT_EQ(fast.stats().hits, ref.stats().hits);
+  EXPECT_EQ(fast.stats().misses, ref.stats().misses);
+  EXPECT_EQ(fast.stats().writebacks, ref.stats().writebacks);
+  EXPECT_EQ(fast.stats().flushes, ref.stats().flushes);
+}
+
+TEST(CacheFastPathTest, MatchesReferenceDefaultGeometry) {
+  RunFastPathDifferential(CacheConfig{}, 1);
+}
+
+TEST(CacheFastPathTest, MatchesReferenceDirectMapped) {
+  CacheConfig config;
+  config.size_bytes = 4 * 1024;
+  config.ways = 1;
+  RunFastPathDifferential(config, 2);
+}
+
+TEST(CacheFastPathTest, MatchesReferenceSmallTwoWay) {
+  CacheConfig config;
+  config.size_bytes = 8 * 1024;
+  config.ways = 2;
+  config.line_bytes = 32;
+  RunFastPathDifferential(config, 3);
+}
 
 }  // namespace
 }  // namespace roload::cache

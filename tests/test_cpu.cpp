@@ -387,6 +387,214 @@ TEST(CpuTrapTest, FaultPcIsReported) {
   EXPECT_GE(run.result.fault_pc, 0x10000u);
 }
 
+// ---------------------------------------------------------------------------
+// Host fast path differentials: the decode cache, indexed TLB lookup,
+// cache index math and unchecked memory accessors are host-only — a guest
+// run with all of them off (the reference simulator) must be bit-identical
+// in every architectural and micro-architectural observable.
+
+core::SystemConfig ReferenceConfig() {
+  core::SystemConfig config;
+  cpu::SetHostFastPaths(&config.cpu, false);
+  return config;
+}
+
+// Loops over loads, stores, branches and a hot ld.ro against a page the
+// guest itself mmaps, publishes and rekeys — every fast path (decode
+// cache, both TLBs, both caches, the kernel flush paths) gets traffic.
+constexpr char kMixedWorkload[] = R"(
+.section .text
+_start:
+  li a0, 0
+  li a1, 4096
+  li a2, 3
+  li a7, 222
+  ecall
+  mv s0, a0
+  li t0, 1234
+  sd t0, 0(s0)
+  mv a0, s0
+  li a1, 4096
+  li a2, 0x150001   # PROT_READ | key 21 << 16
+  li a7, 226
+  ecall
+  li s1, 0
+  li s2, 500
+loop:
+  ld.ro t0, (s0), 21
+  add s1, s1, t0
+  la t1, table
+  ld t2, 0(t1)
+  add s1, s1, t2
+  la t3, scratch
+  sd s1, 0(t3)
+  addi s2, s2, -1
+  bnez s2, loop
+  andi a0, s1, 255
+  li a7, 93
+  ecall
+.section .data
+scratch: .zero 8
+.section .rodata.key.3
+table: .quad 7
+)";
+
+TEST(HostFastPathTest, GuestRunBitIdenticalWithFastPathsOff) {
+  const auto fast = RunGuest(kMixedWorkload, core::SystemConfig{});
+  const auto ref = RunGuest(kMixedWorkload, ReferenceConfig());
+  ASSERT_EQ(fast.result.kind, kernel::ExitKind::kExited);
+  ASSERT_EQ(ref.result.kind, kernel::ExitKind::kExited);
+  EXPECT_EQ(fast.result.exit_code, ref.result.exit_code);
+  EXPECT_EQ(fast.result.cycles, ref.result.cycles);
+  EXPECT_EQ(fast.result.instructions, ref.result.instructions);
+  EXPECT_EQ(fast.result.peak_mem_kib, ref.result.peak_mem_kib);
+  const auto& fs = fast.system->cpu().stats();
+  const auto& rs = ref.system->cpu().stats();
+  EXPECT_EQ(fs.loads, rs.loads);
+  EXPECT_EQ(fs.stores, rs.stores);
+  EXPECT_EQ(fs.roload_loads, rs.roload_loads);
+  EXPECT_EQ(fs.branches, rs.branches);
+  EXPECT_EQ(fs.taken_branches, rs.taken_branches);
+  EXPECT_EQ(fs.indirect_jumps, rs.indirect_jumps);
+  EXPECT_EQ(fast.system->cpu().itlb_stats().hits,
+            ref.system->cpu().itlb_stats().hits);
+  EXPECT_EQ(fast.system->cpu().itlb_stats().misses,
+            ref.system->cpu().itlb_stats().misses);
+  EXPECT_EQ(fast.system->cpu().dtlb_stats().hits,
+            ref.system->cpu().dtlb_stats().hits);
+  EXPECT_EQ(fast.system->cpu().dtlb_stats().misses,
+            ref.system->cpu().dtlb_stats().misses);
+  EXPECT_EQ(fast.system->cpu().dtlb_stats().key_checks,
+            ref.system->cpu().dtlb_stats().key_checks);
+  EXPECT_EQ(fast.system->cpu().icache_stats().hits,
+            ref.system->cpu().icache_stats().hits);
+  EXPECT_EQ(fast.system->cpu().icache_stats().misses,
+            ref.system->cpu().icache_stats().misses);
+  EXPECT_EQ(fast.system->cpu().dcache_stats().hits,
+            ref.system->cpu().dcache_stats().hits);
+  EXPECT_EQ(fast.system->cpu().dcache_stats().misses,
+            ref.system->cpu().dcache_stats().misses);
+  EXPECT_EQ(fast.system->cpu().dcache_stats().writebacks,
+            ref.system->cpu().dcache_stats().writebacks);
+  // The full telemetry registry in one shot — any counter drift fails.
+  EXPECT_EQ(fast.system->trace().counters().Snapshot(),
+            ref.system->trace().counters().Snapshot());
+}
+
+TEST(HostFastPathTest, FaultBitIdenticalWithFastPathsOff) {
+  // A key-mismatch ld.ro: the fault cause, address, pc and cycle count
+  // must not depend on which lookup path detected it.
+  const std::string source = R"(
+.section .text
+_start:
+  la t0, list
+  ld.ro a0, (t0), 8
+  li a7, 93
+  ecall
+.section .rodata.key.9
+list: .quad 5
+)";
+  const auto fast = RunGuest(source, core::SystemConfig{});
+  const auto ref = RunGuest(source, ReferenceConfig());
+  ASSERT_EQ(fast.result.kind, kernel::ExitKind::kKilled);
+  ASSERT_EQ(ref.result.kind, kernel::ExitKind::kKilled);
+  EXPECT_TRUE(fast.result.roload_violation);
+  EXPECT_EQ(fast.result.trap_cause, ref.result.trap_cause);
+  EXPECT_EQ(fast.result.fault_addr, ref.result.fault_addr);
+  EXPECT_EQ(fast.result.fault_pc, ref.result.fault_pc);
+  EXPECT_EQ(fast.result.cycles, ref.result.cycles);
+}
+
+TEST(HostFastPathTest, KeyRotationAfterMprotectIsObserved) {
+  // Regression: a hot ld.ro warms the D-TLB last-translation register;
+  // the mprotect rekey (sfence.vma path) must drop it so the next ld.ro
+  // with the now-stale key faults instead of being served the old PTE.
+  const std::string source = R"(
+.section .text
+_start:
+  li a0, 0
+  li a1, 4096
+  li a2, 3
+  li a7, 222
+  ecall
+  mv s0, a0
+  li t0, 55
+  sd t0, 0(s0)
+  mv a0, s0
+  li a1, 4096
+  li a2, 0x150001   # PROT_READ | key 21 << 16
+  li a7, 226
+  ecall
+  ld.ro t1, (s0), 21
+  mv a0, s0
+  li a1, 4096
+  li a2, 0x90001    # PROT_READ | key 9 << 16
+  li a7, 226
+  ecall
+  ld.ro t2, (s0), 21
+  li a0, 0
+  li a7, 93
+  ecall
+)";
+  const auto run = RunGuest(source, core::SystemConfig{});
+  ASSERT_EQ(run.result.kind, kernel::ExitKind::kKilled);
+  EXPECT_TRUE(run.result.roload_violation);
+  EXPECT_EQ(run.result.trap_cause, isa::TrapCause::kRoLoadPageFault);
+}
+
+TEST(HostFastPathTest, SelfModifyingCodeIsDecodedFresh) {
+  // Regression for the decode cache's raw-bit validation: the guest
+  // copies routine f1 into an RWX page, calls it, overwrites the same
+  // bytes with f2 and calls again. A decode cache that trusted pc alone
+  // would replay f1's decode and exit 14 instead of 16.
+  const std::string source = R"(
+.section .text
+_start:
+  li a0, 0
+  li a1, 4096
+  li a2, 7          # PROT_READ | PROT_WRITE | PROT_EXEC
+  li a7, 222
+  ecall
+  mv s0, a0
+  la t0, f1
+  ld t1, 0(t0)
+  sd t1, 0(s0)
+  ld t1, 8(t0)
+  sd t1, 8(s0)
+  jalr ra, 0(s0)
+  mv s1, a0
+  la t0, f2
+  ld t1, 0(t0)
+  sd t1, 0(s0)
+  ld t1, 8(t0)
+  sd t1, 8(s0)
+  jalr ra, 0(s0)
+  add a0, a0, s1
+  li a7, 93
+  ecall
+.align 3
+f1:
+  li a0, 7
+  ret
+  nop
+  nop
+.align 3
+f2:
+  li a0, 9
+  ret
+  nop
+  nop
+)";
+  const auto fast = RunGuest(source, core::SystemConfig{});
+  const auto ref = RunGuest(source, ReferenceConfig());
+  ASSERT_EQ(fast.result.kind, kernel::ExitKind::kExited)
+      << isa::TrapCauseName(fast.result.trap_cause);
+  EXPECT_EQ(fast.result.exit_code, 16);
+  ASSERT_EQ(ref.result.kind, kernel::ExitKind::kExited);
+  EXPECT_EQ(ref.result.exit_code, 16);
+  EXPECT_EQ(fast.result.cycles, ref.result.cycles);
+}
+
 TEST(CpuStatsTest, CountersTrackInstructionMix) {
   const auto run = RunGuest(ExitWith(
       "  la t0, _start\n  ld t1, 0(t0)\n  la t2, buf\n  sd t1, 0(t2)\n"

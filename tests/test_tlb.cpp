@@ -194,6 +194,97 @@ TEST(RoLoadCheckTest, NeverAllowsWritable) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Host indexed-lookup differential: with host_indexed_lookup on, lookups
+// go through the bucket chains and the per-access-type last-translation
+// registers. Every translation of an arbitrary access stream must return
+// the same result (ok, phys_addr, cycles, cause) and move the same stats
+// as the reference fully-associative scan, access by access.
+
+void RunIndexedLookupDifferential(TlbConfig config, std::uint64_t seed) {
+  mem::PhysMemory memory(8 * 1024 * 1024);
+  FrameAllocator frames(16, 1024);
+  AddressSpace space(&memory, &frames);
+  // A page population wider than the TLB with every protection flavour:
+  // RW data, RX code, and RO pages under a handful of keys.
+  constexpr std::uint64_t kBase = 0x100000;
+  constexpr std::uint64_t kPages = 64;
+  for (std::uint64_t i = 0; i < kPages; ++i) {
+    PageProt prot;
+    switch (i % 4) {
+      case 0: prot = PageProt::Rw(); break;
+      case 1: prot = PageProt::Rx(); break;
+      default: prot = PageProt::Ro(static_cast<std::uint32_t>(i % 7)); break;
+    }
+    ASSERT_TRUE(space.Map(kBase + i * mem::kPageSize, 1, prot).ok());
+  }
+
+  TlbConfig reference = config;
+  config.host_indexed_lookup = true;
+  reference.host_indexed_lookup = false;
+  Tlb fast(config, &memory);
+  Tlb ref(reference, &memory);
+  Rng rng(seed);
+  constexpr AccessType kTypes[] = {AccessType::kFetch, AccessType::kLoad,
+                                   AccessType::kStore, AccessType::kRoLoad};
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t page = rng.NextBelow(kPages);
+    const std::uint64_t vaddr =
+        kBase + page * mem::kPageSize + rng.NextBelow(mem::kPageSize);
+    const AccessType access = kTypes[rng.NextBelow(4)];
+    // Half the ld.ro probes carry the page's key, half a wrong one, so
+    // both key-check outcomes (and their distinct stats) are exercised.
+    const auto key = static_cast<std::uint32_t>(
+        rng.NextPercent(50) ? page % 7 : rng.NextBelow(16));
+    const TlbResult a = fast.Translate(space.root_ppn(), vaddr, access, key);
+    const TlbResult b = ref.Translate(space.root_ppn(), vaddr, access, key);
+    ASSERT_EQ(a.ok, b.ok) << "access " << i;
+    ASSERT_EQ(a.phys_addr, b.phys_addr) << "access " << i;
+    ASSERT_EQ(a.cycles, b.cycles) << "access " << i;
+    if (!a.ok) ASSERT_EQ(a.cause, b.cause) << "access " << i;
+    if (rng.NextPercent(1)) {
+      fast.Flush();
+      ref.Flush();
+    }
+  }
+  EXPECT_EQ(fast.stats().hits, ref.stats().hits);
+  EXPECT_EQ(fast.stats().misses, ref.stats().misses);
+  EXPECT_EQ(fast.stats().flushes, ref.stats().flushes);
+  EXPECT_EQ(fast.stats().permission_faults, ref.stats().permission_faults);
+  EXPECT_EQ(fast.stats().roload_key_faults, ref.stats().roload_key_faults);
+  EXPECT_EQ(fast.stats().roload_writable_faults,
+            ref.stats().roload_writable_faults);
+  EXPECT_EQ(fast.stats().key_checks, ref.stats().key_checks);
+  EXPECT_EQ(fast.stats().key_check_hits, ref.stats().key_check_hits);
+}
+
+TEST(TlbIndexedLookupTest, MatchesReferenceDefaultConfig) {
+  RunIndexedLookupDifferential(TlbConfig{}, 11);
+}
+
+TEST(TlbIndexedLookupTest, MatchesReferenceUnderEvictionChurn) {
+  // 4 entries over 64 pages: constant global-LRU eviction and chain
+  // unlinking, the paths most likely to diverge from the linear scan.
+  TlbConfig config;
+  config.entries = 4;
+  RunIndexedLookupDifferential(config, 12);
+}
+
+TEST_F(TlbTest, FlushDropsLastTranslationShortcut) {
+  // Regression: the per-access-type last-translation registers must not
+  // outlive a flush, or a PTE key change after sfence.vma would be served
+  // the stale key and the ld.ro check silently skipped.
+  Map(0x10000, PageProt::Ro(7));
+  ASSERT_TRUE(Translate(0x10000, AccessType::kRoLoad, 7).ok);  // warm hint
+  ASSERT_TRUE(space_.Protect(0x10000, 1, PageProt::Ro(9)).ok());
+  tlb_.Flush();
+  const auto stale = Translate(0x10008, AccessType::kRoLoad, 7);
+  EXPECT_FALSE(stale.ok);
+  EXPECT_EQ(stale.cause, isa::TrapCause::kRoLoadPageFault);
+  EXPECT_EQ(tlb_.stats().roload_key_faults, 1u);
+  EXPECT_TRUE(Translate(0x10010, AccessType::kRoLoad, 9).ok);
+}
+
 TEST(TlbConfigTest, SmallTlbStillCorrect) {
   mem::PhysMemory memory(8 * 1024 * 1024);
   FrameAllocator frames(16, 1024);
