@@ -11,13 +11,18 @@
 //    reuse of same-type allowlist entries (Section V-D).
 //  * Classic CFI blocks wrong-type targets but also allows same-type reuse.
 #include <cstdio>
+#include <string>
 
+#include "bench/bench_util.h"
 #include "sec/attack.h"
+#include "support/strings.h"
+#include "verify/verify.h"
 #include "workloads/spec_like.h"
 
 using namespace roload;
 
 int main() {
+  trace::TelemetrySession session("security_matrix");
   const sec::AttackKind kinds[] = {
       sec::AttackKind::kVtableInjection,
       sec::AttackKind::kVtableReuseCrossHierarchy,
@@ -40,15 +45,66 @@ int main() {
     std::printf("%-30s", sec::AttackKindName(kind).data());
     for (core::Defense defense : defenses) {
       auto result = sec::RunAttack(kind, defense);
+      const std::string key = std::string("attack.") +
+                              std::string(sec::AttackKindName(kind)) + "." +
+                              std::string(core::DefenseName(defense));
       if (!result.ok()) {
         std::printf(" %-10s", "ERROR");
+        session.Record(key, "ERROR");
         any_error = true;
         continue;
       }
       std::printf(" %-10s", sec::AttackOutcomeName(result->outcome).data());
+      session.Record(key, sec::AttackOutcomeName(result->outcome));
     }
     std::printf("\n");
   }
+
+  // Static verdicts next to the dynamic ones: the src/verify proof over
+  // the very build each attack ran against. "proven" = zero violations
+  // and every dispatch shown to consume an ld.ro result; "partial" =
+  // zero violations but only some dispatches carry the proof (expected
+  // for VCall, which covers virtual calls only, and for defenses that
+  // never dispatch through ld.ro); "REJECT" = the verifier found a
+  // violation (never expected here).
+  std::printf("%-30s", "statically proven");
+  const ir::Module victim = sec::MakeVictimModule();
+  for (core::Defense defense : defenses) {
+    core::BuildOptions options;
+    options.defense = defense;
+    auto build = core::Build(victim, options);
+    const std::string prefix =
+        std::string("static.") + std::string(core::DefenseName(defense));
+    if (!build.ok()) {
+      std::printf(" %-10s", "ERROR");
+      session.Record(prefix + ".verdict", "ERROR");
+      any_error = true;
+      continue;
+    }
+    const verify::Report report = core::Verify(*build);
+    const auto& stats = report.stats();
+    std::string verdict;
+    if (!report.ok()) {
+      verdict = "REJECT";
+      any_error = true;
+    } else if (stats.dispatches == stats.proven_dispatches &&
+               stats.dispatches > 0) {
+      verdict = "proven";
+    } else {
+      verdict = StrFormat(
+          "%llu/%llu",
+          static_cast<unsigned long long>(stats.proven_dispatches),
+          static_cast<unsigned long long>(stats.dispatches));
+    }
+    std::printf(" %-10s", verdict.c_str());
+    session.Record(prefix + ".verdict", verdict);
+    session.Record(prefix + ".ok", static_cast<std::uint64_t>(report.ok()));
+    session.Record(prefix + ".dispatches", stats.dispatches);
+    session.Record(prefix + ".proven_dispatches", stats.proven_dispatches);
+    session.Record(prefix + ".roload_instructions",
+                   stats.roload_instructions);
+  }
+  std::printf("\n");
 
   // Residual attack surface: average allowlist size per key (Section V-D:
   // "attackers can only feed values in the specific allowlists").
@@ -77,6 +133,13 @@ int main() {
                 static_cast<double>(sum) / static_cast<double>(used_types),
                 static_cast<double>(address_taken) * used_types /
                     static_cast<double>(sum));
+    session.Record("residual." + spec.name + ".address_taken",
+                   static_cast<std::uint64_t>(address_taken));
+    session.Record("residual." + spec.name + ".typed_allowlist_avg",
+                   static_cast<double>(sum) /
+                       static_cast<double>(used_types));
   }
+
+  bench::WriteBenchJson(session);
   return any_error ? 1 : 0;
 }

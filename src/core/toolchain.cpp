@@ -1,6 +1,8 @@
 #include "core/toolchain.h"
 
 #include "asmtool/assembler.h"
+#include "verify/binary.h"
+#include "verify/ir_lint.h"
 
 namespace roload::core {
 
@@ -50,7 +52,34 @@ StatusOr<BuildResult> Build(ir::Module module, const BuildOptions& options) {
   result.image_bytes = image->MappedBytes();
   result.code_bytes = image->CodeBytes();
   result.image = *std::move(image);
+  result.hardened = std::move(module);
+  result.options = options;
+
+  if (options.verify) {
+    const verify::Report report = Verify(result);
+    if (!report.ok()) {
+      return Status::FailedPrecondition("static verification failed:\n" +
+                                        report.ToText());
+    }
+  }
   return result;
+}
+
+verify::Report Verify(const BuildResult& build) {
+  verify::Report report;
+  verify::LintModule(build.hardened, &report);
+  const verify::Expectations expectations =
+      verify::ComputeExpectations(build.hardened);
+  verify::BinaryPolicy policy;
+  policy.name = std::string(DefenseName(build.options.defense));
+  // Only ICall with hardened vtables claims *every* indirect call is
+  // dispatched through ld.ro; VCall protects virtual calls only, and the
+  // software baselines never use ld.ro for dispatch.
+  policy.require_protected_dispatch =
+      build.options.defense == Defense::kICall &&
+      build.options.icall.harden_vtables;
+  verify::VerifyImage(build.image, policy, &expectations, &report);
+  return report;
 }
 
 StatusOr<RunMetrics> CompileAndRun(const ir::Module& module,

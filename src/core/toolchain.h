@@ -14,6 +14,7 @@
 #include "core/system.h"
 #include "ir/ir.h"
 #include "passes/passes.h"
+#include "verify/verify.h"
 
 namespace roload::core {
 
@@ -34,6 +35,9 @@ struct BuildOptions {
   passes::VCallProtectOptions vcall;
   passes::ICallCfiOptions icall;
   passes::ClassicCfiOptions cfi;
+  // Run the static pointee-integrity verifier (src/verify) on the build
+  // products; Build fails with FailedPrecondition on any violation.
+  bool verify = false;
 };
 
 struct BuildResult {
@@ -43,10 +47,23 @@ struct BuildResult {
   // memory-overhead numerator.
   std::uint64_t image_bytes = 0;
   std::uint64_t code_bytes = 0;
+  // The post-pass module and the options that produced this build, kept
+  // so Verify() can lint the hardened IR and derive its expectations.
+  ir::Module hardened;
+  BuildOptions options;
 };
 
 // Applies the defense passes to a copy of `module`, lowers, assembles.
 StatusOr<BuildResult> Build(ir::Module module, const BuildOptions& options);
+
+// Static verification of a finished build: IR lint over the hardened
+// module plus the binary abstract-interpretation proof over the linked
+// image, under the policy implied by the build's defense (the full
+// every-dispatch-is-ld.ro proof applies to ICall with hardened vtables;
+// other defenses get the universal consistency rules). The returned
+// report carries structured violations and stats; report.ok() is the
+// machine-checkable gate CI and the benches use.
+verify::Report Verify(const BuildResult& build);
 
 // Per-run metrics for the evaluation harness.
 struct RunMetrics {

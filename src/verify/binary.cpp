@@ -1,0 +1,655 @@
+#include "verify/binary.h"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "isa/encoding.h"
+#include "isa/instruction.h"
+#include "isa/opcodes.h"
+#include "isa/registers.h"
+#include "support/strings.h"
+
+namespace roload::verify {
+namespace {
+
+using asmtool::LinkImage;
+using asmtool::Section;
+using isa::Instruction;
+using isa::Opcode;
+
+constexpr std::uint64_t kPageSize = 4096;
+
+// ---------------------------------------------------------------------------
+// Abstract values.
+
+struct AbsVal {
+  enum class Kind : std::uint8_t { kBottom, kConst, kRoLoaded, kUnknown };
+  Kind kind = Kind::kBottom;
+  std::uint64_t bits = 0;  // kConst: value; kRoLoaded: page key
+
+  static AbsVal Bottom() { return {}; }
+  static AbsVal Const(std::uint64_t v) { return {Kind::kConst, v}; }
+  static AbsVal RoLoaded(std::uint32_t key) { return {Kind::kRoLoaded, key}; }
+  static AbsVal Unknown() { return {Kind::kUnknown, 0}; }
+
+  bool operator==(const AbsVal&) const = default;
+};
+
+AbsVal Join(const AbsVal& a, const AbsVal& b) {
+  if (a == b) return a;
+  if (a.kind == AbsVal::Kind::kBottom) return b;
+  if (b.kind == AbsVal::Kind::kBottom) return a;
+  return AbsVal::Unknown();
+}
+
+// Machine state at one program point: the 32 integer registers, the
+// stack-pointer displacement from function entry, and the abstract
+// contents of sp-relative 8-byte slots (keyed by entry-relative offset).
+struct State {
+  AbsVal regs[32];
+  bool reached = false;
+  bool sp_valid = true;
+  std::int64_t sp_off = 0;  // sp == entry_sp + sp_off
+  std::map<std::int64_t, AbsVal> slots;
+};
+
+void DropSlots(State* s) { s->slots.clear(); }
+
+void InvalidateSp(State* s) {
+  s->sp_valid = false;
+  s->slots.clear();
+}
+
+// Returns true when `into` changed.
+bool Merge(State* into, const State& from) {
+  if (!into->reached) {
+    *into = from;
+    into->reached = true;
+    return true;
+  }
+  bool changed = false;
+  for (int r = 0; r < 32; ++r) {
+    AbsVal j = Join(into->regs[r], from.regs[r]);
+    if (!(j == into->regs[r])) {
+      into->regs[r] = j;
+      changed = true;
+    }
+  }
+  if (into->sp_valid &&
+      (!from.sp_valid || from.sp_off != into->sp_off)) {
+    InvalidateSp(into);
+    changed = true;
+  }
+  if (into->sp_valid) {
+    for (auto it = into->slots.begin(); it != into->slots.end();) {
+      auto other = from.slots.find(it->first);
+      AbsVal j = other == from.slots.end()
+                     ? AbsVal::Unknown()
+                     : Join(it->second, other->second);
+      if (j.kind == AbsVal::Kind::kUnknown) {
+        it = into->slots.erase(it);
+        changed = true;
+      } else {
+        if (!(j == it->second)) {
+          it->second = j;
+          changed = true;
+        }
+        ++it;
+      }
+    }
+  }
+  return changed;
+}
+
+// ---------------------------------------------------------------------------
+// Image geometry helpers.
+
+const Section* SectionContaining(const LinkImage& image, std::uint64_t addr,
+                                 std::uint64_t size) {
+  for (const Section& sec : image.sections) {
+    if (addr >= sec.vaddr && addr + size <= sec.vaddr + sec.size) return &sec;
+  }
+  return nullptr;
+}
+
+bool IsKeyedRo(const Section& sec) {
+  return sec.key != 0 && sec.perms.read && !sec.perms.write &&
+         !sec.perms.exec;
+}
+
+// A function carved out of an executable section's symbol table.
+struct FuncSpan {
+  std::string name;
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+};
+
+std::vector<FuncSpan> CarveFunctions(const LinkImage& image) {
+  std::vector<FuncSpan> funcs;
+  for (const Section& sec : image.sections) {
+    if (!sec.perms.exec) continue;
+    // Function symbols: inside this section, not block-local (.L_*).
+    std::vector<std::pair<std::uint64_t, std::string>> syms;
+    for (const auto& [name, addr] : image.symbols) {
+      if (addr < sec.vaddr || addr >= sec.vaddr + sec.size) continue;
+      if (name.rfind(".L", 0) == 0) continue;
+      syms.emplace_back(addr, name);
+    }
+    std::sort(syms.begin(), syms.end());
+    const std::uint64_t code_end = sec.vaddr + sec.bytes.size();
+    for (std::size_t i = 0; i < syms.size(); ++i) {
+      std::uint64_t end =
+          i + 1 < syms.size() ? syms[i + 1].first : code_end;
+      if (syms[i].first >= end) continue;  // aliased symbol, zero-size
+      funcs.push_back(FuncSpan{syms[i].second, syms[i].first, end});
+    }
+  }
+  return funcs;
+}
+
+// Linearly decoded function body.
+struct DecodedFunc {
+  FuncSpan span;
+  std::vector<std::uint64_t> pcs;
+  std::vector<Instruction> insts;
+  std::map<std::uint64_t, std::size_t> index_of;  // pc -> insts index
+};
+
+DecodedFunc DecodeFunc(const Section& sec, const FuncSpan& span) {
+  DecodedFunc fn;
+  fn.span = span;
+  std::uint64_t pc = span.start;
+  while (pc + 2 <= span.end) {
+    const std::uint64_t off = pc - sec.vaddr;
+    std::uint32_t raw = 0;
+    const std::uint64_t avail =
+        std::min<std::uint64_t>(4, sec.bytes.size() - off);
+    std::memcpy(&raw, sec.bytes.data() + off, avail);
+    std::uint16_t low16 = static_cast<std::uint16_t>(raw);
+    const unsigned len = isa::ParcelLength(low16);
+    if (pc + len > span.end) break;
+    std::optional<Instruction> inst = isa::Decode(raw);
+    if (!inst.has_value()) break;  // alignment padding / data tail
+    fn.index_of[pc] = fn.insts.size();
+    fn.pcs.push_back(pc);
+    fn.insts.push_back(*inst);
+    pc += inst->length;
+  }
+  return fn;
+}
+
+const Section* ExecSectionFor(const LinkImage& image, const FuncSpan& span) {
+  for (const Section& sec : image.sections) {
+    if (sec.perms.exec && span.start >= sec.vaddr &&
+        span.start < sec.vaddr + sec.size) {
+      return &sec;
+    }
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Transfer function.
+
+constexpr std::uint8_t kSp = static_cast<std::uint8_t>(isa::Reg::kSp);
+constexpr std::uint8_t kRa = static_cast<std::uint8_t>(isa::Reg::kRa);
+
+bool IsCallerSaved(int r) {
+  return r == 1 || (r >= 5 && r <= 7) || (r >= 10 && r <= 17) ||
+         (r >= 28 && r <= 31);
+}
+
+void ClobberCall(State* s) {
+  for (int r = 0; r < 32; ++r) {
+    if (IsCallerSaved(r)) s->regs[r] = AbsVal::Unknown();
+  }
+  DropSlots(s);  // the callee may store anywhere
+}
+
+void SetReg(State* s, std::uint8_t rd, AbsVal v) {
+  if (rd != 0) s->regs[rd] = v;
+}
+
+// Is `jalr` a plain return? (The assembler's `ret` pseudo.)
+bool IsRet(const Instruction& inst) {
+  return inst.op == Opcode::kJalr && inst.rd == 0 && inst.rs1 == kRa &&
+         inst.imm == 0;
+}
+
+struct Successors {
+  std::uint64_t pcs[2];
+  int count = 0;
+  void Add(std::uint64_t pc) { pcs[count++] = pc; }
+};
+
+// Applies `inst` at `pc` to `s`; returns the intra-function successors.
+Successors Step(const DecodedFunc& fn, std::uint64_t pc,
+                const Instruction& inst, State* s) {
+  Successors succ;
+  const std::uint64_t next = pc + inst.length;
+  auto in_func = [&fn](std::uint64_t target) {
+    return fn.index_of.count(target) != 0;
+  };
+
+  switch (inst.op) {
+    case Opcode::kLui:
+      SetReg(s, inst.rd,
+             AbsVal::Const(static_cast<std::uint64_t>(inst.imm) << 12));
+      succ.Add(next);
+      return succ;
+    case Opcode::kAuipc:
+      SetReg(s, inst.rd,
+             AbsVal::Const(pc + (static_cast<std::uint64_t>(inst.imm) << 12)));
+      succ.Add(next);
+      return succ;
+    case Opcode::kAddi: {
+      if (inst.rd == kSp) {
+        if (inst.rs1 == kSp && s->sp_valid) {
+          s->sp_off += inst.imm;
+        } else {
+          InvalidateSp(s);
+        }
+        succ.Add(next);
+        return succ;
+      }
+      const AbsVal src = s->regs[inst.rs1];
+      if (src.kind == AbsVal::Kind::kConst) {
+        SetReg(s, inst.rd, AbsVal::Const(src.bits + inst.imm));
+      } else if (inst.imm == 0) {
+        SetReg(s, inst.rd, src);  // mv preserves provenance
+      } else {
+        SetReg(s, inst.rd, AbsVal::Unknown());
+      }
+      succ.Add(next);
+      return succ;
+    }
+    case Opcode::kAddiw: {
+      const AbsVal src = s->regs[inst.rs1];
+      if (inst.rd == kSp) {
+        InvalidateSp(s);
+      } else if (src.kind == AbsVal::Kind::kConst) {
+        SetReg(s, inst.rd,
+               AbsVal::Const(static_cast<std::uint64_t>(
+                   static_cast<std::int32_t>(src.bits + inst.imm))));
+      } else {
+        SetReg(s, inst.rd, AbsVal::Unknown());
+      }
+      succ.Add(next);
+      return succ;
+    }
+    case Opcode::kJal:
+      if (inst.rd == 0) {
+        const std::uint64_t target = pc + inst.imm;
+        if (in_func(target)) succ.Add(target);
+        return succ;  // tail jump out of the function otherwise
+      }
+      SetReg(s, inst.rd, AbsVal::Unknown());
+      ClobberCall(s);
+      succ.Add(next);
+      return succ;
+    case Opcode::kJalr:
+      if (IsRet(inst)) return succ;
+      if (inst.rd != 0) {
+        SetReg(s, inst.rd, AbsVal::Unknown());
+        ClobberCall(s);
+        succ.Add(next);
+      }
+      return succ;  // rd == x0: tail dispatch, no fallthrough
+    case Opcode::kEcall:
+      SetReg(s, static_cast<std::uint8_t>(isa::Reg::kA0), AbsVal::Unknown());
+      succ.Add(next);
+      return succ;
+    case Opcode::kEbreak:
+    case Opcode::kFence:
+      succ.Add(next);
+      return succ;
+    default:
+      break;
+  }
+
+  if (isa::IsBranch(inst.op)) {
+    const std::uint64_t target = pc + inst.imm;
+    if (in_func(target)) succ.Add(target);
+    succ.Add(next);
+    return succ;
+  }
+  if (isa::IsRoLoad(inst.op)) {
+    if (inst.rd == kSp) InvalidateSp(s);
+    SetReg(s, inst.rd, AbsVal::RoLoaded(inst.key));
+    succ.Add(next);
+    return succ;
+  }
+  if (isa::IsLoad(inst.op)) {
+    AbsVal v = AbsVal::Unknown();
+    if (inst.op == Opcode::kLd && inst.rs1 == kSp && s->sp_valid) {
+      auto it = s->slots.find(s->sp_off + inst.imm);
+      if (it != s->slots.end()) v = it->second;
+    }
+    if (inst.rd == kSp) {
+      InvalidateSp(s);
+    } else {
+      SetReg(s, inst.rd, v);
+    }
+    succ.Add(next);
+    return succ;
+  }
+  if (isa::IsStore(inst.op)) {
+    if (inst.rs1 == kSp && s->sp_valid) {
+      const std::int64_t lo = s->sp_off + inst.imm;
+      if (inst.op == Opcode::kSd && lo % 8 == 0) {
+        s->slots[lo] = s->regs[inst.rs2];
+      } else {
+        // Partial overwrite: forget any slot the store touches.
+        const std::int64_t hi = lo + isa::MemAccessBytes(inst.op);
+        for (std::int64_t slot = (lo / 8) * 8 - 8; slot < hi; slot += 8) {
+          s->slots.erase(slot);
+        }
+      }
+    } else {
+      DropSlots(s);  // unknown base may alias the stack frame
+    }
+    succ.Add(next);
+    return succ;
+  }
+
+  // Remaining ALU ops: result unknown (no proof flows through them).
+  if (inst.rd == kSp) {
+    InvalidateSp(s);
+  } else {
+    SetReg(s, inst.rd, AbsVal::Unknown());
+  }
+  succ.Add(next);
+  return succ;
+}
+
+// ---------------------------------------------------------------------------
+// Per-function analysis.
+
+struct FuncAnalysis {
+  std::vector<State> in;  // converged state *before* each instruction
+};
+
+FuncAnalysis Analyze(const DecodedFunc& fn) {
+  FuncAnalysis a;
+  a.in.resize(fn.insts.size());
+  if (fn.insts.empty()) return a;
+
+  State entry;
+  for (int r = 0; r < 32; ++r) entry.regs[r] = AbsVal::Unknown();
+  entry.regs[0] = AbsVal::Const(0);
+  entry.reached = true;
+  a.in[0] = entry;
+
+  std::deque<std::size_t> worklist{0};
+  std::vector<bool> queued(fn.insts.size(), false);
+  queued[0] = true;
+  while (!worklist.empty()) {
+    const std::size_t idx = worklist.front();
+    worklist.pop_front();
+    queued[idx] = false;
+    State out = a.in[idx];
+    const Successors succ = Step(fn, fn.pcs[idx], fn.insts[idx], &out);
+    out.regs[0] = AbsVal::Const(0);  // x0 is hardwired
+    for (int i = 0; i < succ.count; ++i) {
+      auto it = fn.index_of.find(succ.pcs[i]);
+      if (it == fn.index_of.end()) continue;
+      if (Merge(&a.in[it->second], out) && !queued[it->second]) {
+        worklist.push_back(it->second);
+        queued[it->second] = true;
+      }
+    }
+  }
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// Rule checks.
+
+// Rules 20 + 21 on the section table, and 21's alias sweep.
+void CheckSections(const LinkImage& image, Report* report) {
+  for (const Section& sec : image.sections) {
+    ++report->stats().sections;
+    if (sec.key != 0) ++report->stats().keyed_sections;
+    const bool keyed_name = sec.name.rfind(".rodata.key.", 0) == 0;
+    if (keyed_name) {
+      const std::uint32_t named_key = static_cast<std::uint32_t>(
+          std::strtoul(sec.name.c_str() + 12, nullptr, 10));
+      if (named_key != sec.key) {
+        report->Add(Rule::kBinSectionAttrs, sec.name,
+                    StrFormat("section named for key %u but mapped with "
+                              "key %u",
+                              named_key, sec.key));
+      }
+    } else if (sec.key != 0) {
+      report->Add(Rule::kBinSectionAttrs, sec.name,
+                  StrFormat("key %u on a section outside the "
+                            ".rodata.key.<K> namespace",
+                            sec.key));
+    }
+    if (sec.key != 0 && (sec.perms.write || sec.perms.exec || !sec.perms.read)) {
+      report->Add(Rule::kBinWritableKeyAlias, sec.name,
+                  StrFormat("keyed section must be R-- but is %c%c%c",
+                            sec.perms.read ? 'r' : '-',
+                            sec.perms.write ? 'w' : '-',
+                            sec.perms.exec ? 'x' : '-'));
+    }
+  }
+  // No writable mapping may share a page with a keyed frame: the PTE key
+  // is per page, so such overlap would make the "read-only" pages
+  // attacker-writable.
+  for (const Section& keyed : image.sections) {
+    if (keyed.key == 0 || keyed.size == 0) continue;
+    const std::uint64_t klo = keyed.vaddr / kPageSize;
+    const std::uint64_t khi = (keyed.vaddr + keyed.size - 1) / kPageSize;
+    for (const Section& w : image.sections) {
+      if (&w == &keyed || !w.perms.write || w.size == 0) continue;
+      const std::uint64_t wlo = w.vaddr / kPageSize;
+      const std::uint64_t whi = (w.vaddr + w.size - 1) / kPageSize;
+      if (wlo <= khi && klo <= whi) {
+        report->Add(Rule::kBinWritableKeyAlias, keyed.name,
+                    StrFormat("writable section %s shares pages "
+                              "0x%llx..0x%llx with this keyed frame",
+                              w.name.c_str(),
+                              static_cast<unsigned long long>(
+                                  std::max(klo, wlo) * kPageSize),
+                              static_cast<unsigned long long>(
+                                  (std::min(khi, whi) + 1) * kPageSize - 1)));
+      }
+    }
+  }
+}
+
+// Rule 27: every keyed IR global must have landed in an R-- section
+// carrying exactly its key.
+void CheckKeyedSymbols(const LinkImage& image, const Expectations& exp,
+                       Report* report) {
+  for (const auto& [name, key] : exp.keyed_symbols) {
+    auto it = image.symbols.find(name);
+    if (it == image.symbols.end()) {
+      report->Add(Rule::kBinSymbolMisplaced, name,
+                  StrFormat("keyed global (key %u) missing from the "
+                            "image symbol table",
+                            key));
+      continue;
+    }
+    const Section* sec = SectionContaining(image, it->second, 1);
+    if (sec == nullptr || !IsKeyedRo(*sec) || sec->key != key) {
+      report->Add(
+          Rule::kBinSymbolMisplaced, name,
+          StrFormat("expected key-%u read-only placement but symbol is "
+                    "in %s (key %u)",
+                    key, sec == nullptr ? "no section" : sec->name.c_str(),
+                    sec == nullptr ? 0 : sec->key));
+    }
+  }
+}
+
+// Rule 28: classic-CFI functions must begin with the exact ID word.
+void CheckCfiIds(const std::vector<DecodedFunc>& funcs,
+                 const Expectations& exp, Report* report) {
+  std::map<std::string, const DecodedFunc*> by_name;
+  for (const DecodedFunc& fn : funcs) by_name[fn.span.name] = &fn;
+  for (const auto& [name, id] : exp.cfi_ids) {
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      report->Add(Rule::kBinMissingCfiId, name,
+                  "CFI-checked function not found among decoded functions");
+      continue;
+    }
+    const DecodedFunc& fn = *it->second;
+    const Instruction* first =
+        fn.insts.empty() ? nullptr : &fn.insts.front();
+    if (first == nullptr || first->op != Opcode::kLui || first->rd != 0 ||
+        (static_cast<std::uint32_t>(first->imm) & 0xFFFFF) != id) {
+      report->AddAt(Rule::kBinMissingCfiId, name, fn.span.start,
+                    StrFormat("entry must carry ID word `lui zero, 0x%x`",
+                              id));
+    }
+  }
+}
+
+// Rule 26 helper: does the ld.ro at `idx` sit behind an addi offset
+// fixup? Walks the mv (addi rd,rs,0) copy chain the compressed-roload
+// staging introduces, then recognizes `addi b, b, imm` immediately
+// feeding the base.
+bool HasAddiFixup(const DecodedFunc& fn, std::size_t idx) {
+  std::uint8_t base = fn.insts[idx].rs1;
+  for (std::size_t j = idx; j-- > 0;) {
+    const Instruction& inst = fn.insts[j];
+    if (inst.op != Opcode::kAddi || inst.rd != base || inst.rd == 0) {
+      return false;  // base defined by something else (e.g. ld from slot)
+    }
+    if (inst.imm == 0) {
+      base = inst.rs1;  // mv: follow the copy
+      continue;
+    }
+    return inst.rs1 == inst.rd;  // addi b, b, off — the folded offset
+  }
+  return false;
+}
+
+}  // namespace
+
+void VerifyImage(const LinkImage& image, const BinaryPolicy& policy,
+                 const Expectations* expectations, Report* report) {
+  CheckSections(image, report);
+
+  // Keys that actually map to a keyed read-only frame (for rule 22).
+  std::set<std::uint32_t> mapped_keys;
+  for (const Section& sec : image.sections) {
+    if (IsKeyedRo(sec)) mapped_keys.insert(sec.key);
+  }
+
+  std::vector<DecodedFunc> funcs;
+  for (const FuncSpan& span : CarveFunctions(image)) {
+    const Section* sec = ExecSectionFor(image, span);
+    if (sec == nullptr) continue;
+    funcs.push_back(DecodeFunc(*sec, span));
+  }
+
+  std::uint64_t roload_count = 0;
+  std::uint64_t fixup_count = 0;
+  for (const DecodedFunc& fn : funcs) {
+    ++report->stats().functions;
+    report->stats().instructions += fn.insts.size();
+
+    // Syntactic sweep: every decoded ld.ro, reachable or not, must name
+    // a mapped key; count ld.ro and fixups for the manifest rules.
+    for (std::size_t i = 0; i < fn.insts.size(); ++i) {
+      const Instruction& inst = fn.insts[i];
+      if (!isa::IsRoLoad(inst.op)) continue;
+      ++roload_count;
+      ++report->stats().roload_instructions;
+      if (HasAddiFixup(fn, i)) ++fixup_count;
+      if (mapped_keys.count(inst.key) == 0) {
+        report->AddAt(Rule::kBinKeyUnmapped, fn.span.name, fn.pcs[i],
+                      StrFormat("%s key %u names no keyed read-only "
+                                "section; every execution would fault",
+                                std::string(isa::OpcodeName(inst.op)).c_str(),
+                                inst.key));
+      }
+    }
+
+    // Semantic pass over the converged abstract states.
+    const FuncAnalysis analysis = Analyze(fn);
+    for (std::size_t i = 0; i < fn.insts.size(); ++i) {
+      const State& in = analysis.in[i];
+      if (!in.reached) continue;
+      const Instruction& inst = fn.insts[i];
+
+      if (isa::IsRoLoad(inst.op)) {
+        // Rule 23: statically-resolvable target must land inside the
+        // matching keyed frame.
+        const AbsVal base = in.regs[inst.rs1];
+        if (base.kind == AbsVal::Kind::kConst) {
+          const Section* target = SectionContaining(
+              image, base.bits, isa::MemAccessBytes(inst.op));
+          if (target == nullptr || !IsKeyedRo(*target) ||
+              target->key != inst.key) {
+            report->AddAt(
+                Rule::kBinStaticTargetMismatch, fn.span.name, fn.pcs[i],
+                StrFormat("ld.ro key %u reads 0x%llx which is %s",
+                          inst.key,
+                          static_cast<unsigned long long>(base.bits),
+                          target == nullptr
+                              ? "unmapped"
+                              : StrFormat("in %s (key %u, %s)",
+                                          target->name.c_str(), target->key,
+                                          target->perms.write ? "writable"
+                                                              : "read-only")
+                                    .c_str()));
+          }
+        }
+        continue;
+      }
+
+      if (inst.op == Opcode::kJalr && !IsRet(inst)) {
+        ++report->stats().dispatches;
+        const AbsVal target = in.regs[inst.rs1];
+        const bool proven =
+            target.kind == AbsVal::Kind::kRoLoaded && inst.imm == 0;
+        if (proven) {
+          ++report->stats().proven_dispatches;
+        } else if (policy.require_protected_dispatch) {
+          report->AddAt(
+              Rule::kBinUnprovenDispatch, fn.span.name, fn.pcs[i],
+              StrFormat("dispatch target in %s is not an ld.ro result on "
+                        "all paths (%s)",
+                        std::string(isa::RegName(inst.rs1)).c_str(),
+                        target.kind == AbsVal::Kind::kConst
+                            ? "constant"
+                            : inst.imm != 0 ? "nonzero jalr offset"
+                                            : "unknown provenance"));
+        }
+      }
+    }
+  }
+
+  if (expectations != nullptr) {
+    if (roload_count != expectations->roload_loads) {
+      report->Add(Rule::kBinRoloadCountMismatch, "",
+                  StrFormat("image has %llu ld.ro-family instructions but "
+                            "the hardened IR carries %llu roload-md loads",
+                            static_cast<unsigned long long>(roload_count),
+                            static_cast<unsigned long long>(
+                                expectations->roload_loads)));
+    }
+    if (fixup_count != expectations->addi_fixups) {
+      report->Add(Rule::kBinMissingFixup, "",
+                  StrFormat("found %llu addi offset fixups feeding ld.ro "
+                            "but the hardened IR folds %llu offsets",
+                            static_cast<unsigned long long>(fixup_count),
+                            static_cast<unsigned long long>(
+                                expectations->addi_fixups)));
+    }
+    CheckKeyedSymbols(image, *expectations, report);
+    CheckCfiIds(funcs, *expectations, report);
+  }
+}
+
+}  // namespace roload::verify

@@ -1,0 +1,29 @@
+// Layer 2 of the verifier: prove a linked LinkImage (rules 20-28).
+//
+// Decodes every function in the executable sections and runs an
+// intraprocedural abstract interpretation over a small lattice
+//   Bottom | Const(u64) | RoLoaded(key) | Unknown
+// tracking the 32 integer registers plus sp-relative stack slots (the
+// backend spills every virtual register, so proofs must flow through
+// memory). The fixpoint proves, per dispatch site, that the register
+// feeding `jalr` was defined by an ld.ro-family load on *all* paths,
+// and resolves ld.ro base addresses that are statically constant so
+// their targets can be checked against the keyed section layout.
+//
+// Optional `Expectations` (from the hardened IR) add the build-manifest
+// rules: ld.ro/addi-fixup counts, keyed-symbol placement, CFI ID words.
+#pragma once
+
+#include "asmtool/image.h"
+#include "verify/verify.h"
+
+namespace roload::verify {
+
+// Appends any rule 20-28 violations to `report` and fills its binary
+// stats (sections, functions, instructions, dispatch counts).
+// `expectations` may be null (artifact-only mode: the rverify CLI on a
+// bare .rimg); the manifest rules 25-28 then do not run.
+void VerifyImage(const asmtool::LinkImage& image, const BinaryPolicy& policy,
+                 const Expectations* expectations, Report* report);
+
+}  // namespace roload::verify

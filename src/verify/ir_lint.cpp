@@ -1,0 +1,181 @@
+#include "verify/ir_lint.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "isa/opcodes.h"
+#include "support/strings.h"
+
+namespace roload::verify {
+namespace {
+
+struct KeyedWorld {
+  // key -> read-only globals carrying it.
+  std::map<std::uint32_t, std::set<std::string>> ro_globals_by_key;
+  // Sensitive globals indexed by trait, for load/global agreement.
+  std::map<int, std::map<std::string, std::uint32_t>> vtables_by_class;
+  std::map<int, std::map<std::string, std::uint32_t>> gfpts_by_type;
+  bool any_vtable = false;
+  bool any_gfpt = false;
+};
+
+KeyedWorld IndexGlobals(const ir::Module& module, Report* report) {
+  KeyedWorld world;
+  for (const ir::Global& global : module.globals) {
+    ++report->stats().lint_globals;
+    if (global.key != 0) {
+      if (global.key >= isa::kNumPageKeys) {
+        report->Add(Rule::kIrKeyInvalid, global.name,
+                    StrFormat("global key %u out of range (max %u)",
+                              global.key, isa::kNumPageKeys - 1));
+      }
+      if (!global.read_only) {
+        report->Add(Rule::kIrKeyedGlobalWritable, global.name,
+                    StrFormat("key %u assigned but global is writable; a "
+                              "keyed page the program can store to defeats "
+                              "pointee integrity",
+                              global.key));
+      } else {
+        world.ro_globals_by_key[global.key].insert(global.name);
+      }
+    }
+    if (global.trait == ir::GlobalTrait::kVTable) {
+      world.any_vtable = true;
+      world.vtables_by_class[global.trait_id][global.name] = global.key;
+    } else if (global.trait == ir::GlobalTrait::kGfpt) {
+      world.any_gfpt = true;
+      world.gfpts_by_type[global.trait_id][global.name] = global.key;
+    }
+  }
+  return world;
+}
+
+// Rule 12: the md key on a load must match the key of every sensitive
+// global the load can reach through its trait, and must be carried by at
+// least one read-only global at all.
+void CheckLoad(const ir::Instr& instr, const std::string& fn_name,
+               const KeyedWorld& world, Report* report) {
+  const std::uint32_t key = instr.roload_key;
+  if (key == 0 || key >= isa::kNumPageKeys) {
+    report->Add(Rule::kIrKeyInvalid, fn_name,
+                StrFormat("roload-md key %u invalid (must be 1..%u)", key,
+                          isa::kNumPageKeys - 1));
+    return;
+  }
+  if (world.ro_globals_by_key.find(key) == world.ro_globals_by_key.end()) {
+    report->Add(Rule::kIrLoadKeyMismatch, fn_name,
+                StrFormat("roload-md key %u matches no keyed read-only "
+                          "global; the load can never succeed",
+                          key));
+    return;
+  }
+  const std::map<int, std::map<std::string, std::uint32_t>>* by_trait =
+      nullptr;
+  const char* what = nullptr;
+  if (instr.trait == ir::Trait::kVTableEntryLoad) {
+    by_trait = &world.vtables_by_class;
+    what = "vtable";
+  } else if (instr.trait == ir::Trait::kFnPtrLoad) {
+    by_trait = &world.gfpts_by_type;
+    what = "GFPT";
+  } else {
+    return;  // allowlist/plain loads: the existence check above is all.
+  }
+  auto it = by_trait->find(instr.trait_id);
+  if (it == by_trait->end()) return;  // no matching global to disagree with
+  for (const auto& [name, global_key] : it->second) {
+    if (global_key != key) {
+      report->Add(
+          Rule::kIrLoadKeyMismatch, fn_name,
+          StrFormat("load keyed %u but %s %s (trait id %d) is keyed %u",
+                    key, what, name.c_str(), instr.trait_id, global_key));
+    }
+  }
+}
+
+}  // namespace
+
+void LintModule(const ir::Module& module, Report* report) {
+  if (Status status = ir::Verify(module); !status.ok()) {
+    report->Add(Rule::kIrStructural, module.name,
+                std::string(status.message()));
+    // A structurally-broken module may have dangling operands; the
+    // remaining rules still only walk well-formed fields, so continue.
+  }
+
+  const KeyedWorld world = IndexGlobals(module, report);
+
+  bool any_vtable_md_load = false;
+  for (const ir::Function& fn : module.functions) {
+    for (const ir::Block& block : fn.blocks) {
+      for (const ir::Instr& instr : block.instrs) {
+        if (instr.kind != ir::InstrKind::kLoad || !instr.has_roload_md) {
+          continue;
+        }
+        ++report->stats().lint_md_loads;
+        if (instr.trait == ir::Trait::kVTableEntryLoad) {
+          any_vtable_md_load = true;
+        }
+        CheckLoad(instr, fn.name, world, report);
+      }
+    }
+  }
+
+  // Rule 13: once the module relies on ld.ro for a class of sensitive
+  // globals, every member of that class must be in keyed RO storage --
+  // an unkeyed straggler is a bypass (forge a pointer to it).
+  for (const auto& [type_id, gfpts] : world.gfpts_by_type) {
+    for (const auto& [name, key] : gfpts) {
+      if (key == 0) {
+        report->Add(Rule::kIrSensitiveGlobalUnkeyed, name,
+                    StrFormat("GFPT for function type %d has no page key",
+                              type_id));
+      }
+    }
+  }
+  if (any_vtable_md_load) {
+    for (const auto& [class_id, vtables] : world.vtables_by_class) {
+      for (const auto& [name, key] : vtables) {
+        if (key == 0) {
+          report->Add(
+              Rule::kIrSensitiveGlobalUnkeyed, name,
+              StrFormat("vtable of class %d unkeyed while vtable-entry "
+                        "loads use ld.ro",
+                        class_id));
+        }
+      }
+    }
+  }
+
+  // Rule 14: a page key names one legitimate-value set. GFPTs of two
+  // function types sharing a key (or a GFPT sharing with a vtable) lets
+  // an attacker retarget a call to a different-typed function while
+  // every ld.ro still succeeds.
+  std::map<std::uint32_t, std::set<int>> gfpt_types_by_key;
+  std::set<std::uint32_t> vtable_keys;
+  for (const auto& [type_id, gfpts] : world.gfpts_by_type) {
+    for (const auto& [name, key] : gfpts) {
+      if (key != 0) gfpt_types_by_key[key].insert(type_id);
+    }
+  }
+  for (const auto& [class_id, vtables] : world.vtables_by_class) {
+    for (const auto& [name, key] : vtables) {
+      if (key != 0) vtable_keys.insert(key);
+    }
+  }
+  for (const auto& [key, types] : gfpt_types_by_key) {
+    if (types.size() > 1) {
+      report->Add(Rule::kIrTypeKeyCollision, "",
+                  StrFormat("key %u shared by GFPTs of %zu distinct "
+                            "function types",
+                            key, types.size()));
+    }
+    if (vtable_keys.count(key) != 0) {
+      report->Add(Rule::kIrTypeKeyCollision, "",
+                  StrFormat("key %u shared by a GFPT and a vtable", key));
+    }
+  }
+}
+
+}  // namespace roload::verify

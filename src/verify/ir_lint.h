@@ -1,0 +1,17 @@
+// Layer 1 of the verifier: lint a *hardened* ir::Module (rules 10-15).
+// Checks that roload-md keys are structurally valid and consistent with
+// the keyed globals each sensitive load can reach, that vtables/GFPTs
+// live in keyed read-only storage once the module relies on ld.ro, and
+// that incompatible function types never share a page key.
+#pragma once
+
+#include "ir/ir.h"
+#include "verify/verify.h"
+
+namespace roload::verify {
+
+// Appends any rule 10-15 violations to `report` and updates its lint
+// stats. Safe to call on unhardened modules (no md loads -> vacuous).
+void LintModule(const ir::Module& module, Report* report);
+
+}  // namespace roload::verify

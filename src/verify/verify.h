@@ -1,0 +1,141 @@
+// Static pointee-integrity verifier: re-derives the paper's guarantee
+// ("the value fed to a sensitive operation was loaded from a read-only
+// page with the right key") from the build *artifacts*, so the compiler
+// pipeline (src/passes, src/backend, src/asmtool) drops out of the TCB.
+//
+// Two layers share one diagnostic vocabulary:
+//  * IR lint (ir_lint.h)  — checks a hardened ir::Module: roload-md keys
+//    are valid and consistent with the keyed globals they can reach,
+//    vtables/GFPTs live in keyed read-only storage, and incompatible
+//    function types never share a key.
+//  * Binary verifier (binary.h) — decodes a linked LinkImage and runs an
+//    intraprocedural abstract interpretation (register + stack-slot
+//    lattice: Unknown | Const | RoLoaded(key)) proving that dispatch
+//    targets are ld.ro-loaded on all paths, that statically-resolvable
+//    ld.ro targets lie in matching keyed read-only sections, and that no
+//    writable mapping aliases a keyed frame.
+//
+// Every violation carries a stable numeric rule id (RV0NN); the CLI exit
+// code of `rverify` is the smallest violated rule id, which is what the
+// negative-path tests assert on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace roload::verify {
+
+// Stable rule identifiers. 10-15 are IR-lint rules, 20-28 binary rules.
+// The numeric values are part of the tool contract (exit codes, JSON);
+// never renumber, only append.
+enum class Rule : int {
+  // IR lint.
+  kIrKeyInvalid = 10,           // roload-md key 0 or >= kNumPageKeys
+  kIrKeyedGlobalWritable = 11,  // global with nonzero key not read-only
+  kIrLoadKeyMismatch = 12,      // md load key inconsistent with the keyed
+                                // globals reachable through its trait
+  kIrSensitiveGlobalUnkeyed = 13,  // vtable/GFPT not in keyed RO storage
+                                   // while the module relies on ld.ro
+  kIrTypeKeyCollision = 14,     // incompatible function types share a key
+  kIrStructural = 15,           // module fails ir::Verify
+
+  // Binary verifier.
+  kBinSectionAttrs = 20,        // .rodata.key.<K> name/key inconsistent
+  kBinWritableKeyAlias = 21,    // keyed section writable/executable, or a
+                                // writable mapping aliases keyed pages
+  kBinKeyUnmapped = 22,         // ld.ro key has no keyed RO section
+  kBinStaticTargetMismatch = 23,  // resolved ld.ro target outside the
+                                  // matching keyed RO section
+  kBinUnprovenDispatch = 24,    // dispatch target not proven RoLoaded on
+                                // all paths (policy-gated)
+  kBinRoloadCountMismatch = 25,  // #ld.ro in image != hardened-IR count
+  kBinMissingFixup = 26,        // addi offset-fixup count != IR count
+  kBinSymbolMisplaced = 27,     // keyed global's symbol in wrong section
+  kBinMissingCfiId = 28,        // function entry lacks the CFI ID word
+};
+
+int RuleId(Rule rule);
+// Short kebab-case name, e.g. "bin-unproven-dispatch".
+std::string_view RuleName(Rule rule);
+
+struct Violation {
+  Rule rule = Rule::kIrStructural;
+  std::string where;       // function, section or global name ("" if n/a)
+  std::uint64_t pc = 0;    // meaningful only when has_pc
+  bool has_pc = false;
+  std::string message;
+};
+
+// Aggregate statistics, filled by whichever layers ran.
+struct ReportStats {
+  std::uint64_t lint_globals = 0;
+  std::uint64_t lint_md_loads = 0;
+  std::uint64_t sections = 0;
+  std::uint64_t keyed_sections = 0;
+  std::uint64_t functions = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t roload_instructions = 0;
+  std::uint64_t dispatches = 0;
+  std::uint64_t proven_dispatches = 0;
+};
+
+class Report {
+ public:
+  void Add(Rule rule, std::string where, std::string message);
+  void AddAt(Rule rule, std::string where, std::uint64_t pc,
+             std::string message);
+
+  bool ok() const { return violations_.empty(); }
+  // 0 when clean, else the smallest violated rule id (deterministic, and
+  // what the rverify CLI exits with).
+  int ExitCode() const;
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  ReportStats& stats() { return stats_; }
+  const ReportStats& stats() const { return stats_; }
+
+  // One "RV0NN rule-name where (pc 0x..): message" line per violation,
+  // plus a summary line.
+  std::string ToText() const;
+  // {"schema":"roload.verify.v1","tool":...,"ok":...,"stats":{...},
+  //  "violations":[{"rule_id":...,"rule":...,"where":...,"pc":...,
+  //                 "message":...}]}
+  std::string ToJson(std::string_view tool, std::string_view image,
+                     std::string_view policy) const;
+
+ private:
+  std::vector<Violation> violations_;
+  ReportStats stats_;
+};
+
+// What the binary verifier is entitled to assume. `require_protected_
+// dispatch` is the full ICall guarantee: every indirect call/jump target
+// must be proven RoLoaded(some key) on all paths. Defenses that protect
+// only a subset of dispatches (VCall) or none via ld.ro (VTint, classic
+// CFI, none) get the universal consistency rules only.
+struct BinaryPolicy {
+  std::string name = "none";
+  bool require_protected_dispatch = false;
+};
+
+// Build-manifest expectations derived from the *hardened* IR module.
+// With these the binary verifier can prove artifact/IR agreement (counts,
+// symbol placement, CFI ID words) on top of the artifact-only rules.
+struct Expectations {
+  // Global name -> page key, for every keyed global (vtables, GFPTs,
+  // allowlists). Symbols must land in a read-only section with that key.
+  std::map<std::string, std::uint32_t> keyed_symbols;
+  // Function name -> expected 20-bit CFI ID-word immediate (classic CFI).
+  std::map<std::string, std::uint32_t> cfi_ids;
+  std::uint64_t roload_loads = 0;  // md loads the backend must emit
+  std::uint64_t addi_fixups = 0;   // md loads with a folded offset
+};
+
+Expectations ComputeExpectations(const ir::Module& hardened);
+
+}  // namespace roload::verify

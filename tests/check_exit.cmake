@@ -1,0 +1,19 @@
+# Runs a command and checks its *exact* exit code -- ctest's
+# PASS_REGULAR_EXPRESSION cannot do this, and the rverify CLI contract
+# is "exit code == smallest violated rule id".
+#
+# Usage:
+#   cmake -DCMD=<exe> "-DARGS=a;b;c" -DEXPECT=<code> -P check_exit.cmake
+if(NOT DEFINED CMD OR NOT DEFINED EXPECT)
+  message(FATAL_ERROR "check_exit.cmake needs -DCMD=... and -DEXPECT=...")
+endif()
+execute_process(
+  COMMAND ${CMD} ${ARGS}
+  RESULT_VARIABLE actual
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT actual EQUAL ${EXPECT})
+  message(FATAL_ERROR
+    "${CMD} exited ${actual}, expected ${EXPECT}\nstdout:\n${out}\n"
+    "stderr:\n${err}")
+endif()

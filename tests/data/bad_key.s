@@ -1,0 +1,20 @@
+# rverify negative fixture: the ld.ro names key 999 but no read-only
+# section is mapped with that key -- rule 22 (bin-key-unmapped).
+# The base address is laundered through a plain load so it is not
+# statically resolvable (keeping rule 23 quiet: this fixture must exit
+# with exactly 22).
+.section .text
+_start:
+  la t0, cell
+  ld t0, 0(t0)
+  ld.ro t1, (t0), 999
+  li a7, 93
+  ecall
+
+.section .rodata
+cell:
+  .quad 0
+
+.section .rodata.key.7
+allow:
+  .quad 1

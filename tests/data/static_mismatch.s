@@ -1,0 +1,18 @@
+# rverify negative fixture: both keyed frames exist (so rule 22 stays
+# quiet) but the statically-resolvable ld.ro target `secret` lives in
+# the key-6 frame while the instruction names key 5 -- rule 23
+# (bin-static-target-mismatch). Must exit with exactly 23.
+.section .text
+_start:
+  la t0, secret
+  ld.ro t1, (t0), 5
+  li a7, 93
+  ecall
+
+.section .rodata.key.5
+other:
+  .quad 1
+
+.section .rodata.key.6
+secret:
+  .quad 2

@@ -1,0 +1,14 @@
+# rverify negative fixture: the dispatch target is a plain constant,
+# never loaded through ld.ro. Under the default policy the universal
+# rules all pass (exit 0); under --policy icall the dispatch proof
+# fails -- rule 24 (bin-unproven-dispatch).
+.section .text
+_start:
+  la t2, fn
+  jalr ra, 0(t2)
+  li a0, 0
+  li a7, 93
+  ecall
+
+fn:
+  ret

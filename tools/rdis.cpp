@@ -3,6 +3,9 @@
 //   rdis program.rimg [--section NAME]
 //
 // Prints addresses, raw encodings and assembly, annotating symbols.
+// Section headers carry the mapping (perms + page key) and ld.ro-family
+// lines are annotated with `key=<K>`, so rverify diagnostics (which name
+// sections, keys and pcs) cross-reference the listing directly.
 #include <cstdio>
 #include <map>
 #include <string>
@@ -10,6 +13,7 @@
 #include "asmtool/image_io.h"
 #include "isa/disasm.h"
 #include "isa/encoding.h"
+#include "isa/opcodes.h"
 
 using namespace roload;
 
@@ -45,11 +49,24 @@ int main(int argc, char** argv) {
   }
 
   for (const auto& section : image->sections) {
-    if (!section.perms.exec) continue;
     if (!only_section.empty() && section.name != only_section) continue;
-    std::printf("section %s @ 0x%llx (%llu bytes):\n", section.name.c_str(),
+    char perms[4] = {section.perms.read ? 'r' : '-',
+                     section.perms.write ? 'w' : '-',
+                     section.perms.exec ? 'x' : '-', '\0'};
+    if (!section.perms.exec) {
+      // Data sections get a one-line header so keyed frames are visible.
+      std::printf("section %s @ 0x%llx (%llu bytes) %s key=%u\n",
+                  section.name.c_str(),
+                  static_cast<unsigned long long>(section.vaddr),
+                  static_cast<unsigned long long>(section.size), perms,
+                  section.key);
+      continue;
+    }
+    std::printf("section %s @ 0x%llx (%llu bytes) %s key=%u:\n",
+                section.name.c_str(),
                 static_cast<unsigned long long>(section.vaddr),
-                static_cast<unsigned long long>(section.size));
+                static_cast<unsigned long long>(section.size), perms,
+                section.key);
     std::uint64_t offset = 0;
     while (offset + 2 <= section.bytes.size()) {
       const std::uint64_t addr = section.vaddr + offset;
@@ -66,14 +83,22 @@ int main(int argc, char** argv) {
       }
       const auto inst = isa::Decode(raw);
       if (inst.has_value()) {
+        // Symbolic key annotation on ROLoad-family lines (the raw key is
+        // already the last operand; this names it for grep/cross-ref).
+        std::string text = isa::Disassemble(*inst);
+        if (isa::IsRoLoad(inst->op)) {
+          char note[32];
+          std::snprintf(note, sizeof(note), "   # key=%u", inst->key);
+          text += note;
+        }
         if (length == 4) {
           std::printf("  %8llx:  %08x   %s\n",
                       static_cast<unsigned long long>(addr), raw,
-                      isa::Disassemble(*inst).c_str());
+                      text.c_str());
         } else {
           std::printf("  %8llx:  %04x       %s\n",
                       static_cast<unsigned long long>(addr), raw & 0xFFFF,
-                      isa::Disassemble(*inst).c_str());
+                      text.c_str());
         }
         offset += inst->length;
       } else {

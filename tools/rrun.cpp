@@ -2,9 +2,12 @@
 // ROLoad machine.
 //
 //   rrun program.rimg|program.s [--variant baseline|proc|full]
-//        [--max-instructions N] [--trace] [--stats]
+//        [--max-instructions N] [--trace] [--stats] [--verify]
 //        [--stats-json FILE] [--profile FILE] [--trace-events FILE]
 //
+// --verify        run the static pointee-integrity verifier (src/verify)
+//                 on the image first; refuse to run a violating image and
+//                 exit with the smallest violated rule id
 // --stats-json    machine-readable counters (the --stats numbers and more)
 // --profile       counters + cycle-attribution profile JSON
 // --trace-events  Chrome trace_event JSON (open in Perfetto / about:tracing)
@@ -23,6 +26,8 @@
 #include "isa/disasm.h"
 #include "support/strings.h"
 #include "trace/exporters.h"
+#include "verify/binary.h"
+#include "verify/verify.h"
 
 using namespace roload;
 
@@ -32,8 +37,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: rrun program.rimg|program.s "
                "[--variant baseline|proc|full] [--max-instructions N] "
-               "[--trace] [--stats] [--stats-json FILE] [--profile FILE] "
-               "[--trace-events FILE]\n");
+               "[--trace] [--stats] [--verify] [--stats-json FILE] "
+               "[--profile FILE] [--trace-events FILE]\n");
   return 2;
 }
 
@@ -62,6 +67,7 @@ int main(int argc, char** argv) {
   std::uint64_t max_instructions = 1ull << 32;
   bool trace = false;
   bool stats = false;
+  bool verify_image = false;
   std::string stats_json_path;
   std::string profile_path;
   std::string trace_events_path;
@@ -90,6 +96,8 @@ int main(int argc, char** argv) {
       trace = true;
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--verify") {
+      verify_image = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return Usage();
     } else if (input.empty()) {
@@ -123,6 +131,17 @@ int main(int argc, char** argv) {
       return 1;
     }
     image = *std::move(loaded);
+  }
+
+  if (verify_image) {
+    verify::Report report;
+    verify::VerifyImage(image, verify::BinaryPolicy{},
+                        /*expectations=*/nullptr, &report);
+    if (!report.ok()) {
+      std::fprintf(stderr, "rrun: static verification failed:\n%s",
+                   report.ToText().c_str());
+      return report.ExitCode();
+    }
   }
 
   core::SystemConfig config;

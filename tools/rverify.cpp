@@ -1,0 +1,135 @@
+// rverify — static pointee-integrity verifier for linked images.
+//
+//   rverify image.rimg|program.s [--policy none|vcall|vtint|icall|cfi]
+//           [--json FILE] [--quiet]
+//
+// Runs the binary layer of src/verify over the image: section/key
+// consistency, writable-alias detection, and the abstract-interpretation
+// dispatch proof. `--policy icall` additionally requires every indirect
+// call target to be proven an ld.ro result on all paths (the full ICall
+// guarantee); the other policy names are accepted for symmetry and run
+// the universal rules only.
+//
+// Exit code: 0 when the image verifies, otherwise the smallest violated
+// rule id (a stable contract the negative-path tests assert on);
+// 1 for I/O or assembly errors, 2 for usage errors.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "asmtool/assembler.h"
+#include "asmtool/image_io.h"
+#include "support/strings.h"
+#include "verify/binary.h"
+#include "verify/verify.h"
+
+using namespace roload;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: rverify image.rimg|program.s "
+               "[--policy none|vcall|vtint|icall|cfi] [--json FILE] "
+               "[--quiet]\n");
+  return 2;
+}
+
+// Accepts "--flag value" and "--flag=value"; on match stores the value and
+// advances *i past a separate value argument.
+bool FlagValue(int argc, char** argv, int* i, const char* flag,
+               std::string* value) {
+  const std::string arg = argv[*i];
+  const std::string prefix = std::string(flag) + "=";
+  if (StartsWith(arg, prefix)) {
+    *value = arg.substr(prefix.size());
+    return true;
+  }
+  if (arg == flag && *i + 1 < argc) {
+    *value = argv[++*i];
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  std::string policy_name = "none";
+  std::string json_path;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (FlagValue(argc, argv, &i, "--policy", &policy_name) ||
+        FlagValue(argc, argv, &i, "--json", &json_path)) {
+      continue;
+    }
+    if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (input.empty()) return Usage();
+  if (policy_name != "none" && policy_name != "vcall" &&
+      policy_name != "vtint" && policy_name != "icall" &&
+      policy_name != "cfi") {
+    return Usage();
+  }
+
+  asmtool::LinkImage image;
+  if (EndsWith(input, ".s") || EndsWith(input, ".asm")) {
+    std::ifstream in(input);
+    if (!in) {
+      std::fprintf(stderr, "rverify: cannot open %s\n", input.c_str());
+      return 1;
+    }
+    const std::string source((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+    auto assembled = asmtool::Assemble(source);
+    if (!assembled.ok()) {
+      std::fprintf(stderr, "rverify: %s\n",
+                   assembled.status().ToString().c_str());
+      return 1;
+    }
+    image = *std::move(assembled);
+  } else {
+    auto loaded = asmtool::LoadImage(input);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "rverify: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    image = *std::move(loaded);
+  }
+
+  verify::BinaryPolicy policy;
+  policy.name = policy_name;
+  policy.require_protected_dispatch = policy_name == "icall";
+
+  verify::Report report;
+  verify::VerifyImage(image, policy, /*expectations=*/nullptr, &report);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "rverify: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << report.ToJson("rverify", input, policy.name);
+  }
+  if (!quiet) {
+    std::fputs(report.ToText().c_str(), report.ok() ? stdout : stderr);
+    if (report.ok()) {
+      std::printf("rverify: %s OK (policy %s)\n", input.c_str(),
+                  policy.name.c_str());
+    }
+  }
+  return report.ExitCode();
+}
