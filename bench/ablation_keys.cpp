@@ -6,47 +6,64 @@
 // lower overhead and fewer pages, at the price of a coarser allowlist
 // (cross-hierarchy reuse inside a shared key group is not blocked).
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
+#include "campaign/spec.h"
 
 using namespace roload;
 
+namespace {
+
+constexpr unsigned kKeyGroups[] = {1u, 2u, 4u, 16u, 64u};
+
+std::string GroupLabel(unsigned groups) {
+  return "VCall/g" + std::to_string(groups);
+}
+
+}  // namespace
+
 int main() {
   const double scale = bench::BenchScale();
+
+  campaign::CampaignSpec grid;
+  grid.name = "ablation_keys";
+  grid.workloads = workloads::SpecCppSubset(scale);
+  grid.configs = {campaign::ForDefense(core::Defense::kNone)};
+  for (unsigned groups : kKeyGroups) {
+    campaign::RunConfig config;
+    config.label = GroupLabel(groups);
+    config.build.defense = core::Defense::kVCall;
+    config.build.vcall.key_groups = groups;
+    grid.configs.push_back(config);
+  }
+  const campaign::CampaignResult result =
+      campaign::Run(grid, {.jobs = bench::BenchJobs()});
+  if (bench::ReportFaults(result)) return 1;
+
   std::printf("Ablation: VCall key groups vs overhead (scale=%.2f)\n\n",
               scale);
   std::printf("%-24s | %10s | %8s | %9s | %10s\n", "benchmark",
               "key groups", "time%", "mem%", "ld.ro runs");
   bench::PrintRule(76);
 
-  for (const auto& spec : workloads::SpecCppSubset(scale)) {
-    const ir::Module module = workloads::Generate(spec);
-    core::BuildOptions base_options;
-    auto base = core::CompileAndRun(module, base_options,
-                                    core::SystemVariant::kFullRoload);
-    if (!base.ok() || !base->completed) {
-      std::fprintf(stderr, "baseline failed\n");
-      return 1;
-    }
-    for (unsigned groups : {1u, 2u, 4u, 16u, 64u}) {
-      core::BuildOptions options;
-      options.defense = core::Defense::kVCall;
-      options.vcall.key_groups = groups;
-      auto metrics = core::CompileAndRun(module, options,
-                                         core::SystemVariant::kFullRoload);
-      if (!metrics.ok() || !metrics->completed ||
-          metrics->exit_code != base->exit_code) {
+  for (const auto& spec : grid.workloads) {
+    const auto& base = bench::MustMetrics(result, spec.name, "none");
+    for (unsigned groups : kKeyGroups) {
+      const auto& metrics =
+          bench::MustMetrics(result, spec.name, GroupLabel(groups));
+      if (metrics.exit_code != base.exit_code) {
         std::fprintf(stderr, "hardened run failed/diverged\n");
         return 1;
       }
       std::printf("%-24s | %10u | %8.3f | %9.4f | %10llu\n",
                   spec.name.c_str(), groups,
-                  core::OverheadPercent(static_cast<double>(base->cycles),
-                                        static_cast<double>(metrics->cycles)),
+                  core::OverheadPercent(static_cast<double>(base.cycles),
+                                        static_cast<double>(metrics.cycles)),
                   core::OverheadPercent(
-                      static_cast<double>(base->peak_mem_kib),
-                      static_cast<double>(metrics->peak_mem_kib)),
-                  static_cast<unsigned long long>(metrics->roload_loads));
+                      static_cast<double>(base.peak_mem_kib),
+                      static_cast<double>(metrics.peak_mem_kib)),
+                  static_cast<unsigned long long>(metrics.roload_loads));
     }
     bench::PrintRule(76);
   }

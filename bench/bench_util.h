@@ -1,4 +1,7 @@
-// Shared helpers for the table/figure reproduction binaries.
+// Shared helpers for the table/figure reproduction binaries. The grid
+// loops that used to live here moved into src/campaign; what remains is
+// environment plumbing, table cosmetics, and the BENCH_<name>.json
+// writer.
 #pragma once
 
 #include <cstdint>
@@ -8,6 +11,8 @@
 #include <string_view>
 #include <vector>
 
+#include "campaign/env.h"
+#include "campaign/runner.h"
 #include "core/toolchain.h"
 #include "trace/session.h"
 #include "workloads/spec_like.h"
@@ -18,47 +23,53 @@ namespace roload::bench {
 // ROLOAD_BENCH_SCALE environment variable (1.0 ~ a few million simulated
 // instructions per benchmark; the paper's runs are ~6 days of FPGA time,
 // ours are seconds of simulation — all reported numbers are relative).
+// Parsing is strict: a garbage value warns and keeps the default.
 inline double BenchScale(double default_scale = 0.5) {
-  const char* env = std::getenv("ROLOAD_BENCH_SCALE");
-  if (env != nullptr) {
-    const double value = std::atof(env);
-    if (value > 0) return value;
-  }
-  return default_scale;
+  return campaign::ScaleFromEnv(default_scale);
 }
 
 // When set (ROLOAD_BENCH_PROFILE=1), the figure benches run with the
 // cycle-attribution profiler attached and print/record the overhead
 // decomposition (TLB walks vs cache misses vs the ld.ro path) next to the
 // totals. Profiling is observational: the measured cycles are identical.
-inline bool BenchProfileEnabled() {
-  const char* env = std::getenv("ROLOAD_BENCH_PROFILE");
-  return env != nullptr && env[0] != '\0' && env[0] != '0';
+inline bool BenchProfileEnabled() { return campaign::ProfileFromEnv(); }
+
+// Campaign worker count (ROLOAD_BENCH_JOBS, default: one per hardware
+// thread). Simulated results are bit-identical at any job count; this
+// only trades host wall-clock.
+inline unsigned BenchJobs() { return campaign::JobsFromEnv(0); }
+
+// Prints every faulting run of a campaign; returns true when any faulted
+// (benches exit nonzero — they have no meaningful recovery).
+inline bool ReportFaults(const campaign::CampaignResult& result) {
+  bool any = false;
+  for (const campaign::RunOutcome& outcome : result.outcomes()) {
+    if (outcome.ok()) continue;
+    std::fprintf(stderr, "bench run %s failed: %s\n", outcome.name.c_str(),
+                 outcome.FailureText().c_str());
+    any = true;
+  }
+  return any;
 }
 
-// Runs one workload under one defense on one system variant; aborts the
-// process on toolchain errors (benches have no meaningful recovery).
-inline core::RunMetrics MustRun(const ir::Module& module,
-                                core::Defense defense,
-                                core::SystemVariant variant,
-                                bool profile = false) {
-  core::BuildOptions options;
-  options.defense = defense;
-  trace::TraceConfig trace;
-  trace.profile = profile;
-  auto metrics =
-      core::CompileAndRun(module, options, variant, 1ull << 34, trace);
-  if (!metrics.ok()) {
-    std::fprintf(stderr, "bench run failed: %s\n",
-                 metrics.status().ToString().c_str());
+// The metrics of one clean campaign run; aborts the process when the run
+// is missing or faulted (callers gate on ReportFaults first, so this only
+// trips on a label typo).
+inline const core::RunMetrics& MustMetrics(
+    const campaign::CampaignResult& result, std::string_view workload,
+    std::string_view config,
+    core::SystemVariant variant = core::SystemVariant::kFullRoload) {
+  const campaign::RunOutcome* outcome =
+      result.Find(workload, config, variant);
+  if (outcome == nullptr || !outcome->ok()) {
+    std::fprintf(stderr, "bench: no clean run %.*s/%.*s/%.*s\n",
+                 static_cast<int>(workload.size()), workload.data(),
+                 static_cast<int>(config.size()), config.data(),
+                 static_cast<int>(campaign::VariantName(variant).size()),
+                 campaign::VariantName(variant).data());
     std::exit(1);
   }
-  if (!metrics->completed) {
-    std::fprintf(stderr, "bench run did not complete (defense %s)\n",
-                 core::DefenseName(defense).data());
-    std::exit(1);
-  }
-  return *metrics;
+  return outcome->metrics;
 }
 
 inline void PrintRule(int width = 100) {

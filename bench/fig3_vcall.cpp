@@ -9,12 +9,25 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "campaign/spec.h"
 
 using namespace roload;
 
 int main() {
   const double scale = bench::BenchScale();
   const bool profile = bench::BenchProfileEnabled();
+
+  campaign::CampaignSpec grid;
+  grid.name = "fig3_vcall";
+  grid.workloads = workloads::SpecCppSubset(scale);
+  grid.configs = {campaign::ForDefense(core::Defense::kNone),
+                  campaign::ForDefense(core::Defense::kVCall),
+                  campaign::ForDefense(core::Defense::kVTint)};
+  grid.profile = profile;
+  const campaign::CampaignResult result =
+      campaign::Run(grid, {.jobs = bench::BenchJobs()});
+  if (bench::ReportFaults(result)) return 1;
+
   std::printf("Figure 3: VCall vs VTint on the C++ benchmarks "
               "(scale=%.2f%s)\n\n", scale, profile ? ", profiled" : "");
   std::printf("%-24s | %12s | %8s %8s | %9s %9s\n", "benchmark",
@@ -22,20 +35,14 @@ int main() {
   bench::PrintRule();
 
   trace::TelemetrySession session("fig3_vcall");
+  result.FillSession(&session);
   session.Record("scale", scale);
   double time_vcall = 0, time_vtint = 0, mem_vcall = 0, mem_vtint = 0;
   int count = 0;
-  for (const auto& spec : workloads::SpecCppSubset(scale)) {
-    const ir::Module module = workloads::Generate(spec);
-    const auto base =
-        bench::MustRun(module, core::Defense::kNone,
-                       core::SystemVariant::kFullRoload, profile);
-    const auto vcall =
-        bench::MustRun(module, core::Defense::kVCall,
-                       core::SystemVariant::kFullRoload, profile);
-    const auto vtint =
-        bench::MustRun(module, core::Defense::kVTint,
-                       core::SystemVariant::kFullRoload, profile);
+  for (const auto& spec : grid.workloads) {
+    const auto& base = bench::MustMetrics(result, spec.name, "none");
+    const auto& vcall = bench::MustMetrics(result, spec.name, "VCall");
+    const auto& vtint = bench::MustMetrics(result, spec.name, "VTint");
     const double t_vc = core::OverheadPercent(
         static_cast<double>(base.cycles), static_cast<double>(vcall.cycles));
     const double t_vt = core::OverheadPercent(

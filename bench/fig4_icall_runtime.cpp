@@ -8,12 +8,25 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "campaign/spec.h"
 
 using namespace roload;
 
 int main() {
   const double scale = bench::BenchScale();
   const bool profile = bench::BenchProfileEnabled();
+
+  campaign::CampaignSpec grid;
+  grid.name = "fig4_icall_runtime";
+  grid.workloads = workloads::SpecCint2006Suite(scale);
+  grid.configs = {campaign::ForDefense(core::Defense::kNone),
+                  campaign::ForDefense(core::Defense::kICall),
+                  campaign::ForDefense(core::Defense::kClassicCfi)};
+  grid.profile = profile;
+  const campaign::CampaignResult result =
+      campaign::Run(grid, {.jobs = bench::BenchJobs()});
+  if (bench::ReportFaults(result)) return 1;
+
   std::printf("Figure 4: ICall vs CFI runtime overheads (scale=%.2f%s)\n\n",
               scale, profile ? ", profiled" : "");
   std::printf("%-24s | %12s | %8s %8s\n", "benchmark", "base cycles",
@@ -21,20 +34,14 @@ int main() {
   bench::PrintRule(64);
 
   trace::TelemetrySession session("fig4_icall_runtime");
+  result.FillSession(&session);
   session.Record("scale", scale);
   double time_icall = 0, time_cfi = 0;
   int count = 0;
-  for (const auto& spec : workloads::SpecCint2006Suite(scale)) {
-    const ir::Module module = workloads::Generate(spec);
-    const auto base = bench::MustRun(module, core::Defense::kNone,
-                                     core::SystemVariant::kFullRoload,
-                                     profile);
-    const auto icall = bench::MustRun(module, core::Defense::kICall,
-                                      core::SystemVariant::kFullRoload,
-                                      profile);
-    const auto cfi = bench::MustRun(module, core::Defense::kClassicCfi,
-                                    core::SystemVariant::kFullRoload,
-                                    profile);
+  for (const auto& spec : grid.workloads) {
+    const auto& base = bench::MustMetrics(result, spec.name, "none");
+    const auto& icall = bench::MustMetrics(result, spec.name, "ICall");
+    const auto& cfi = bench::MustMetrics(result, spec.name, "CFI");
     const double t_ic = core::OverheadPercent(
         static_cast<double>(base.cycles), static_cast<double>(icall.cycles));
     const double t_cfi = core::OverheadPercent(

@@ -8,11 +8,23 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "campaign/spec.h"
 
 using namespace roload;
 
 int main() {
   const double scale = bench::BenchScale();
+
+  campaign::CampaignSpec grid;
+  grid.name = "fig5_icall_memory";
+  grid.workloads = workloads::SpecCint2006Suite(scale);
+  grid.configs = {campaign::ForDefense(core::Defense::kNone),
+                  campaign::ForDefense(core::Defense::kICall),
+                  campaign::ForDefense(core::Defense::kClassicCfi)};
+  const campaign::CampaignResult result =
+      campaign::Run(grid, {.jobs = bench::BenchJobs()});
+  if (bench::ReportFaults(result)) return 1;
+
   std::printf("Figure 5: ICall vs CFI memory overheads (scale=%.2f)\n\n",
               scale);
   std::printf("%-24s | %12s | %9s %9s\n", "benchmark", "base KiB",
@@ -20,17 +32,14 @@ int main() {
   bench::PrintRule(64);
 
   trace::TelemetrySession session("fig5_icall_memory");
+  result.FillSession(&session);
   session.Record("scale", scale);
   double mem_icall = 0, mem_cfi = 0;
   int count = 0;
-  for (const auto& spec : workloads::SpecCint2006Suite(scale)) {
-    const ir::Module module = workloads::Generate(spec);
-    const auto base = bench::MustRun(module, core::Defense::kNone,
-                                     core::SystemVariant::kFullRoload);
-    const auto icall = bench::MustRun(module, core::Defense::kICall,
-                                      core::SystemVariant::kFullRoload);
-    const auto cfi = bench::MustRun(module, core::Defense::kClassicCfi,
-                                    core::SystemVariant::kFullRoload);
+  for (const auto& spec : grid.workloads) {
+    const auto& base = bench::MustMetrics(result, spec.name, "none");
+    const auto& icall = bench::MustMetrics(result, spec.name, "ICall");
+    const auto& cfi = bench::MustMetrics(result, spec.name, "CFI");
     const double m_ic =
         core::OverheadPercent(static_cast<double>(base.peak_mem_kib),
                               static_cast<double>(icall.peak_mem_kib));

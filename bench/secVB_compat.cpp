@@ -10,11 +10,24 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "campaign/spec.h"
 
 using namespace roload;
 
 int main() {
   const double scale = bench::BenchScale(0.3);
+
+  campaign::CampaignSpec grid;
+  grid.name = "secVB_compat";
+  grid.workloads = workloads::SpecCint2006Suite(scale);
+  grid.configs = {campaign::ForDefense(core::Defense::kNone)};
+  grid.variants = {core::SystemVariant::kBaseline,
+                   core::SystemVariant::kProcessorModified,
+                   core::SystemVariant::kFullRoload};
+  const campaign::CampaignResult result =
+      campaign::Run(grid, {.jobs = bench::BenchJobs()});
+  if (bench::ReportFaults(result)) return 1;
+
   std::printf("Section V-B: system compatibility and overhead "
               "(scale=%.2f)\n\n", scale);
   std::printf("%-24s | %12s | %10s %10s | %10s %10s\n", "benchmark",
@@ -23,16 +36,17 @@ int main() {
   bench::PrintRule(92);
 
   trace::TelemetrySession session("secVB_compat");
+  result.FillSession(&session);
   session.Record("scale", scale);
   double worst_time = 0, worst_mem = 0;
-  for (const auto& spec : workloads::SpecCint2006Suite(scale)) {
-    const ir::Module module = workloads::Generate(spec);
-    const auto base = bench::MustRun(module, core::Defense::kNone,
-                                     core::SystemVariant::kBaseline);
-    const auto proc = bench::MustRun(module, core::Defense::kNone,
-                                     core::SystemVariant::kProcessorModified);
-    const auto full = bench::MustRun(module, core::Defense::kNone,
-                                     core::SystemVariant::kFullRoload);
+  for (const auto& spec : grid.workloads) {
+    const auto& base = bench::MustMetrics(result, spec.name, "none",
+                                          core::SystemVariant::kBaseline);
+    const auto& proc =
+        bench::MustMetrics(result, spec.name, "none",
+                           core::SystemVariant::kProcessorModified);
+    const auto& full = bench::MustMetrics(result, spec.name, "none",
+                                          core::SystemVariant::kFullRoload);
     if (proc.exit_code != base.exit_code ||
         full.exit_code != base.exit_code) {
       std::printf("BACKWARD COMPATIBILITY BROKEN on %s\n",

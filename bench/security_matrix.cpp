@@ -10,16 +10,29 @@
 //  * ICall blocks fnptr hijack to arbitrary code; the residual surface is
 //    reuse of same-type allowlist entries (Section V-D).
 //  * Classic CFI blocks wrong-type targets but also allows same-type reuse.
+#include <cstddef>
 #include <cstdio>
 #include <string>
 
 #include "bench/bench_util.h"
+#include "campaign/runner.h"
 #include "sec/attack.h"
 #include "support/strings.h"
 #include "verify/verify.h"
 #include "workloads/spec_like.h"
 
 using namespace roload;
+
+namespace {
+
+// One cell of the attack × defense grid (ParallelMap slots must be
+// default-constructible, which StatusOr is not).
+struct AttackCell {
+  Status status = Status::Ok();
+  sec::AttackResult result;
+};
+
+}  // namespace
 
 int main() {
   trace::TelemetrySession session("security_matrix");
@@ -33,6 +46,25 @@ int main() {
       core::Defense::kNone, core::Defense::kVCall, core::Defense::kVTint,
       core::Defense::kICall, core::Defense::kClassicCfi,
   };
+  constexpr std::size_t kDefenseCount = std::size(defenses);
+
+  // The attack-injection campaign is an embarrassingly parallel grid just
+  // like the figure sweeps; it goes through the same deterministic
+  // parallel map (each cell builds and runs its own victim System).
+  const std::vector<AttackCell> cells =
+      campaign::ParallelMap<AttackCell>(
+          std::size(kinds) * kDefenseCount, bench::BenchJobs(),
+          [&](std::size_t i) {
+            AttackCell cell;
+            auto run = sec::RunAttack(kinds[i / kDefenseCount],
+                                      defenses[i % kDefenseCount]);
+            if (run.ok()) {
+              cell.result = *run;
+            } else {
+              cell.status = run.status();
+            }
+            return cell;
+          });
 
   std::printf("Security matrix (attack outcome per defense)\n\n");
   std::printf("%-30s", "attack \\ defense");
@@ -41,21 +73,23 @@ int main() {
   }
   std::printf("\n");
   bool any_error = false;
-  for (sec::AttackKind kind : kinds) {
-    std::printf("%-30s", sec::AttackKindName(kind).data());
-    for (core::Defense defense : defenses) {
-      auto result = sec::RunAttack(kind, defense);
+  for (std::size_t k = 0; k < std::size(kinds); ++k) {
+    std::printf("%-30s", sec::AttackKindName(kinds[k]).data());
+    for (std::size_t d = 0; d < kDefenseCount; ++d) {
+      const AttackCell& cell = cells[k * kDefenseCount + d];
       const std::string key = std::string("attack.") +
-                              std::string(sec::AttackKindName(kind)) + "." +
-                              std::string(core::DefenseName(defense));
-      if (!result.ok()) {
+                              std::string(sec::AttackKindName(kinds[k])) +
+                              "." +
+                              std::string(core::DefenseName(defenses[d]));
+      if (!cell.status.ok()) {
         std::printf(" %-10s", "ERROR");
         session.Record(key, "ERROR");
         any_error = true;
         continue;
       }
-      std::printf(" %-10s", sec::AttackOutcomeName(result->outcome).data());
-      session.Record(key, sec::AttackOutcomeName(result->outcome));
+      std::printf(" %-10s",
+                  sec::AttackOutcomeName(cell.result.outcome).data());
+      session.Record(key, sec::AttackOutcomeName(cell.result.outcome));
     }
     std::printf("\n");
   }

@@ -1,0 +1,134 @@
+#include "campaign/grid.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "campaign/env.h"
+#include "support/strings.h"
+
+namespace roload::campaign {
+namespace {
+
+Status ParseWorkloads(std::string_view value, double scale,
+                      CampaignSpec* spec) {
+  spec->workloads.clear();
+  if (value == "all") {
+    spec->workloads = workloads::SpecCint2006Suite(scale);
+    return Status::Ok();
+  }
+  if (value == "cpp") {
+    spec->workloads = workloads::SpecCppSubset(scale);
+    return Status::Ok();
+  }
+  const auto suite = workloads::SpecCint2006Suite(scale);
+  for (std::string_view name : SplitString(value, ',')) {
+    bool found = false;
+    for (const workloads::WorkloadSpec& candidate : suite) {
+      if (candidate.name == name) {
+        spec->workloads.push_back(candidate);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("unknown workload: " +
+                                     std::string(name));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ParseDefenses(std::string_view value, CampaignSpec* spec) {
+  spec->configs.clear();
+  for (std::string_view name : SplitString(value, ',')) {
+    core::Defense defense;
+    if (!ParseDefense(name, &defense)) {
+      return Status::InvalidArgument("unknown defense: " + std::string(name));
+    }
+    spec->configs.push_back(ForDefense(defense));
+  }
+  return Status::Ok();
+}
+
+Status ParseVariants(std::string_view value, CampaignSpec* spec) {
+  spec->variants.clear();
+  for (std::string_view name : SplitString(value, ',')) {
+    core::SystemVariant variant;
+    if (!ParseVariant(name, &variant)) {
+      return Status::InvalidArgument("unknown variant: " + std::string(name));
+    }
+    spec->variants.push_back(variant);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ParseGrid(std::string_view grid, double default_scale,
+                 CampaignSpec* spec) {
+  double scale = default_scale;
+  // First pass: scale, because the workload axis is generated at a scale.
+  for (std::string_view field : SplitString(grid, ';')) {
+    if (!StartsWith(field, "scale=")) continue;
+    const auto parsed = ParseScale(field.substr(6));
+    if (!parsed) {
+      return Status::InvalidArgument("bad scale: " + std::string(field));
+    }
+    scale = *parsed;
+  }
+
+  if (spec->workloads.empty()) {
+    spec->workloads = workloads::SpecCint2006Suite(scale);
+  }
+  if (spec->configs.empty()) {
+    spec->configs = {ForDefense(core::Defense::kNone)};
+  }
+
+  for (std::string_view field : SplitString(grid, ';')) {
+    if (field.empty()) continue;
+    const std::size_t eq = field.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("grid field is not key=value: " +
+                                     std::string(field));
+    }
+    const std::string_view key = field.substr(0, eq);
+    const std::string_view value = field.substr(eq + 1);
+    if (key == "workloads") {
+      ROLOAD_RETURN_IF_ERROR(ParseWorkloads(value, scale, spec));
+    } else if (key == "defenses") {
+      ROLOAD_RETURN_IF_ERROR(ParseDefenses(value, spec));
+    } else if (key == "variants") {
+      ROLOAD_RETURN_IF_ERROR(ParseVariants(value, spec));
+    } else if (key == "scale") {
+      // consumed by the first pass
+    } else if (key == "seed") {
+      const std::string copy(value);
+      char* end = nullptr;
+      spec->seed = std::strtoull(copy.c_str(), &end, 0);
+      if (copy.empty() || end != copy.c_str() + copy.size()) {
+        return Status::InvalidArgument("bad seed: " + std::string(field));
+      }
+    } else if (key == "max-instructions") {
+      const std::string copy(value);
+      char* end = nullptr;
+      spec->max_instructions = std::strtoull(copy.c_str(), &end, 0);
+      if (copy.empty() || end != copy.c_str() + copy.size() ||
+          spec->max_instructions == 0) {
+        return Status::InvalidArgument("bad max-instructions: " +
+                                       std::string(field));
+      }
+    } else if (key == "profile") {
+      const auto parsed = ParseSwitch(value);
+      if (!parsed) {
+        return Status::InvalidArgument("bad profile switch: " +
+                                       std::string(field));
+      }
+      spec->profile = *parsed;
+    } else {
+      return Status::InvalidArgument("unknown grid key: " + std::string(key));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace roload::campaign

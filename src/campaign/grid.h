@@ -1,0 +1,34 @@
+// Text grid syntax, so arbitrary sweeps no longer require writing a new
+// bench binary:
+//
+//   workloads=omnetpp_like,astar_like;defenses=none,VCall;variants=full,proc
+//   workloads=cpp;defenses=none,ICall,CFI;scale=0.2;seed=7
+//
+// Keys (all optional; semicolon-separated, comma-separated values):
+//   workloads         suite benchmark names, or "cpp" (the C++ subset) or
+//                     "all" (the full CINT2006-like suite; the default)
+//   defenses          none | VCall | VTint | ICall | CFI
+//   variants          baseline | proc | full
+//   scale             positive workload-scale multiplier (overrides the
+//                     scale passed to ParseGrid)
+//   seed              nonzero: derive per-run workload seeds (see
+//                     CampaignSpec::seed)
+//   max-instructions  per-run instruction budget
+//   profile           0/1: attach the cycle-attribution profiler
+#pragma once
+
+#include <string_view>
+
+#include "campaign/spec.h"
+#include "support/status.h"
+
+namespace roload::campaign {
+
+// Parses `grid` into `spec` (overwriting the axes the grid names;
+// workloads default to the full suite at `default_scale`). Unknown keys,
+// unknown workload/defense/variant names and malformed numbers are
+// InvalidArgument errors naming the offending token.
+Status ParseGrid(std::string_view grid, double default_scale,
+                 CampaignSpec* spec);
+
+}  // namespace roload::campaign

@@ -1,0 +1,130 @@
+// The campaign executor: runs an expanded grid of independent
+// core::Systems across a host thread pool. Simulated results are
+// bit-identical to serial execution — every run builds its own module,
+// image and System, and the simulator holds no global mutable state —
+// so parallelism only buys wall-clock (the differential test in
+// tests/test_campaign.cpp pins this down). One faulting run reports its
+// status in its outcome slot instead of aborting the grid.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "campaign/spec.h"
+#include "trace/merge.h"
+#include "trace/session.h"
+
+namespace roload::campaign {
+
+// Deterministic parallel map: evaluates fn(0) .. fn(count-1) on up to
+// `jobs` threads (0 = one per hardware thread); results land in index
+// order regardless of completion order. The building block under
+// RunCampaign, exported for grids whose cells are not plain
+// workload × defense runs (the attack-injection matrix).
+unsigned ResolveJobs(unsigned jobs, std::size_t count);
+
+template <typename T, typename Fn>
+std::vector<T> ParallelMap(std::size_t count, unsigned jobs, Fn&& fn) {
+  std::vector<T> results(count);
+  const unsigned workers = ResolveJobs(jobs, count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) results[i] = fn(i);
+    return results;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= count) break;
+      results[i] = fn(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) threads.emplace_back(worker);
+  for (std::thread& thread : threads) thread.join();
+  return results;
+}
+
+// Static instrumentation/code-size numbers of one build, available even
+// for build-only runs.
+struct BuildStats {
+  std::uint64_t image_bytes = 0;
+  std::uint64_t code_bytes = 0;
+  std::uint64_t roload_instructions = 0;
+  std::uint64_t extra_addi_for_roload = 0;
+  std::uint64_t cfi_id_words = 0;
+};
+
+struct RunOutcome {
+  std::string name;
+  std::size_t index = 0;  // position in the expanded grid
+  // Build or load error; Ok for runs that executed (see metrics.completed
+  // for whether the guest exited normally).
+  Status status = Status::Ok();
+  bool build_only = false;
+  BuildStats build;
+  core::RunMetrics metrics;  // default-constructed for build-only runs
+
+  // A run counts as clean when it built and (unless build-only) the guest
+  // ran to a normal exit.
+  bool ok() const { return status.ok() && (build_only || metrics.completed); }
+  // One-line failure description for table footers and logs.
+  std::string FailureText() const;
+};
+
+struct RunnerOptions {
+  unsigned jobs = 0;  // 0 = one worker per hardware thread
+};
+
+// Executes every spec, in parallel up to `options.jobs`, returning
+// outcomes in spec order. Never aborts on a faulting run.
+std::vector<RunOutcome> RunCampaign(const std::vector<RunSpec>& specs,
+                                    const RunnerOptions& options = {});
+
+// A finished campaign: the outcomes plus the cross-run counter merge and
+// the roload.campaign.v1 telemetry. Keeps the spec for labelling.
+class CampaignResult {
+ public:
+  CampaignResult(CampaignSpec spec, std::vector<RunOutcome> outcomes,
+                 unsigned jobs);
+
+  const CampaignSpec& spec() const { return spec_; }
+  const std::vector<RunOutcome>& outcomes() const { return outcomes_; }
+  unsigned jobs() const { return jobs_; }
+
+  const RunOutcome* Find(std::string_view name) const;
+  const RunOutcome* Find(std::string_view workload, std::string_view config,
+                         core::SystemVariant variant =
+                             core::SystemVariant::kFullRoload) const;
+
+  std::size_t faults() const;
+  bool all_ok() const { return faults() == 0; }
+
+  // Counters of every clean run (plus its cycle-attribution buckets as
+  // "profile.<bucket>" when profiled), merged across the campaign.
+  const trace::CounterMerger& merger() const { return merger_; }
+
+  // Campaign-level telemetry: switches `session` to roload.campaign.v1,
+  // records per-run rows (run.<name>.cycles/instructions/...) and the
+  // fault count, and attaches the merger (this CampaignResult must
+  // outlive the session's ToJson/WriteJson calls).
+  void FillSession(trace::TelemetrySession* session) const;
+
+ private:
+  CampaignSpec spec_;
+  std::vector<RunOutcome> outcomes_;
+  unsigned jobs_ = 1;
+  trace::CounterMerger merger_;
+};
+
+// Expand + RunCampaign + merge in one call — what the benches use.
+CampaignResult Run(const CampaignSpec& spec, const RunnerOptions& options = {});
+
+}  // namespace roload::campaign

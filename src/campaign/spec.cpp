@@ -1,0 +1,76 @@
+#include "campaign/spec.h"
+
+#include "support/rng.h"
+
+namespace roload::campaign {
+
+std::string_view VariantName(core::SystemVariant variant) {
+  switch (variant) {
+    case core::SystemVariant::kBaseline:
+      return "baseline";
+    case core::SystemVariant::kProcessorModified:
+      return "proc";
+    case core::SystemVariant::kFullRoload:
+      return "full";
+  }
+  return "?";
+}
+
+bool ParseVariant(std::string_view name, core::SystemVariant* variant) {
+  for (core::SystemVariant candidate :
+       {core::SystemVariant::kBaseline, core::SystemVariant::kProcessorModified,
+        core::SystemVariant::kFullRoload}) {
+    if (name == VariantName(candidate)) {
+      *variant = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseDefense(std::string_view name, core::Defense* defense) {
+  for (core::Defense candidate :
+       {core::Defense::kNone, core::Defense::kVCall, core::Defense::kVTint,
+        core::Defense::kICall, core::Defense::kClassicCfi}) {
+    if (name == core::DefenseName(candidate)) {
+      *defense = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+RunConfig ForDefense(core::Defense defense) {
+  RunConfig config;
+  config.label = std::string(core::DefenseName(defense));
+  config.build.defense = defense;
+  return config;
+}
+
+std::vector<RunSpec> Expand(const CampaignSpec& spec) {
+  std::vector<RunSpec> runs;
+  runs.reserve(spec.workloads.size() * spec.configs.size() *
+               spec.variants.size());
+  for (const workloads::WorkloadSpec& workload : spec.workloads) {
+    for (const RunConfig& config : spec.configs) {
+      for (core::SystemVariant variant : spec.variants) {
+        RunSpec run;
+        run.name = workload.name + "/" + config.label + "/" +
+                   std::string(VariantName(variant));
+        run.workload = workload;
+        run.build = config.build;
+        run.variant = variant;
+        run.build_only = config.build_only;
+        run.max_instructions = spec.max_instructions;
+        run.trace.profile = spec.profile;
+        if (spec.seed != 0) {
+          run.workload.seed = DeriveSeed(spec.seed, runs.size());
+        }
+        runs.push_back(std::move(run));
+      }
+    }
+  }
+  return runs;
+}
+
+}  // namespace roload::campaign

@@ -1,6 +1,7 @@
 #include "core/toolchain.h"
 
 #include "asmtool/assembler.h"
+#include "support/strings.h"
 #include "verify/binary.h"
 #include "verify/ir_lint.h"
 
@@ -82,19 +83,14 @@ verify::Report Verify(const BuildResult& build) {
   return report;
 }
 
-StatusOr<RunMetrics> CompileAndRun(const ir::Module& module,
-                                   const BuildOptions& options,
-                                   SystemVariant variant,
-                                   std::uint64_t max_instructions,
-                                   const trace::TraceConfig& trace) {
-  auto build = Build(module, options);
-  if (!build.ok()) return build.status();
-
+StatusOr<RunMetrics> RunBuild(const BuildResult& build, SystemVariant variant,
+                              std::uint64_t max_instructions,
+                              const trace::TraceConfig& trace) {
   SystemConfig config;
   config.variant = variant;
   config.trace = trace;
   System system(config);
-  ROLOAD_RETURN_IF_ERROR(system.Load(build->image));
+  ROLOAD_RETURN_IF_ERROR(system.Load(build.image));
   const kernel::RunResult run = system.Run(max_instructions);
 
   RunMetrics metrics;
@@ -102,7 +98,7 @@ StatusOr<RunMetrics> CompileAndRun(const ir::Module& module,
   metrics.instructions = run.instructions;
   metrics.roload_loads = system.cpu().stats().roload_loads;
   metrics.peak_mem_kib = run.peak_mem_kib;
-  metrics.image_bytes = build->image_bytes;
+  metrics.image_bytes = build.image_bytes;
   metrics.exit_code = run.exit_code;
   metrics.completed = run.kind == kernel::ExitKind::kExited;
   metrics.roload_violation = run.roload_violation;
@@ -124,6 +120,60 @@ StatusOr<RunMetrics> CompileAndRun(const ir::Module& module,
     }
   }
   return metrics;
+}
+
+StatusOr<RunMetrics> CompileAndRun(const ir::Module& module,
+                                   const BuildOptions& options,
+                                   SystemVariant variant,
+                                   std::uint64_t max_instructions,
+                                   const trace::TraceConfig& trace) {
+  auto build = Build(module, options);
+  if (!build.ok()) return build.status();
+  return RunBuild(*build, variant, max_instructions, trace);
+}
+
+verify::Report VerifyLoadedImage(System& system,
+                                 const asmtool::LinkImage& image) {
+  verify::Report report;
+  kernel::AddressSpace* space = system.kernel().address_space();
+  if (space == nullptr) {
+    report.Add(verify::Rule::kLoaderKeyMismatch, "",
+               "no active process (call System::Load first)");
+    return report;
+  }
+  for (const asmtool::Section& section : image.sections) {
+    if (section.size == 0) continue;
+    ++report.stats().sections;
+    if (section.key == 0) continue;  // only keyed pages carry the proof
+    ++report.stats().keyed_sections;
+    const std::uint64_t pages =
+        (section.size + mem::kPageSize - 1) / mem::kPageSize;
+    for (std::uint64_t page = 0; page < pages; ++page) {
+      const std::uint64_t vaddr = section.vaddr + page * mem::kPageSize;
+      auto pte = space->GetPte(vaddr);
+      if (!pte.ok() || !pte->valid() || !pte->readable()) {
+        report.Add(verify::Rule::kLoaderKeyMismatch, section.name,
+                   StrFormat("page 0x%llx of keyed section not mapped "
+                             "readable",
+                             static_cast<unsigned long long>(vaddr)));
+        continue;
+      }
+      if (pte->writable()) {
+        report.Add(verify::Rule::kLoaderKeyMismatch, section.name,
+                   StrFormat("page 0x%llx of keyed section mapped writable",
+                             static_cast<unsigned long long>(vaddr)));
+      }
+      if (pte->key() != section.key) {
+        report.Add(
+            verify::Rule::kLoaderKeyMismatch, section.name,
+            StrFormat("page 0x%llx mapped with key %u, image requires key "
+                      "%u (roload-unaware loader?)",
+                      static_cast<unsigned long long>(vaddr), pte->key(),
+                      section.key));
+      }
+    }
+  }
+  return report;
 }
 
 double OverheadPercent(double base, double value) {

@@ -95,6 +95,14 @@ struct RunMetrics {
   }
 };
 
+// Runs an already-built image on a fresh system of `variant` and collects
+// RunMetrics. The execution half of CompileAndRun, split out so callers
+// holding a BuildResult (the campaign executor, build-only sweeps that
+// later decide to run) do not pay a second build.
+StatusOr<RunMetrics> RunBuild(const BuildResult& build, SystemVariant variant,
+                              std::uint64_t max_instructions = 1ull << 34,
+                              const trace::TraceConfig& trace = {});
+
 // Builds `module` under `defense` and runs it on a fresh system of
 // `variant`. The workhorse of every table/figure bench. `trace` configures
 // the run's telemetry (pass `.profile = true` to fill RunMetrics::profile
@@ -106,6 +114,16 @@ StatusOr<RunMetrics> CompileAndRun(const ir::Module& module,
                                    std::uint64_t max_instructions = 1ull
                                                                     << 34,
                                    const trace::TraceConfig& trace = {});
+
+// Loader cross-check (rule 29, `rrun --verify`): proves that the page
+// tables the kernel built while loading `image` actually map every keyed
+// read-only section (.rodata.key.<K>) read-only with exactly key K. The
+// static rules 20-28 verify the image; this verifies what the loader made
+// of it — a kernel that is not roload-aware maps allowlists with key 0,
+// which this check reports instead of letting the guest fault at its
+// first ld.ro. Call after System::Load.
+verify::Report VerifyLoadedImage(System& system,
+                                 const asmtool::LinkImage& image);
 
 // Relative overhead helper: (value - base) / base * 100, in percent.
 double OverheadPercent(double base, double value);

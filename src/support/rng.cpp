@@ -33,6 +33,16 @@ double Rng::NextDouble() {
   return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
 }
 
+std::uint64_t DeriveSeed(std::uint64_t base, std::uint64_t index) {
+  // Spacing the index by the SplitMix64 golden-ratio increment puts each
+  // run on its own position of the base stream; the NextU64 mix makes the
+  // resulting seeds pairwise uncorrelated. Seed 0 is avoided because
+  // several generators treat it as "use the default".
+  Rng rng(base ^ ((index + 1) * 0x9E3779B97F4A7C15ull));
+  const std::uint64_t seed = rng.NextU64();
+  return seed != 0 ? seed : 1;
+}
+
 std::size_t Rng::NextWeighted(const std::vector<unsigned>& weights) {
   std::uint64_t total = 0;
   for (unsigned w : weights) total += w;

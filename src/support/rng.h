@@ -35,4 +35,10 @@ class Rng {
   std::uint64_t state_;
 };
 
+// Derives an independent per-run seed from a base seed and a run index —
+// one SplitMix64 output over a decorrelated state, so campaign sweeps get
+// statistically distinct workload seeds that are stable across platforms
+// and across the order runs actually execute in.
+std::uint64_t DeriveSeed(std::uint64_t base, std::uint64_t index);
+
 }  // namespace roload

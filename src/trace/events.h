@@ -67,6 +67,16 @@ struct TraceEvent {
   Unit unit = Unit::kCpu;
 };
 
+// Observer of the live event stream. A sink attached to the Hub sees
+// every emitted event (of the enabled categories) in emission order,
+// independently of the ring's retention window — the hook the streaming
+// Chrome-trace file sink (stream_sink.h) implements.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void OnEvent(const TraceEvent& event) = 0;
+};
+
 // Fixed-capacity ring: when full, the oldest event is overwritten and
 // counted in dropped(). Iteration yields chronological order.
 class EventBuffer {

@@ -75,7 +75,7 @@ std::string ExportProfileJson(const Hub& hub, std::size_t max_pc_ranges) {
   return json.str() + "\n";
 }
 
-std::string ExportChromeTrace(const EventBuffer& events) {
+std::string ChromeTraceHeader() {
   // Compact form: one event per line keeps multi-megabyte traces diffable
   // and loads in Perfetto unchanged.
   std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
@@ -90,24 +90,34 @@ std::string ExportChromeTrace(const EventBuffer& events) {
         "\"args\":{\"name\":\"%.*s\"}}",
         u, static_cast<int>(UnitName(unit).size()), UnitName(unit).data());
   }
+  return out;
+}
+
+void AppendChromeTraceEvent(std::string* out, const TraceEvent& event) {
+  const std::string_view name = EventTypeName(event.type);
+  const std::string_view cat = EventCategoryName(event.category);
+  const bool slice = event.type == EventType::kRetire;
+  *out += StrFormat(
+      ",\n{\"name\":\"%.*s\",\"cat\":\"%.*s\",\"ph\":\"%s\"%s,"
+      "\"ts\":%llu,\"pid\":1,\"tid\":%u,\"args\":{\"pc\":\"%s\","
+      "\"addr\":\"%s\",\"arg\":%llu}}",
+      static_cast<int>(name.size()), name.data(),
+      static_cast<int>(cat.size()), cat.data(), slice ? "X" : "i",
+      slice ? ",\"dur\":1" : ",\"s\":\"t\"",
+      static_cast<unsigned long long>(event.cycle),
+      static_cast<unsigned>(event.unit), Hex(event.pc).c_str(),
+      Hex(event.addr).c_str(),
+      static_cast<unsigned long long>(event.arg));
+}
+
+std::string_view ChromeTraceTrailer() { return "\n]}\n"; }
+
+std::string ExportChromeTrace(const EventBuffer& events) {
+  std::string out = ChromeTraceHeader();
   for (std::size_t i = 0; i < events.size(); ++i) {
-    const TraceEvent& event = events.at(i);
-    const std::string_view name = EventTypeName(event.type);
-    const std::string_view cat = EventCategoryName(event.category);
-    const bool slice = event.type == EventType::kRetire;
-    out += StrFormat(
-        ",\n{\"name\":\"%.*s\",\"cat\":\"%.*s\",\"ph\":\"%s\"%s,"
-        "\"ts\":%llu,\"pid\":1,\"tid\":%u,\"args\":{\"pc\":\"%s\","
-        "\"addr\":\"%s\",\"arg\":%llu}}",
-        static_cast<int>(name.size()), name.data(),
-        static_cast<int>(cat.size()), cat.data(), slice ? "X" : "i",
-        slice ? ",\"dur\":1" : ",\"s\":\"t\"",
-        static_cast<unsigned long long>(event.cycle),
-        static_cast<unsigned>(event.unit), Hex(event.pc).c_str(),
-        Hex(event.addr).c_str(),
-        static_cast<unsigned long long>(event.arg));
+    AppendChromeTraceEvent(&out, events.at(i));
   }
-  out += "\n]}\n";
+  out += ChromeTraceTrailer();
   return out;
 }
 

@@ -28,6 +28,14 @@ std::string ExportProfileJson(const Hub& hub, std::size_t max_pc_ranges = 32);
 // an instant ("i"). Timestamps are simulated cycles in the `ts` field.
 std::string ExportChromeTrace(const EventBuffer& events);
 
+// The pieces ExportChromeTrace is assembled from, shared with the
+// streaming ChromeTraceFileSink so both produce byte-identical output:
+// document opening + per-unit metadata records, one ",\n{...}" record per
+// event, and the closing of the traceEvents array.
+std::string ChromeTraceHeader();
+void AppendChromeTraceEvent(std::string* out, const TraceEvent& event);
+std::string_view ChromeTraceTrailer();
+
 // Multi-line human summary (counters + bucket percentages).
 std::string ExportTextSummary(const Hub& hub);
 

@@ -18,6 +18,7 @@ void Hub::Emit(Unit unit, EventCategory category, EventType type,
   event.category = category;
   event.unit = unit;
   events_.Push(event);
+  if (sink_ != nullptr) sink_->OnEvent(event);
 }
 
 }  // namespace roload::trace

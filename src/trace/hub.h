@@ -43,6 +43,12 @@ class Hub {
   void Emit(Unit unit, EventCategory category, EventType type,
             std::uint64_t pc, std::uint64_t addr, std::uint64_t arg);
 
+  // Optional streaming observer: every Emit is also forwarded to `sink`
+  // (null detaches), letting long runs persist the full event stream
+  // instead of the ring's newest-events window. The sink must outlive
+  // the Hub or be detached first.
+  void set_sink(EventSink* sink) { sink_ = sink; }
+
   CounterRegistry& counters() { return counters_; }
   const CounterRegistry& counters() const { return counters_; }
   EventBuffer& events() { return events_; }
@@ -58,6 +64,7 @@ class Hub {
   CounterRegistry counters_;
   EventBuffer events_;
   CycleProfiler profiler_;
+  EventSink* sink_ = nullptr;
 };
 
 }  // namespace roload::trace

@@ -38,7 +38,7 @@ void TelemetrySession::Record(std::string_view key, std::string_view value) {
 std::string TelemetrySession::ToJson() const {
   JsonWriter json;
   json.BeginObject();
-  json.KV("schema", "roload.bench.v1");
+  json.KV("schema", schema_);
   json.KV("name", name_);
   json.Key("results").BeginObject();
   for (const auto& [key, scalar] : results_) {
@@ -56,6 +56,18 @@ std::string TelemetrySession::ToJson() const {
     json.Key("counters").BeginObject();
     for (const auto& [name, value] : hub_->counters().Snapshot()) {
       json.KV(name, value);
+    }
+    json.EndObject();
+  }
+  if (merger_ != nullptr) {
+    json.Key("merged_counters").BeginObject();
+    for (const auto& [name, agg] : merger_->Merged()) {
+      json.Key(name).BeginObject();
+      json.KV("sum", agg.sum);
+      json.KV("min", agg.min);
+      json.KV("max", agg.max);
+      json.KV("runs", agg.runs);
+      json.EndObject();
     }
     json.EndObject();
   }

@@ -15,6 +15,7 @@
 
 #include "support/status.h"
 #include "trace/hub.h"
+#include "trace/merge.h"
 
 namespace roload::trace {
 
@@ -25,6 +26,15 @@ class TelemetrySession {
   // Optional: export this hub's counters (and profile when enabled)
   // alongside the recorded results. The hub must outlive WriteJson/ToJson.
   void set_hub(const Hub* hub) { hub_ = hub; }
+
+  // Optional: export a campaign's cross-run counter aggregation as a
+  // "merged_counters" object ({name: {sum,min,max,runs}}). The merger
+  // must outlive WriteJson/ToJson.
+  void set_merger(const CounterMerger* merger) { merger_ = merger; }
+
+  // Document schema tag; defaults to the single-bench "roload.bench.v1",
+  // campaigns switch to "roload.campaign.v1".
+  void set_schema(std::string schema) { schema_ = std::move(schema); }
 
   // Records a scalar under `key` ("omnetpp_like.vcall_time_pct", ...).
   // Re-recording a key overwrites its value but keeps its position.
@@ -42,7 +52,9 @@ class TelemetrySession {
   using Scalar = std::variant<double, std::uint64_t, std::string>;
 
   std::string name_;
+  std::string schema_ = "roload.bench.v1";
   const Hub* hub_ = nullptr;
+  const CounterMerger* merger_ = nullptr;
   std::vector<std::pair<std::string, Scalar>> results_;
 };
 

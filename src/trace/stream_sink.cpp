@@ -1,0 +1,55 @@
+#include "trace/stream_sink.h"
+
+#include "trace/exporters.h"
+
+namespace roload::trace {
+
+StatusOr<std::unique_ptr<ChromeTraceFileSink>> ChromeTraceFileSink::Open(
+    const std::string& path, std::size_t flush_bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open for write: " + path);
+  }
+  auto sink = std::unique_ptr<ChromeTraceFileSink>(
+      new ChromeTraceFileSink(std::move(out), path, flush_bytes));
+  sink->buffer_ = ChromeTraceHeader();
+  return sink;
+}
+
+ChromeTraceFileSink::ChromeTraceFileSink(std::ofstream out, std::string path,
+                                         std::size_t flush_bytes)
+    : out_(std::move(out)), path_(std::move(path)),
+      flush_bytes_(flush_bytes) {}
+
+ChromeTraceFileSink::~ChromeTraceFileSink() { Close(); }
+
+void ChromeTraceFileSink::OnEvent(const TraceEvent& event) {
+  if (closed_) return;
+  AppendChromeTraceEvent(&buffer_, event);
+  ++events_written_;
+  if (buffer_.size() >= flush_bytes_) FlushBuffer();
+}
+
+void ChromeTraceFileSink::FlushBuffer() {
+  if (!buffer_.empty()) {
+    out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
+  }
+  if (!out_ && status_.ok()) {
+    status_ = Status::Internal("write failed: " + path_);
+  }
+}
+
+Status ChromeTraceFileSink::Close() {
+  if (closed_) return status_;
+  closed_ = true;
+  buffer_ += ChromeTraceTrailer();
+  FlushBuffer();
+  out_.flush();
+  if (!out_ && status_.ok()) {
+    status_ = Status::Internal("write failed: " + path_);
+  }
+  return status_;
+}
+
+}  // namespace roload::trace

@@ -1,0 +1,51 @@
+// Streaming Chrome-trace sink. The event ring retains only the newest
+// `event_capacity` records, so an end-of-run ExportChromeTrace of a long
+// run silently drops the beginning. A sink attached to the Hub observes
+// every emitted event as it happens and writes it to disk incrementally
+// (buffered, flushed every ~flush_bytes), so the on-disk trace is
+// complete regardless of ring capacity. Output is the same Chrome
+// trace_event JSON ExportChromeTrace produces — byte-identical when the
+// ring retained everything — and is finalized by Close() (or the
+// destructor) into a well-formed document.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "support/status.h"
+#include "trace/events.h"
+
+namespace roload::trace {
+
+class ChromeTraceFileSink : public EventSink {
+ public:
+  static StatusOr<std::unique_ptr<ChromeTraceFileSink>> Open(
+      const std::string& path, std::size_t flush_bytes = 256 * 1024);
+  ~ChromeTraceFileSink() override;
+
+  void OnEvent(const TraceEvent& event) override;
+
+  // Writes the JSON trailer and flushes. Idempotent; events arriving
+  // after Close() are discarded. Returns the first I/O error seen.
+  Status Close();
+
+  std::uint64_t events_written() const { return events_written_; }
+
+ private:
+  ChromeTraceFileSink(std::ofstream out, std::string path,
+                      std::size_t flush_bytes);
+
+  void FlushBuffer();
+
+  std::ofstream out_;
+  std::string path_;
+  std::string buffer_;
+  std::size_t flush_bytes_;
+  std::uint64_t events_written_ = 0;
+  bool closed_ = false;
+  Status status_ = Status::Ok();
+};
+
+}  // namespace roload::trace

@@ -41,6 +41,8 @@ std::string_view RuleName(Rule rule) {
       return "bin-symbol-misplaced";
     case Rule::kBinMissingCfiId:
       return "bin-missing-cfi-id";
+    case Rule::kLoaderKeyMismatch:
+      return "loader-key-mismatch";
   }
   return "unknown-rule";
 }

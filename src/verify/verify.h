@@ -30,7 +30,8 @@
 
 namespace roload::verify {
 
-// Stable rule identifiers. 10-15 are IR-lint rules, 20-28 binary rules.
+// Stable rule identifiers. 10-15 are IR-lint rules, 20-28 binary rules,
+// 29 the loader page-table cross-check.
 // The numeric values are part of the tool contract (exit codes, JSON);
 // never renumber, only append.
 enum class Rule : int {
@@ -57,6 +58,13 @@ enum class Rule : int {
   kBinMissingFixup = 26,        // addi offset-fixup count != IR count
   kBinSymbolMisplaced = 27,     // keyed global's symbol in wrong section
   kBinMissingCfiId = 28,        // function entry lacks the CFI ID word
+
+  // Loader cross-check (core::VerifyLoadedImage, rrun --verify): the
+  // rules above prove the *image*; rule 29 proves the page tables the
+  // kernel actually built from it.
+  kLoaderKeyMismatch = 29,      // a .rodata.key.<K> page is not mapped
+                                // read-only with key K (e.g. loaded by a
+                                // kernel that is not roload-aware)
 };
 
 int RuleId(Rule rule);

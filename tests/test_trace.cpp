@@ -4,13 +4,18 @@
 // full tracing stack never perturbs architectural state or cycle counts.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <string>
 
 #include "core/toolchain.h"
 #include "ir/builder.h"
 #include "tests/guest_util.h"
 #include "trace/exporters.h"
+#include "trace/merge.h"
 #include "trace/session.h"
+#include "trace/stream_sink.h"
 
 namespace roload {
 namespace {
@@ -437,6 +442,127 @@ TEST(TelemetrySessionTest, BenchJsonGolden) {
       "  }\n"
       "}\n";
   EXPECT_EQ(session.ToJson(), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-run counter merging (the campaign aggregation primitive).
+
+TEST(CounterMergerTest, AggregatesAcrossRuns) {
+  trace::CounterMerger merger;
+  merger.Add("run0", {{"a", 1}, {"b", 10}});
+  merger.Add("run1", {{"a", 5}, {"b", 20}});
+  merger.Add("run2", {{"a", 3}});  // b not reported
+  EXPECT_EQ(merger.runs(), 3u);
+  const auto merged = merger.Merged();
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].first, "a");
+  EXPECT_EQ(merged[0].second.sum, 9u);
+  EXPECT_EQ(merged[0].second.min, 1u);
+  EXPECT_EQ(merged[0].second.max, 5u);
+  EXPECT_EQ(merged[0].second.runs, 3u);
+  EXPECT_EQ(merged[1].first, "b");
+  EXPECT_EQ(merged[1].second.sum, 30u);
+  EXPECT_EQ(merged[1].second.runs, 2u);
+}
+
+TEST(CounterMergerTest, PerRunKeepsAddOrder) {
+  trace::CounterMerger merger;
+  merger.Add("z", {{"a", 7}});
+  merger.Add("m", {{"a", 2}});
+  const auto per_run = merger.PerRun("a");
+  ASSERT_EQ(per_run.size(), 2u);
+  EXPECT_EQ(per_run[0].first, "z");
+  EXPECT_EQ(per_run[0].second, 7u);
+  EXPECT_EQ(per_run[1].first, "m");
+  EXPECT_EQ(merger.PerRun("no_such").size(), 0u);
+}
+
+TEST(TelemetrySessionTest, AttachedMergerEmitsMergedCounters) {
+  trace::CounterMerger merger;
+  merger.Add("r0", {{"unit.x", 2}});
+  merger.Add("r1", {{"unit.x", 4}});
+  trace::TelemetrySession session("unit");
+  session.set_schema("roload.campaign.v1");
+  session.set_merger(&merger);
+  const std::string json = session.ToJson();
+  EXPECT_NE(json.find("\"schema\": \"roload.campaign.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"merged_counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit.x\""), std::string::npos);
+  EXPECT_NE(json.find("\"sum\": 6"), std::string::npos);
+  EXPECT_NE(json.find("\"min\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"max\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"runs\": 2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming Chrome-trace sink.
+
+TEST(StreamSinkTest, MatchesExportChromeTraceWhenRingRetainsAll) {
+  const std::string path = "stream_sink_small.trace";
+  trace::Hub hub({.categories = trace::kAllCategories, .event_capacity = 64});
+  auto sink = trace::ChromeTraceFileSink::Open(path);
+  ASSERT_TRUE(sink.ok());
+  hub.set_sink(sink->get());
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    hub.Emit(trace::Unit::kCpu, EventCategory::kInstruction,
+             EventType::kRetire, 0x1000 + i * 4, 0, i);
+  }
+  hub.set_sink(nullptr);
+  ASSERT_TRUE((*sink)->Close().ok());
+  EXPECT_EQ((*sink)->events_written(), 10u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  const std::string streamed((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  EXPECT_EQ(streamed, trace::ExportChromeTrace(hub.events()));
+  std::remove(path.c_str());
+}
+
+TEST(StreamSinkTest, RetainsEventsPastRingCapacity) {
+  const std::string path = "stream_sink_overflow.trace";
+  trace::Hub hub({.categories = trace::kAllCategories, .event_capacity = 8});
+  auto sink = trace::ChromeTraceFileSink::Open(path, /*flush_bytes=*/64);
+  ASSERT_TRUE(sink.ok());
+  hub.set_sink(sink->get());
+  constexpr std::uint64_t kEvents = 100;  // ring keeps only the last 8
+  for (std::uint64_t i = 0; i < kEvents; ++i) {
+    hub.Emit(trace::Unit::kCpu, EventCategory::kInstruction,
+             EventType::kRetire, 0x1000 + i * 4, 0, i);
+  }
+  hub.set_sink(nullptr);
+  ASSERT_TRUE((*sink)->Close().ok());
+  EXPECT_EQ((*sink)->events_written(), kEvents);
+  EXPECT_EQ(hub.events().size(), 8u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  const std::string streamed((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  // The very first event (dropped from the ring long ago) is on disk, and
+  // the document is well-formed (header + trailer).
+  EXPECT_NE(streamed.find("\"pc\":\"0x1000\""), std::string::npos);
+  EXPECT_NE(streamed.find(trace::ChromeTraceHeader()), std::string::npos);
+  EXPECT_NE(streamed.find("\n]}\n"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(StreamSinkTest, CloseIsIdempotentAndLateEventsAreDiscarded) {
+  const std::string path = "stream_sink_closed.trace";
+  auto sink = trace::ChromeTraceFileSink::Open(path);
+  ASSERT_TRUE(sink.ok());
+  ASSERT_TRUE((*sink)->Close().ok());
+  trace::TraceEvent event{};
+  (*sink)->OnEvent(event);
+  EXPECT_EQ((*sink)->events_written(), 0u);
+  ASSERT_TRUE((*sink)->Close().ok());
+  std::remove(path.c_str());
+}
+
+TEST(StreamSinkTest, OpenFailsOnUnwritablePath) {
+  auto sink = trace::ChromeTraceFileSink::Open("/no/such/dir/x.trace");
+  EXPECT_FALSE(sink.ok());
 }
 
 }  // namespace

@@ -666,5 +666,73 @@ fn:
   EXPECT_NE(json.find("\"violations\""), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Loader cross-check (rule 29): the kernel-built page tables must map
+// every keyed section read-only with the image's key.
+
+constexpr const char* kKeyedGuest = R"(
+.section .text
+_start:
+  la t0, table
+  ld.ro t1, (t0), 77
+  mv a0, t1
+  li a7, 93
+  ecall
+.section .rodata.key.77
+table: .quad 0
+)";
+
+TEST(LoaderVerifyTest, RoloadAwareKernelPassesCrossCheck) {
+  const asmtool::LinkImage image = MustAssemble(kKeyedGuest);
+  core::System system({.variant = core::SystemVariant::kFullRoload});
+  ASSERT_TRUE(system.Load(image).ok());
+  const Report report = core::VerifyLoadedImage(system, image);
+  EXPECT_TRUE(report.ok()) << report.ToText();
+  EXPECT_GE(report.stats().keyed_sections, 1u);
+}
+
+TEST(LoaderVerifyTest, RoloadUnawareKernelIsFlagged) {
+  // The processor-modified variant runs an unmodified kernel that knows
+  // nothing about section keys and maps everything with key 0 — exactly
+  // the deployment mistake rule 29 exists to catch.
+  const asmtool::LinkImage image = MustAssemble(kKeyedGuest);
+  core::System system({.variant = core::SystemVariant::kProcessorModified});
+  ASSERT_TRUE(system.Load(image).ok());
+  const Report report = core::VerifyLoadedImage(system, image);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(SmallestRuleId(report), RuleId(Rule::kLoaderKeyMismatch));
+  EXPECT_NE(report.ToText().find("roload-unaware loader?"),
+            std::string::npos);
+}
+
+TEST(LoaderVerifyTest, RemappedWritableAllowlistIsFlagged) {
+  // Sabotage after a clean load: mprotect the allowlist page writable
+  // (key dropped to 0). Both defects must be reported.
+  const asmtool::LinkImage image = MustAssemble(kKeyedGuest);
+  core::System system({.variant = core::SystemVariant::kFullRoload});
+  ASSERT_TRUE(system.Load(image).ok());
+  std::uint64_t table_vaddr = 0;
+  for (const auto& section : image.sections) {
+    if (section.key == 77) table_vaddr = section.vaddr;
+  }
+  ASSERT_NE(table_vaddr, 0u);
+  ASSERT_TRUE(system.kernel()
+                  .address_space()
+                  ->Protect(table_vaddr, 1, kernel::PageProt::Rw())
+                  .ok());
+  const Report report = core::VerifyLoadedImage(system, image);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(SmallestRuleId(report), RuleId(Rule::kLoaderKeyMismatch));
+  EXPECT_NE(report.ToText().find("mapped writable"), std::string::npos);
+}
+
+TEST(LoaderVerifyTest, RequiresALoadedProcess) {
+  const asmtool::LinkImage image = MustAssemble(kKeyedGuest);
+  core::System system({.variant = core::SystemVariant::kFullRoload});
+  const Report report = core::VerifyLoadedImage(system, image);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(SmallestRuleId(report), RuleId(Rule::kLoaderKeyMismatch));
+}
+
 }  // namespace
 }  // namespace roload::verify

@@ -1,0 +1,159 @@
+// rcampaign — run a declarative workload × defense × variant grid on the
+// simulated ROLoad machine, in parallel, with merged telemetry.
+//
+//   rcampaign [--grid SPEC] [--jobs N] [--json FILE] [--profile]
+//             [--scale S] [--name NAME] [--quiet]
+//
+// --grid     semicolon-separated key=value grid (see src/campaign/grid.h),
+//            e.g. "workloads=cpp;defenses=none,VCall,VTint;variants=full".
+//            Default: the full CINT2006-like suite, unhardened, on the
+//            full-ROLoad system.
+// --jobs     worker threads (0 = one per hardware thread; the default).
+//            Simulated results are bit-identical at any job count.
+// --json     write the merged roload.campaign.v1 telemetry to FILE
+// --profile  attach the cycle-attribution profiler to every run
+// --scale    workload scale when the grid does not set one (default 0.5)
+// --name     campaign name used in the telemetry (default "campaign")
+// --quiet    suppress the per-run table, print only the summary line
+//
+// Exit code: 0 when every run is clean, 1 when any run faulted,
+// 2 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "campaign/env.h"
+#include "campaign/grid.h"
+#include "campaign/runner.h"
+#include "support/strings.h"
+#include "trace/session.h"
+
+using namespace roload;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: rcampaign [--grid SPEC] [--jobs N] [--json FILE] "
+               "[--profile] [--scale S] [--name NAME] [--quiet]\n"
+               "grid keys: workloads, defenses, variants, scale, seed, "
+               "max-instructions, profile\n");
+  return 2;
+}
+
+bool FlagValue(int argc, char** argv, int* i, const char* flag,
+               std::string* value) {
+  const std::string arg = argv[*i];
+  const std::string prefix = std::string(flag) + "=";
+  if (StartsWith(arg, prefix)) {
+    *value = arg.substr(prefix.size());
+    return true;
+  }
+  if (arg == flag && *i + 1 < argc) {
+    *value = argv[++*i];
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string grid_text;
+  std::string json_path;
+  std::string name = "campaign";
+  std::string jobs_text;
+  std::string scale_text;
+  bool profile = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (FlagValue(argc, argv, &i, "--grid", &grid_text) ||
+        FlagValue(argc, argv, &i, "--json", &json_path) ||
+        FlagValue(argc, argv, &i, "--name", &name) ||
+        FlagValue(argc, argv, &i, "--jobs", &jobs_text) ||
+        FlagValue(argc, argv, &i, "--scale", &scale_text)) {
+      continue;
+    }
+    if (arg == "--profile") {
+      profile = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  unsigned jobs = campaign::JobsFromEnv(0);
+  if (!jobs_text.empty()) {
+    const auto parsed = campaign::ParseJobs(jobs_text);
+    if (!parsed) {
+      std::fprintf(stderr, "rcampaign: bad --jobs value: %s\n",
+                   jobs_text.c_str());
+      return Usage();
+    }
+    jobs = *parsed;
+  }
+  double scale = campaign::ScaleFromEnv(0.5);
+  if (!scale_text.empty()) {
+    const auto parsed = campaign::ParseScale(scale_text);
+    if (!parsed) {
+      std::fprintf(stderr, "rcampaign: bad --scale value: %s\n",
+                   scale_text.c_str());
+      return Usage();
+    }
+    scale = *parsed;
+  }
+
+  campaign::CampaignSpec spec;
+  spec.name = name;
+  if (Status status = campaign::ParseGrid(grid_text, scale, &spec);
+      !status.ok()) {
+    std::fprintf(stderr, "rcampaign: %s\n", status.ToString().c_str());
+    return 2;
+  }
+  if (profile) spec.profile = true;
+
+  const campaign::CampaignResult result =
+      campaign::Run(spec, {.jobs = jobs});
+
+  if (!quiet) {
+    std::printf("%-44s | %6s | %14s | %14s | %10s\n", "run", "ok",
+                "cycles", "instructions", "mem KiB");
+    for (int i = 0; i < 100; ++i) std::fputc('-', stdout);
+    std::fputc('\n', stdout);
+    for (const campaign::RunOutcome& outcome : result.outcomes()) {
+      if (!outcome.ok()) {
+        std::printf("%-44s | %6s | %s\n", outcome.name.c_str(), "FAULT",
+                    outcome.FailureText().c_str());
+        continue;
+      }
+      if (outcome.build_only) {
+        std::printf("%-44s | %6s | %14s | %14s | %10s\n",
+                    outcome.name.c_str(), "build", "-", "-", "-");
+        continue;
+      }
+      std::printf("%-44s | %6s | %14llu | %14llu | %10llu\n",
+                  outcome.name.c_str(), "ok",
+                  static_cast<unsigned long long>(outcome.metrics.cycles),
+                  static_cast<unsigned long long>(
+                      outcome.metrics.instructions),
+                  static_cast<unsigned long long>(
+                      outcome.metrics.peak_mem_kib));
+    }
+  }
+  std::printf("%zu runs, %zu faults, %u jobs\n", result.outcomes().size(),
+              result.faults(), result.jobs());
+
+  if (!json_path.empty()) {
+    trace::TelemetrySession session(spec.name);
+    result.FillSession(&session);
+    if (Status status = session.WriteJson(json_path); !status.ok()) {
+      std::fprintf(stderr, "rcampaign: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return result.all_ok() ? 0 : 1;
+}

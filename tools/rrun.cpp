@@ -6,11 +6,15 @@
 //        [--stats-json FILE] [--profile FILE] [--trace-events FILE]
 //
 // --verify        run the static pointee-integrity verifier (src/verify)
-//                 on the image first; refuse to run a violating image and
-//                 exit with the smallest violated rule id
+//                 on the image first, then cross-check the loader: every
+//                 keyed section must be mapped read-only with its key in
+//                 the kernel-built page tables. Refuses to run a violating
+//                 image and exits with the smallest violated rule id
 // --stats-json    machine-readable counters (the --stats numbers and more)
 // --profile       counters + cycle-attribution profile JSON
-// --trace-events  Chrome trace_event JSON (open in Perfetto / about:tracing)
+// --trace-events  Chrome trace_event JSON (open in Perfetto / about:tracing),
+//                 streamed to the file during the run so it stays complete
+//                 past the in-memory ring's capacity
 //
 // Exit code mirrors the guest's exit code (or 128+signal when killed),
 // like a shell would report it.
@@ -18,14 +22,17 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "asmtool/assembler.h"
 #include "asmtool/image_io.h"
 #include "core/system.h"
+#include "core/toolchain.h"
 #include "isa/disasm.h"
 #include "support/strings.h"
 #include "trace/exporters.h"
+#include "trace/stream_sink.h"
 #include "verify/binary.h"
 #include "verify/verify.h"
 
@@ -155,6 +162,31 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "rrun: %s\n", status.ToString().c_str());
     return 1;
   }
+  if (verify_image) {
+    // Static checks passed; now cross-check the *loader*: every keyed
+    // section must actually be mapped read-only with its key in the page
+    // tables the kernel just built (a roload-unaware kernel silently maps
+    // keys as 0, which would disarm ld.ro).
+    const verify::Report loader_report = core::VerifyLoadedImage(system, image);
+    if (!loader_report.ok()) {
+      std::fprintf(stderr, "rrun: loader verification failed:\n%s",
+                   loader_report.ToText().c_str());
+      return loader_report.ExitCode();
+    }
+  }
+  // Events stream to the file as they are emitted, so the export survives
+  // runs longer than the in-memory ring (which keeps only the newest 64Ki
+  // events).
+  std::unique_ptr<trace::ChromeTraceFileSink> event_sink;
+  if (!trace_events_path.empty()) {
+    auto opened = trace::ChromeTraceFileSink::Open(trace_events_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "rrun: %s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    event_sink = std::move(opened).value();
+    system.trace().set_sink(event_sink.get());
+  }
   if (trace) {
     system.cpu().set_trace_hook(
         [](std::uint64_t pc, const isa::Instruction& inst) {
@@ -212,11 +244,9 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (!trace_events_path.empty()) {
-    if (Status status = trace::WriteFile(
-            trace_events_path,
-            trace::ExportChromeTrace(system.trace().events()));
-        !status.ok()) {
+  if (event_sink != nullptr) {
+    system.trace().set_sink(nullptr);
+    if (Status status = event_sink->Close(); !status.ok()) {
       std::fprintf(stderr, "rrun: %s\n", status.ToString().c_str());
       return 1;
     }
