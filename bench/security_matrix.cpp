@@ -17,7 +17,10 @@
 #include "bench/bench_util.h"
 #include "campaign/runner.h"
 #include "sec/attack.h"
+#include "support/json.h"
 #include "support/strings.h"
+#include "trace/exporters.h"
+#include "trace/merge.h"
 #include "verify/verify.h"
 #include "workloads/spec_like.h"
 
@@ -66,6 +69,11 @@ int main() {
             return cell;
           });
 
+  // Forensic aggregation across the grid: every cell ran with the audit
+  // layer on, so each result carries a counter snapshot (census totals,
+  // per-key TLB checks) and, for ROLoad-blocked cells, the autopsy facts.
+  trace::CounterMerger merger;
+
   std::printf("Security matrix (attack outcome per defense)\n\n");
   std::printf("%-30s", "attack \\ defense");
   for (core::Defense defense : defenses) {
@@ -90,8 +98,43 @@ int main() {
       std::printf(" %-10s",
                   sec::AttackOutcomeName(cell.result.outcome).data());
       session.Record(key, sec::AttackOutcomeName(cell.result.outcome));
+      merger.Add(std::string(sec::AttackKindName(kinds[k])) + "/" +
+                     std::string(core::DefenseName(defenses[d])),
+                 cell.result.counters);
     }
     std::printf("\n");
+  }
+
+  // The forensic view of the same grid: not just *whether* each attack was
+  // stopped, but the audit layer's explanation of *how* — which check
+  // tripped ("caught:key-mismatch@dispatch", "caught:writable-page@..."),
+  // or why not ("missed:hijacked", "diverted:in-allowlist").
+  std::printf("\nForensic classification (audit layer)\n\n");
+  for (std::size_t k = 0; k < std::size(kinds); ++k) {
+    std::printf("%-30s\n", sec::AttackKindName(kinds[k]).data());
+    for (std::size_t d = 0; d < kDefenseCount; ++d) {
+      const AttackCell& cell = cells[k * kDefenseCount + d];
+      const std::string key = std::string("forensic.") +
+                              std::string(sec::AttackKindName(kinds[k])) +
+                              "." +
+                              std::string(core::DefenseName(defenses[d]));
+      if (!cell.status.ok()) {
+        session.Record(key, "ERROR");
+        continue;
+      }
+      std::string detail = cell.result.classification;
+      if (cell.result.has_autopsy) {
+        detail += StrFormat(" [pc=0x%llx va=0x%llx inst_key=%u pte_key=%u]",
+                            static_cast<unsigned long long>(
+                                cell.result.fault_pc),
+                            static_cast<unsigned long long>(
+                                cell.result.fault_va),
+                            cell.result.inst_key, cell.result.pte_key);
+      }
+      std::printf("    %-10s %s\n", core::DefenseName(defenses[d]).data(),
+                  detail.c_str());
+      session.Record(key, cell.result.classification);
+    }
   }
 
   // Static verdicts next to the dynamic ones: the src/verify proof over
@@ -172,6 +215,69 @@ int main() {
     session.Record("residual." + spec.name + ".typed_allowlist_avg",
                    static_cast<double>(sum) /
                        static_cast<double>(used_types));
+  }
+
+  // Machine-readable forensics artifact: one roload.audit.v1 document for
+  // the whole grid — per-cell verdict + autopsy facts, plus the merged
+  // end-of-run counters (CounterMerger over every cell's snapshot).
+  {
+    JsonWriter writer;
+    writer.BeginObject();
+    writer.KV("schema", "roload.audit.v1");
+    writer.KV("source", "security_matrix");
+    writer.Key("cells").BeginArray();
+    for (std::size_t k = 0; k < std::size(kinds); ++k) {
+      for (std::size_t d = 0; d < kDefenseCount; ++d) {
+        const AttackCell& cell = cells[k * kDefenseCount + d];
+        writer.BeginObject();
+        writer.KV("attack", sec::AttackKindName(kinds[k]));
+        writer.KV("defense", core::DefenseName(defenses[d]));
+        if (!cell.status.ok()) {
+          writer.KV("error", cell.status.ToString());
+          writer.EndObject();
+          continue;
+        }
+        writer.KV("outcome", sec::AttackOutcomeName(cell.result.outcome));
+        writer.KV("classification", cell.result.classification);
+        writer.KV("roload_violation", cell.result.roload_violation);
+        writer.KV("has_autopsy", cell.result.has_autopsy);
+        if (cell.result.has_autopsy) {
+          writer.Key("autopsy").BeginObject();
+          writer.KV("fault_pc",
+                    StrFormat("0x%llx", static_cast<unsigned long long>(
+                                            cell.result.fault_pc)));
+          writer.KV("fault_va",
+                    StrFormat("0x%llx", static_cast<unsigned long long>(
+                                            cell.result.fault_va)));
+          writer.KV("inst_key",
+                    static_cast<std::uint64_t>(cell.result.inst_key));
+          writer.KV("pte_key",
+                    static_cast<std::uint64_t>(cell.result.pte_key));
+          writer.KV("page_mapped", cell.result.page_mapped);
+          writer.KV("page_writable", cell.result.page_writable);
+          writer.EndObject();
+        }
+        writer.EndObject();
+      }
+    }
+    writer.EndArray();
+    writer.Key("merged_counters").BeginObject();
+    for (const auto& [name, aggregate] : merger.Merged()) {
+      writer.Key(name).BeginObject();
+      writer.KV("sum", aggregate.sum);
+      writer.KV("min", aggregate.min);
+      writer.KV("max", aggregate.max);
+      writer.KV("runs", aggregate.runs);
+      writer.EndObject();
+    }
+    writer.EndObject();
+    writer.EndObject();
+    const std::string path = "AUDIT_security_matrix.json";
+    if (Status status = trace::WriteFile(path, writer.str()); !status.ok()) {
+      std::fprintf(stderr, "bench: %s\n", status.ToString().c_str());
+    } else {
+      std::printf("wrote %s\n", path.c_str());
+    }
   }
 
   bench::WriteBenchJson(session);

@@ -1,0 +1,232 @@
+#include "audit/audit.h"
+
+#include <algorithm>
+
+#include "isa/disasm.h"
+#include "isa/encoding.h"
+#include "isa/opcodes.h"
+#include "mem/page_table.h"
+#include "mem/phys_memory.h"
+#include "support/strings.h"
+
+namespace roload::audit {
+namespace {
+
+// How deep the best-effort backtrace goes and how far down the stack it
+// scans for return addresses. Both bounded: the autopsy runs once per
+// fatal fault, but it must never loop on corrupted state.
+constexpr std::size_t kMaxBacktraceFrames = 8;
+constexpr std::size_t kMaxStackScanSlots = 64;
+
+}  // namespace
+
+std::string_view CheckOutcomeName(CheckOutcome outcome) {
+  switch (outcome) {
+    case CheckOutcome::kPass:
+      return "pass";
+    case CheckOutcome::kKeyMismatch:
+      return "key-mismatch";
+    case CheckOutcome::kWritablePage:
+      return "writable-page";
+    case CheckOutcome::kUnmappedPage:
+      return "unmapped-page";
+  }
+  return "?";
+}
+
+void DispatchCensus::Record(std::uint64_t pc, std::uint32_t key,
+                            CheckOutcome outcome, std::uint64_t virt_addr) {
+  SiteRecord& site = sites_[pc];
+  site.pc = pc;
+  site.key = key;
+  site.last_outcome = outcome;
+  if (outcome == CheckOutcome::kPass) {
+    ++site.passes;
+    ++total_passes_;
+  } else {
+    ++site.fails;
+    ++total_fails_;
+  }
+  const std::uint64_t page = virt_addr >> mem::kPageShift;
+  auto it = std::lower_bound(site.pages.begin(), site.pages.end(), page);
+  if (it == site.pages.end() || *it != page) {
+    if (site.pages.size() < SiteRecord::kMaxPagesPerSite) {
+      site.pages.insert(it, page);
+    } else {
+      site.pages_saturated = true;
+    }
+  }
+}
+
+std::map<std::uint32_t, KeyTotals> DispatchCensus::PerKey() const {
+  std::map<std::uint32_t, KeyTotals> per_key;
+  for (const auto& [pc, site] : sites_) {
+    KeyTotals& totals = per_key[site.key];
+    ++totals.sites;
+    totals.passes += site.passes;
+    totals.fails += site.fails;
+  }
+  return per_key;
+}
+
+Auditor::Auditor(cpu::Cpu* cpu, mem::PhysMemory* memory)
+    : cpu_(cpu), memory_(memory) {}
+
+void Auditor::SetImage(const asmtool::LinkImage& image) {
+  sections_.clear();
+  for (const asmtool::Section& section : image.sections) {
+    sections_.push_back(SectionSpan{section.name, section.vaddr, section.size,
+                                    section.perms.exec, section.key});
+  }
+  // The image map is name-sorted; symbolization wants address order.
+  std::vector<std::pair<std::uint64_t, std::string>> by_addr;
+  by_addr.reserve(image.symbols.size());
+  for (const auto& [name, addr] : image.symbols) {
+    by_addr.emplace_back(addr, name);
+  }
+  std::sort(by_addr.begin(), by_addr.end());
+  symbols_ = std::move(by_addr);
+}
+
+void Auditor::OnEvent(const trace::TraceEvent& event) {
+  if (event.type != trace::EventType::kRoLoadCheck) return;
+  const auto key = static_cast<std::uint32_t>(event.arg & 0xFFFF);
+  const auto outcome =
+      static_cast<CheckOutcome>((event.arg >> 16) & 0xFF);
+  census_.Record(event.pc, key, outcome, event.addr);
+}
+
+std::string Auditor::NearestSymbol(std::uint64_t addr) const {
+  auto it = std::upper_bound(
+      symbols_.begin(), symbols_.end(), addr,
+      [](std::uint64_t a, const auto& entry) { return a < entry.first; });
+  if (it == symbols_.begin()) return "";
+  --it;
+  const std::uint64_t offset = addr - it->first;
+  if (offset == 0) return it->second;
+  return StrFormat("%s+0x%llx", it->second.c_str(),
+                   static_cast<unsigned long long>(offset));
+}
+
+std::string Auditor::SectionContaining(std::uint64_t addr) const {
+  for (const SectionSpan& section : sections_) {
+    if (addr >= section.vaddr && addr < section.vaddr + section.size) {
+      return section.name;
+    }
+  }
+  return "";
+}
+
+std::string Auditor::SectionForKey(std::uint32_t key) const {
+  if (key == 0) return "";
+  for (const SectionSpan& section : sections_) {
+    if (section.key == key) return section.name;
+  }
+  return "";
+}
+
+bool Auditor::InExecutableSection(std::uint64_t addr) const {
+  for (const SectionSpan& section : sections_) {
+    if (section.exec && addr >= section.vaddr &&
+        addr < section.vaddr + section.size) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Auditor::CaptureBacktrace(Autopsy* autopsy) const {
+  autopsy->backtrace.push_back(autopsy->fault_pc);
+  // Frame 1: ra, when it points into code (leaf functions and the common
+  // just-called case; our backend has no frame pointers to chain).
+  const std::uint64_t ra = cpu_->reg(isa::kRa);
+  if (InExecutableSection(ra) && ra != autopsy->fault_pc) {
+    autopsy->backtrace.push_back(ra);
+  }
+  // Deeper frames: scan the stack top for saved return addresses. Purely
+  // best-effort — a code-looking data word adds a spurious frame, which
+  // the report labels as such ("stack-scan").
+  const std::uint64_t sp = cpu_->reg(isa::kSp);
+  for (std::size_t slot = 0; slot < kMaxStackScanSlots &&
+                             autopsy->backtrace.size() < kMaxBacktraceFrames;
+       ++slot) {
+    std::uint64_t value = 0;
+    if (!cpu_->DebugReadVirt(sp + 8 * slot, 8, &value)) break;
+    if (InExecutableSection(value) && value != autopsy->backtrace.back()) {
+      autopsy->backtrace.push_back(value);
+    }
+  }
+}
+
+void Auditor::OnFatalFault(const isa::Trap& trap,
+                           const kernel::RunResult& result) {
+  Autopsy autopsy;
+  autopsy.fault_pc = result.fault_pc;
+  autopsy.fault_va = trap.tval;
+  autopsy.cause = trap.cause;
+  autopsy.signal = result.signal;
+  autopsy.roload_violation = result.roload_violation;
+
+  // Re-fetch and decode the faulting instruction through the debug port
+  // (bypasses the faulted access path) to recover the static key.
+  std::uint64_t raw = 0;
+  if (cpu_->DebugReadVirt(autopsy.fault_pc, 4, &raw) ||
+      cpu_->DebugReadVirt(autopsy.fault_pc, 2, &raw)) {
+    if (auto inst = isa::Decode(static_cast<std::uint32_t>(raw))) {
+      autopsy.inst_decoded = true;
+      autopsy.inst_is_roload = isa::IsRoLoad(inst->op);
+      autopsy.inst_key = inst->key;
+      autopsy.inst_text = isa::Disassemble(*inst);
+    }
+  }
+
+  // Leaf-PTE state of the target page: the other half of the key check.
+  mem::PageWalker walker(memory_);
+  if (auto walk = walker.Walk(cpu_->root_ppn(), autopsy.fault_va)) {
+    autopsy.page_mapped = true;
+    autopsy.page_readable = walk->pte.readable();
+    autopsy.page_writable = walk->pte.writable();
+    autopsy.pte_key = walk->pte.key();
+  }
+
+  for (unsigned r = 0; r < isa::kNumRegs; ++r) {
+    autopsy.regs[r] = cpu_->reg(r);
+  }
+  CaptureBacktrace(&autopsy);
+
+  autopsy.fault_symbol = NearestSymbol(autopsy.fault_pc);
+  autopsy.va_symbol = NearestSymbol(autopsy.fault_va);
+  autopsy.va_section = SectionContaining(autopsy.fault_va);
+  autopsy.expected_section = SectionForKey(autopsy.inst_key);
+
+  if (autopsy.cause == isa::TrapCause::kRoLoadPageFault) {
+    if (!autopsy.page_mapped) {
+      autopsy.classification =
+          CheckOutcomeName(CheckOutcome::kUnmappedPage);
+    } else if (autopsy.page_writable || !autopsy.page_readable) {
+      autopsy.classification =
+          CheckOutcomeName(CheckOutcome::kWritablePage);
+    } else {
+      // Read-only and mapped: the parallel check can only have failed on
+      // the key comparison.
+      autopsy.classification =
+          CheckOutcomeName(CheckOutcome::kKeyMismatch);
+    }
+  } else {
+    autopsy.classification = std::string(isa::TrapCauseName(autopsy.cause));
+  }
+
+  autopsies_.push_back(std::move(autopsy));
+}
+
+void Auditor::AppendCounters(
+    std::vector<std::pair<std::string, std::uint64_t>>* out) const {
+  out->emplace_back("audit.census.sites",
+                    static_cast<std::uint64_t>(census_.sites().size()));
+  out->emplace_back("audit.census.pass", census_.total_passes());
+  out->emplace_back("audit.census.fail", census_.total_fails());
+  out->emplace_back("audit.autopsies",
+                    static_cast<std::uint64_t>(autopsies_.size()));
+}
+
+}  // namespace roload::audit

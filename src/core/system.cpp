@@ -1,5 +1,7 @@
 #include "core/system.h"
 
+#include "support/strings.h"
+
 namespace roload::core {
 namespace {
 
@@ -51,13 +53,38 @@ void RegisterCounters(trace::CounterRegistry* counters, const cpu::Cpu& cpu,
   counters->Register("kernel.fault.roload", &k.roload_faults);
   counters->Register("kernel.signals", &k.signals);
   counters->Register("kernel.context_switches", &k.context_switches);
+
+  // Per-key key-check breakdown. The keys a run exercises are not known
+  // up front, so this is a dynamic source over the dTLB's per-key table
+  // rather than fixed cells; the sums match tlb.d.key_check_hit and
+  // tlb.d.key_check exactly (the differential test in tests/test_tlb.cpp
+  // pins the invariant).
+  const tlb::TlbStats* dtlb = &cpu.dtlb_stats();
+  counters->RegisterSource(
+      [dtlb](std::vector<std::pair<std::string, std::uint64_t>>* out) {
+        for (const tlb::TlbKeyCheckCount& entry : dtlb->key_check_by_key) {
+          out->emplace_back(StrFormat("tlb.keycheck.pass.%u", entry.key),
+                            entry.passes);
+          out->emplace_back(StrFormat("tlb.keycheck.fail.%u", entry.key),
+                            entry.fails);
+        }
+      });
 }
 
 }  // namespace
 
 System::System(const SystemConfig& config) : config_(config) {
   memory_ = std::make_unique<mem::PhysMemory>(config.memory_bytes);
-  trace_ = std::make_unique<trace::Hub>(config.trace);
+
+  // The audit layer's census is fed by kRoLoad events, so enabling audit
+  // implies that category. Pure observation either way: the category mask
+  // never influences architectural state or cycle accounting.
+  trace::TraceConfig trace_config = config.trace;
+  if (trace_config.audit) {
+    trace_config.categories |=
+        trace::CategoryBit(trace::EventCategory::kRoLoad);
+  }
+  trace_ = std::make_unique<trace::Hub>(trace_config);
 
   cpu::CpuConfig cpu_config = config.cpu;
   cpu_config.roload_enabled =
@@ -73,9 +100,21 @@ System::System(const SystemConfig& config) : config_(config) {
   cpu_->set_trace(trace_.get());
   kernel_->set_trace(trace_.get());
   RegisterCounters(&trace_->counters(), *cpu_, *kernel_);
+
+  if (config_.trace.audit) {
+    auditor_ = std::make_unique<audit::Auditor>(cpu_.get(), memory_.get());
+    trace_->AddSink(auditor_.get());
+    kernel_->set_fault_observer(auditor_.get());
+    const audit::Auditor* auditor = auditor_.get();
+    trace_->counters().RegisterSource(
+        [auditor](std::vector<std::pair<std::string, std::uint64_t>>* out) {
+          auditor->AppendCounters(out);
+        });
+  }
 }
 
 Status System::Load(const asmtool::LinkImage& image) {
+  if (auditor_ != nullptr) auditor_->SetImage(image);
   return kernel_->Load(image);
 }
 

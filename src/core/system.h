@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "asmtool/image.h"
+#include "audit/audit.h"
 #include "cpu/cpu.h"
 #include "kernel/kernel.h"
 #include "mem/phys_memory.h"
@@ -53,12 +54,18 @@ class System {
   trace::Hub& trace() { return *trace_; }
   const trace::Hub& trace() const { return *trace_; }
 
+  // The security-forensics collector (dispatch census + fault autopsies).
+  // Null unless SystemConfig::trace.audit was set.
+  audit::Auditor* audit() { return auditor_.get(); }
+  const audit::Auditor* audit() const { return auditor_.get(); }
+
  private:
   SystemConfig config_;
   std::unique_ptr<mem::PhysMemory> memory_;
   std::unique_ptr<trace::Hub> trace_;
   std::unique_ptr<cpu::Cpu> cpu_;
   std::unique_ptr<kernel::Kernel> kernel_;
+  std::unique_ptr<audit::Auditor> auditor_;
 };
 
 }  // namespace roload::core

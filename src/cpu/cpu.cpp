@@ -194,6 +194,18 @@ bool Cpu::MemAccess(const isa::Instruction& inst, std::uint64_t virt_addr,
   if (profiling) {
     trace_->profiler().Charge(trace::CycleBucket::kDTlbWalk, xlat.cycles);
   }
+  if (access == tlb::AccessType::kRoLoad && trace_ != nullptr &&
+      trace_->enabled(trace::EventCategory::kRoLoad)) {
+    // Dispatch-census feed: one record per executed ld.ro site, pass or
+    // fail, with the outcome packed over the static key (see
+    // EventType::kRoLoadCheck). The CPU emits it (not the TLB) because
+    // only the CPU knows the site pc.
+    const std::uint64_t outcome =
+        xlat.ok ? 0 : static_cast<std::uint64_t>(xlat.roload_fail_kind);
+    trace_->Emit(trace::Unit::kCpu, trace::EventCategory::kRoLoad,
+                 trace::EventType::kRoLoadCheck, pc_, virt_addr,
+                 (outcome << 16) | inst.key);
+  }
   if (!xlat.ok) {
     RaiseTrap(xlat.cause, virt_addr);
     return false;

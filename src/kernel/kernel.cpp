@@ -254,6 +254,12 @@ void Kernel::HandleTrap(const isa::Trap& trap, RunResult* result) {
       break;
   }
   ++stats_.signals;
+  // Forensics + teardown hooks, in that order: the autopsy observer sees
+  // the process state first (it reads registers, walks page tables), then
+  // the fatal-signal broadcast lets buffered sinks (the streaming trace
+  // file) flush — so the autopsy's own trailing events make it to disk.
+  if (fault_observer_ != nullptr) fault_observer_->OnFatalFault(trap, *result);
+  if (trace_ != nullptr) trace_->NotifyFatalSignal();
 }
 
 RunResult Kernel::Run(std::uint64_t max_instructions) {

@@ -72,6 +72,20 @@ struct KernelStats {
   std::uint64_t context_switches = 0;
 };
 
+// Observer of fatal-signal delivery, called synchronously from the trap
+// handler *before* the run unwinds — i.e. while the faulting process's
+// architectural state (registers, page tables, memory) is still intact
+// and inspectable. The audit layer's fault autopsy hangs off this hook.
+class FatalFaultObserver {
+ public:
+  virtual ~FatalFaultObserver() = default;
+  // `trap` is the hardware trap being converted into a signal; `result`
+  // already carries the kernel's classification (signal number,
+  // roload_violation, fault pc/addr).
+  virtual void OnFatalFault(const isa::Trap& trap,
+                            const RunResult& result) = 0;
+};
+
 // Guest syscall numbers (RISC-V Linux numbers where they exist).
 inline constexpr std::uint64_t kSysExit = 93;
 inline constexpr std::uint64_t kSysWrite = 64;
@@ -119,6 +133,13 @@ class Kernel {
   // events flow into `hub`; the counter cells stay in stats_.
   void set_trace(trace::Hub* hub) { trace_ = hub; }
 
+  // Fatal-fault observer (null disables): called on every fatal-signal
+  // delivery with the process state still intact. The observer must
+  // outlive the kernel or be detached first.
+  void set_fault_observer(FatalFaultObserver* observer) {
+    fault_observer_ = observer;
+  }
+
  private:
   struct Process {
     std::unique_ptr<AddressSpace> space;
@@ -153,6 +174,7 @@ class Kernel {
   int active_ = -1;
   KernelStats stats_;
   trace::Hub* trace_ = nullptr;
+  FatalFaultObserver* fault_observer_ = nullptr;
 };
 
 }  // namespace roload::kernel

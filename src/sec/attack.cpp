@@ -1,6 +1,7 @@
 #include "sec/attack.h"
 
 #include "asmtool/image.h"
+#include "audit/audit.h"
 #include "ir/builder.h"
 
 namespace roload::sec {
@@ -201,6 +202,9 @@ StatusOr<AttackResult> RunAttack(AttackKind kind, core::Defense defense,
 
   core::SystemConfig config;
   config.variant = variant;
+  // Forensics on: a blocked run must explain *how* it was blocked (which
+  // ld.ro, which keys disagreed) — that's the evidence the result carries.
+  config.trace.audit = true;
   core::System system(config);
   ROLOAD_RETURN_IF_ERROR(system.Load(build->image));
 
@@ -288,6 +292,45 @@ StatusOr<AttackResult> RunAttack(AttackKind kind, core::Defense defense,
   } else {
     result.outcome = AttackOutcome::kNoEffect;
   }
+
+  // Forensic verdict. The auditor is always attached here, so a fault-path
+  // block always comes with an autopsy.
+  const audit::Auditor* auditor = system.audit();
+  if (auditor != nullptr && !auditor->autopsies().empty()) {
+    const audit::Autopsy& autopsy = auditor->autopsies().back();
+    result.has_autopsy = true;
+    result.fault_pc = autopsy.fault_pc;
+    result.fault_va = autopsy.fault_va;
+    result.inst_key = autopsy.inst_key;
+    result.pte_key = autopsy.pte_key;
+    result.page_mapped = autopsy.page_mapped;
+    result.page_writable = autopsy.page_writable;
+  }
+  switch (result.outcome) {
+    case AttackOutcome::kHijacked:
+      result.classification = "missed:hijacked";
+      break;
+    case AttackOutcome::kDiverted:
+      result.classification = "diverted:in-allowlist";
+      break;
+    case AttackOutcome::kNoEffect:
+      result.classification = "no-effect";
+      break;
+    case AttackOutcome::kBlocked:
+      if (result.has_autopsy && auditor != nullptr) {
+        const audit::Autopsy& autopsy = auditor->autopsies().back();
+        const std::string site = auditor->NearestSymbol(autopsy.fault_pc);
+        result.classification =
+            "caught:" + autopsy.classification +
+            (site.empty() ? "" : "@" + site);
+      } else if (phase3.kind == kernel::ExitKind::kExited) {
+        result.classification = "caught:cfi-abort";
+      } else {
+        result.classification = "caught:signal";
+      }
+      break;
+  }
+  result.counters = system.trace().counters().Snapshot();
   return result;
 }
 

@@ -9,7 +9,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "core/toolchain.h"
 
@@ -47,6 +50,31 @@ struct AttackResult {
   bool roload_violation = false;  // blocked via the ROLoad page-fault path
   int signal = 0;
   std::int64_t exit_code = 0;
+
+  // Forensics from the audit layer (src/audit), which RunAttack keeps
+  // enabled on the attacked system. `has_autopsy` is true exactly when the
+  // block came through the ROLoad fault path — CFI/VTint software aborts
+  // exit cleanly and leave no autopsy.
+  bool has_autopsy = false;
+  std::uint64_t fault_pc = 0;
+  std::uint64_t fault_va = 0;
+  std::uint32_t inst_key = 0;   // static key of the faulting ld.ro
+  std::uint32_t pte_key = 0;    // key of the page it hit
+  bool page_mapped = false;
+  bool page_writable = false;
+  // One-line verdict for matrices and logs:
+  //   "caught:key-mismatch@<symbol>"   ld.ro landed on the wrong allowlist
+  //   "caught:writable-page@<symbol>"  ld.ro landed on attacker memory
+  //   "caught:unmapped-page@<symbol>"
+  //   "caught:cfi-abort"               software-check abort (exit 134)
+  //   "caught:signal"                  killed by a non-ROLoad fault
+  //   "missed:hijacked" / "diverted:in-allowlist" / "no-effect"
+  std::string classification;
+
+  // End-of-run counter snapshot of the attacked system (census totals,
+  // per-key TLB checks, ...) for cross-run aggregation via
+  // campaign::CounterMerger.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
 };
 
 // The victim program: a loop of virtual dispatches (hierarchy A) and

@@ -124,7 +124,8 @@ TlbResult Tlb::TranslateSlow(std::uint64_t root_ppn, std::uint64_t virt_addr,
   if (entry != nullptr) {
     ++stats_.hits;
     entry->lru_tick = ++tick_;
-    if (auto cause = CheckPermissions(entry->pte, access, key, &stats_)) {
+    if (auto cause = CheckPermissions(entry->pte, access, key, &stats_,
+                                      &result.roload_fail_kind)) {
       result.ok = false;
       result.cause = *cause;
       EmitRoLoadFault(result.cause, virt_addr, key);
@@ -157,6 +158,7 @@ TlbResult Tlb::TranslateSlow(std::uint64_t root_ppn, std::uint64_t virt_addr,
       case AccessType::kRoLoad:
         // An unmapped page can never satisfy the read-only+key requirement.
         result.cause = isa::TrapCause::kRoLoadPageFault;
+        result.roload_fail_kind = RoLoadFailKind::kUnmapped;
         ++stats_.roload_writable_faults;
         break;
     }
@@ -169,7 +171,8 @@ TlbResult Tlb::TranslateSlow(std::uint64_t root_ppn, std::uint64_t virt_addr,
   const std::uint64_t phys_page = walk->phys_addr >> mem::kPageShift;
   InsertEntry(vpn, root_ppn, walk->pte, phys_page);
 
-  if (auto cause = CheckPermissions(walk->pte, access, key, &stats_)) {
+  if (auto cause = CheckPermissions(walk->pte, access, key, &stats_,
+                                    &result.roload_fail_kind)) {
     result.ok = false;
     result.cycles = walk_cycles;
     result.cause = *cause;

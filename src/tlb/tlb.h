@@ -41,6 +41,17 @@ struct TlbConfig {
   bool host_indexed_lookup = true;
 };
 
+// Per-instruction-key key-check tally, kept inside TlbStats. The set of
+// keys a run uses is only known at run time, so these live in a small
+// append-only table (linear scan: real programs use a handful of keys)
+// instead of 1024 fixed cells; the counter registry exposes them as
+// "tlb.keycheck.pass.<K>" / "tlb.keycheck.fail.<K>" via a dynamic source.
+struct TlbKeyCheckCount {
+  std::uint32_t key = 0;
+  std::uint64_t passes = 0;
+  std::uint64_t fails = 0;
+};
+
 struct TlbStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -52,6 +63,28 @@ struct TlbStats {
   // passed — the "tlb.d.key_check" telemetry counters.
   std::uint64_t key_checks = 0;
   std::uint64_t key_check_hits = 0;
+  // Per-instruction-key breakdown of the two aggregates above: summed over
+  // keys, passes == key_check_hits and passes+fails == key_checks (pinned
+  // by the differential test in tests/test_tlb.cpp).
+  std::vector<TlbKeyCheckCount> key_check_by_key;
+
+  TlbKeyCheckCount& ForKey(std::uint32_t key) {
+    for (TlbKeyCheckCount& entry : key_check_by_key) {
+      if (entry.key == key) return entry;
+    }
+    key_check_by_key.push_back(TlbKeyCheckCount{key, 0, 0});
+    return key_check_by_key.back();
+  }
+};
+
+// Why a kRoLoad translation failed (TlbResult::roload_fail_kind); kNone for
+// successful checks and for non-ROLoad accesses. Feeds the kRoLoadCheck
+// event stream and the audit layer's outcome classification.
+enum class RoLoadFailKind : std::uint8_t {
+  kNone = 0,
+  kKeyMismatch = 1,   // read-only page, wrong key
+  kWritablePage = 2,  // writable (or unreadable) target page
+  kUnmapped = 3,      // no mapping at all
 };
 
 // Translation outcome: either a physical address (plus cycle cost) or a trap.
@@ -60,6 +93,7 @@ struct TlbResult {
   std::uint64_t phys_addr = 0;
   unsigned cycles = 0;  // extra cycles spent (0 on a hit)
   isa::TrapCause cause = isa::TrapCause::kLoadPageFault;
+  RoLoadFailKind roload_fail_kind = RoLoadFailKind::kNone;
 };
 
 // Pure function exposing the ROLoad check logic in isolation; also used by
@@ -95,7 +129,8 @@ class Tlb {
         ++stats_.hits;
         entry->lru_tick = ++tick_;
         TlbResult result;
-        if (auto cause = CheckPermissions(entry->pte, access, key, &stats_)) {
+        if (auto cause = CheckPermissions(entry->pte, access, key, &stats_,
+                                          &result.roload_fail_kind)) {
           result.ok = false;
           result.cause = *cause;
           EmitRoLoadFault(result.cause, virt_addr, key);
@@ -136,12 +171,12 @@ class Tlb {
   };
 
   // The permission-check datapath (conventional + ROLoad in parallel).
-  // Returns nullopt when access is allowed, else the trap cause. Defined
-  // inline (it sits on the per-access hot path of both lookup paths).
-  static std::optional<isa::TrapCause> CheckPermissions(const mem::Pte& pte,
-                                                        AccessType access,
-                                                        std::uint32_t key,
-                                                        TlbStats* stats) {
+  // Returns nullopt when access is allowed, else the trap cause; for
+  // kRoLoad, *fail_kind reports why the check failed. Defined inline (it
+  // sits on the per-access hot path of both lookup paths).
+  static std::optional<isa::TrapCause> CheckPermissions(
+      const mem::Pte& pte, AccessType access, std::uint32_t key,
+      TlbStats* stats, RoLoadFailKind* fail_kind) {
     switch (access) {
       case AccessType::kFetch:
         if (!pte.executable() || !pte.user()) {
@@ -167,17 +202,22 @@ class Tlb {
         // the ROLoad page fault that the kernel distinguishes from benign
         // loads.
         ++stats->key_checks;
+        TlbKeyCheckCount& by_key = stats->ForKey(key);
         const bool base_ok = pte.readable() && pte.user();
         const bool ro_ok =
             RoLoadCheck(pte.readable(), pte.writable(), pte.key(), key);
         if (base_ok && ro_ok) {
           ++stats->key_check_hits;
+          ++by_key.passes;
           return std::nullopt;
         }
+        ++by_key.fails;
         if (!base_ok || pte.writable()) {
           ++stats->roload_writable_faults;
+          *fail_kind = RoLoadFailKind::kWritablePage;
         } else {
           ++stats->roload_key_faults;
+          *fail_kind = RoLoadFailKind::kKeyMismatch;
         }
         return isa::TrapCause::kRoLoadPageFault;
       }

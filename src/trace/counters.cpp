@@ -21,12 +21,27 @@ std::uint64_t* CounterRegistry::RegisterOwned(std::string name) {
   return cell;
 }
 
+void CounterRegistry::RegisterSource(Source source) {
+  ROLOAD_CHECK(source != nullptr);
+  sources_.push_back(std::move(source));
+}
+
 std::uint64_t CounterRegistry::Value(std::string_view name,
                                      bool* found) const {
   for (const Entry& entry : counters_) {
     if (entry.name == name) {
       if (found != nullptr) *found = true;
       return *entry.cell;
+    }
+  }
+  if (!sources_.empty()) {
+    std::vector<std::pair<std::string, std::uint64_t>> dynamic;
+    for (const Source& source : sources_) source(&dynamic);
+    for (const auto& [dyn_name, value] : dynamic) {
+      if (dyn_name == name) {
+        if (found != nullptr) *found = true;
+        return value;
+      }
     }
   }
   if (found != nullptr) *found = false;
@@ -40,6 +55,7 @@ std::vector<std::pair<std::string, std::uint64_t>> CounterRegistry::Snapshot()
   for (const Entry& entry : counters_) {
     snapshot.emplace_back(entry.name, *entry.cell);
   }
+  for (const Source& source : sources_) source(&snapshot);
   std::sort(snapshot.begin(), snapshot.end());
   return snapshot;
 }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -19,6 +20,15 @@ namespace roload::trace {
 
 class CounterRegistry {
  public:
+  // A dynamic counter source appends (name, value) pairs when the registry
+  // is read. Sources cover counters whose *names* are only known at run
+  // time — the per-key TLB check counters ("tlb.keycheck.pass.<K>") and
+  // the audit layer's census totals — without forcing 1024 pre-registered
+  // cells. Names produced by a source must not collide with registered
+  // cells or other sources.
+  using Source =
+      std::function<void(std::vector<std::pair<std::string, std::uint64_t>>*)>;
+
   // Registers `name` as a view over `cell`. The cell must outlive the
   // registry (in practice: stats structs owned by the System's modules).
   // Registering a duplicate name is a programming error.
@@ -29,11 +39,16 @@ class CounterRegistry {
   // lifetime.
   std::uint64_t* RegisterOwned(std::string name);
 
+  // Registers a dynamic source consulted by Snapshot() and Value().
+  void RegisterSource(Source source);
+
   // Current value of `name`; 0 for unknown counters (`found` reports
   // whether the name exists when the caller needs to distinguish).
+  // Dynamic sources are consulted after the registered cells.
   std::uint64_t Value(std::string_view name, bool* found = nullptr) const;
 
-  // All counters, sorted by name — the deterministic export order.
+  // All counters — registered cells plus every dynamic source's output —
+  // sorted by name: the deterministic export order.
   std::vector<std::pair<std::string, std::uint64_t>> Snapshot() const;
 
   std::size_t size() const { return counters_.size(); }
@@ -47,6 +62,7 @@ class CounterRegistry {
   std::vector<Entry> counters_;
   // Deque-like stable storage for owned cells.
   std::vector<std::unique_ptr<std::uint64_t>> owned_;
+  std::vector<Source> sources_;
 };
 
 }  // namespace roload::trace

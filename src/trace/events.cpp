@@ -40,6 +40,8 @@ std::string_view EventTypeName(EventType type) {
       return "cache_writeback";
     case EventType::kRoLoadFault:
       return "roload_fault";
+    case EventType::kRoLoadCheck:
+      return "roload_check";
     case EventType::kTrapEnter:
       return "trap_enter";
     case EventType::kSyscall:

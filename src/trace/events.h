@@ -38,6 +38,11 @@ enum class EventType : std::uint8_t {
   kCacheMiss,
   kCacheWriteback,
   kRoLoadFault,
+  // One per executed ld.ro/lw.ro/c.ld.ro translation, pass or fail: pc is
+  // the dispatch site, addr the virtual target, and arg packs the check
+  // outcome in bits [31:16] (audit::CheckOutcome) over the static key in
+  // bits [15:0] — the audit layer's dispatch-census feed.
+  kRoLoadCheck,
   kTrapEnter,
   kSyscall,
   kContextSwitch,
@@ -75,6 +80,13 @@ class EventSink {
  public:
   virtual ~EventSink() = default;
   virtual void OnEvent(const TraceEvent& event) = 0;
+
+  // Called (via Hub::NotifyFatalSignal) when the kernel delivers a fatal
+  // signal to the simulated process — the run is about to end without the
+  // usual orderly teardown. Sinks holding buffered state (the streaming
+  // Chrome-trace file sink) flush here so fault-ending runs still leave
+  // complete artifacts on disk.
+  virtual void OnFatalSignal() {}
 };
 
 // Fixed-capacity ring: when full, the oldest event is overwritten and

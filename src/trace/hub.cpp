@@ -1,5 +1,7 @@
 #include "trace/hub.h"
 
+#include <algorithm>
+
 namespace roload::trace {
 
 Hub::Hub(const TraceConfig& config)
@@ -18,7 +20,22 @@ void Hub::Emit(Unit unit, EventCategory category, EventType type,
   event.category = category;
   event.unit = unit;
   events_.Push(event);
-  if (sink_ != nullptr) sink_->OnEvent(event);
+  for (EventSink* sink : sinks_) sink->OnEvent(event);
+}
+
+void Hub::AddSink(EventSink* sink) {
+  if (sink == nullptr) return;
+  if (std::find(sinks_.begin(), sinks_.end(), sink) != sinks_.end()) return;
+  sinks_.push_back(sink);
+}
+
+void Hub::RemoveSink(EventSink* sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink),
+               sinks_.end());
+}
+
+void Hub::NotifyFatalSignal() {
+  for (EventSink* sink : sinks_) sink->OnFatalSignal();
 }
 
 }  // namespace roload::trace

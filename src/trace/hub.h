@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "trace/counters.h"
 #include "trace/events.h"
@@ -23,6 +24,11 @@ struct TraceConfig {
   std::size_t event_capacity = 1 << 16;
   bool profile = false;
   unsigned pc_bucket_bits = 12;  // 4 KiB pc-attribution ranges
+  // Security forensics (src/audit): attach an Auditor to the system that
+  // builds the per-site ld.ro dispatch census and captures a fault autopsy
+  // when the kernel delivers a fatal signal. Implies the kRoLoad event
+  // category. Observation-only, like everything else here.
+  bool audit = false;
 };
 
 class Hub {
@@ -43,11 +49,20 @@ class Hub {
   void Emit(Unit unit, EventCategory category, EventType type,
             std::uint64_t pc, std::uint64_t addr, std::uint64_t arg);
 
-  // Optional streaming observer: every Emit is also forwarded to `sink`
-  // (null detaches), letting long runs persist the full event stream
-  // instead of the ring's newest-events window. The sink must outlive
-  // the Hub or be detached first.
-  void set_sink(EventSink* sink) { sink_ = sink; }
+  // Optional streaming observers: every Emit is also forwarded to each
+  // attached sink in attachment order, letting long runs persist the full
+  // event stream instead of the ring's newest-events window (and letting
+  // the audit layer observe alongside a file sink). Sinks must outlive
+  // the Hub or be removed first. Adding a sink twice or removing one that
+  // is not attached is a no-op.
+  void AddSink(EventSink* sink);
+  void RemoveSink(EventSink* sink);
+
+  // Fatal-signal broadcast: the kernel calls this when it delivers a
+  // fatal signal to the simulated process, giving every sink a chance to
+  // flush buffered state (EventSink::OnFatalSignal) before the run
+  // unwinds.
+  void NotifyFatalSignal();
 
   CounterRegistry& counters() { return counters_; }
   const CounterRegistry& counters() const { return counters_; }
@@ -64,7 +79,7 @@ class Hub {
   CounterRegistry counters_;
   EventBuffer events_;
   CycleProfiler profiler_;
-  EventSink* sink_ = nullptr;
+  std::vector<EventSink*> sinks_;
 };
 
 }  // namespace roload::trace

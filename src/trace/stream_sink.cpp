@@ -13,6 +13,9 @@ StatusOr<std::unique_ptr<ChromeTraceFileSink>> ChromeTraceFileSink::Open(
   auto sink = std::unique_ptr<ChromeTraceFileSink>(
       new ChromeTraceFileSink(std::move(out), path, flush_bytes));
   sink->buffer_ = ChromeTraceHeader();
+  // Put header + trailer on disk right away: the file parses from the
+  // first moment of its existence.
+  sink->FlushBuffer();
   return sink;
 }
 
@@ -30,11 +33,25 @@ void ChromeTraceFileSink::OnEvent(const TraceEvent& event) {
   if (buffer_.size() >= flush_bytes_) FlushBuffer();
 }
 
+void ChromeTraceFileSink::OnFatalSignal() {
+  if (closed_) return;
+  FlushBuffer();
+}
+
 void ChromeTraceFileSink::FlushBuffer() {
+  // Overwrite the trailer left by the previous flush, append the pending
+  // records, and re-terminate the document. Every record is longer than
+  // the trailer, so the file only ever grows and the bytes between the
+  // prefix and EOF are exactly one valid trailer.
+  out_.seekp(static_cast<std::streamoff>(prefix_bytes_));
   if (!buffer_.empty()) {
     out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    prefix_bytes_ += buffer_.size();
     buffer_.clear();
   }
+  const std::string_view trailer = ChromeTraceTrailer();
+  out_.write(trailer.data(), static_cast<std::streamsize>(trailer.size()));
+  out_.flush();
   if (!out_ && status_.ok()) {
     status_ = Status::Internal("write failed: " + path_);
   }
@@ -43,12 +60,7 @@ void ChromeTraceFileSink::FlushBuffer() {
 Status ChromeTraceFileSink::Close() {
   if (closed_) return status_;
   closed_ = true;
-  buffer_ += ChromeTraceTrailer();
   FlushBuffer();
-  out_.flush();
-  if (!out_ && status_.ok()) {
-    status_ = Status::Internal("write failed: " + path_);
-  }
   return status_;
 }
 

@@ -3,10 +3,17 @@
 // run silently drops the beginning. A sink attached to the Hub observes
 // every emitted event as it happens and writes it to disk incrementally
 // (buffered, flushed every ~flush_bytes), so the on-disk trace is
-// complete regardless of ring capacity. Output is the same Chrome
-// trace_event JSON ExportChromeTrace produces — byte-identical when the
-// ring retained everything — and is finalized by Close() (or the
-// destructor) into a well-formed document.
+// complete regardless of ring capacity.
+//
+// The on-disk file is valid Chrome trace_event JSON *at every flush
+// boundary*, not only after Close(): each flush writes the pending
+// records followed by the document trailer, then the next flush seeks
+// back over the trailer before appending. A run that ends in a delivered
+// SIGSEGV or a thrown simulator error therefore still leaves a parseable
+// trace (the kernel's fatal-signal broadcast additionally forces a flush
+// via OnFatalSignal). Output is the same Chrome trace_event JSON
+// ExportChromeTrace produces — byte-identical when the ring retained
+// everything — and Close() (or the destructor) finalizes it.
 #pragma once
 
 #include <cstdint>
@@ -27,8 +34,13 @@ class ChromeTraceFileSink : public EventSink {
 
   void OnEvent(const TraceEvent& event) override;
 
-  // Writes the JSON trailer and flushes. Idempotent; events arriving
-  // after Close() are discarded. Returns the first I/O error seen.
+  // Fatal-signal hook (Hub::NotifyFatalSignal): flush everything buffered
+  // so the events leading up to the fault are on disk even if the process
+  // never reaches Close().
+  void OnFatalSignal() override;
+
+  // Flushes and finalizes. Idempotent; events arriving after Close() are
+  // discarded. Returns the first I/O error seen.
   Status Close();
 
   std::uint64_t events_written() const { return events_written_; }
@@ -43,6 +55,10 @@ class ChromeTraceFileSink : public EventSink {
   std::string path_;
   std::string buffer_;
   std::size_t flush_bytes_;
+  // Bytes of document prefix (header + event records) on disk; the file
+  // on disk is always prefix + trailer, so truncation at the current end
+  // never exists mid-run and the JSON stays well-formed.
+  std::uint64_t prefix_bytes_ = 0;
   std::uint64_t events_written_ = 0;
   bool closed_ = false;
   Status status_ = Status::Ok();

@@ -1,0 +1,19 @@
+# Checks that a file exists and contains a substring — the artifact-side
+# half of CLI contracts (check_exit.cmake checks the process side).
+#
+# Usage:
+#   cmake -DFILE=<path> "-DEXPECT_CONTENT=<substring>" -P check_file_contains.cmake
+if(NOT DEFINED FILE OR NOT DEFINED EXPECT_CONTENT)
+  message(FATAL_ERROR
+    "check_file_contains.cmake needs -DFILE=... and -DEXPECT_CONTENT=...")
+endif()
+if(NOT EXISTS "${FILE}")
+  message(FATAL_ERROR "${FILE} does not exist")
+endif()
+file(READ "${FILE}" contents)
+string(FIND "${contents}" "${EXPECT_CONTENT}" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR
+    "${FILE} does not contain \"${EXPECT_CONTENT}\"; first 500 bytes:\n"
+    "${contents}")
+endif()

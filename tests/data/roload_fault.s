@@ -1,0 +1,19 @@
+# Trips a runtime ROLoad pointee-integrity violation: the ld.ro names
+# key 5, but `secret` lives on the key-9 page (the image also carries a
+# legitimate key-5 section, so the fault is a pure runtime key mismatch).
+# Used by the rrun exit-code-contract tests: a roload-aware kernel kills
+# the guest with the ROLoad-classified SIGSEGV (rrun exit 99); a
+# roload-unaware kernel sees a plain SIGSEGV (rrun exit 139).
+.section .text
+_start:
+  la t0, secret
+  ld.ro t1, (t0), 5
+  li a0, 0
+  li a7, 93
+  ecall
+.section .rodata.key.9
+secret:
+  .quad 1234
+.section .rodata.key.5
+legit:
+  .quad 4321

@@ -123,6 +123,58 @@ TEST_F(TlbTest, RoLoadFaultsCountedSeparately) {
   EXPECT_EQ(tlb_.stats().roload_writable_faults, 1u);
 }
 
+TEST_F(TlbTest, PerKeyCountsSumToAggregates) {
+  Map(0x10000, PageProt::Ro(5));
+  Map(0x11000, PageProt::Ro(9));
+  Map(0x12000, PageProt::Rw());
+
+  EXPECT_TRUE(Translate(0x10000, AccessType::kRoLoad, 5).ok);
+  EXPECT_TRUE(Translate(0x10000, AccessType::kRoLoad, 5).ok);
+  EXPECT_FALSE(Translate(0x10000, AccessType::kRoLoad, 9).ok);  // wrong key
+  EXPECT_TRUE(Translate(0x11000, AccessType::kRoLoad, 9).ok);
+  EXPECT_FALSE(Translate(0x12000, AccessType::kRoLoad, 5).ok);  // writable
+  // Unmapped kRoLoad: no PTE, so no key check ran and the per-key table
+  // must not move.
+  EXPECT_FALSE(Translate(0x900000, AccessType::kRoLoad, 5).ok);
+
+  const TlbStats& stats = tlb_.stats();
+  std::uint64_t pass_sum = 0;
+  std::uint64_t total_sum = 0;
+  for (const TlbKeyCheckCount& entry : stats.key_check_by_key) {
+    pass_sum += entry.passes;
+    total_sum += entry.passes + entry.fails;
+  }
+  // The per-key breakdown is an exact partition of the aggregates.
+  EXPECT_EQ(pass_sum, stats.key_check_hits);
+  EXPECT_EQ(total_sum, stats.key_checks);
+  EXPECT_EQ(stats.key_checks, 5u);  // the unmapped access never checked
+
+  ASSERT_EQ(stats.key_check_by_key.size(), 2u);  // keys 5 and 9 only
+  for (const TlbKeyCheckCount& entry : stats.key_check_by_key) {
+    if (entry.key == 5) {
+      EXPECT_EQ(entry.passes, 2u);
+      EXPECT_EQ(entry.fails, 1u);  // the writable-page attempt used key 5
+    } else {
+      ASSERT_EQ(entry.key, 9u);
+      EXPECT_EQ(entry.passes, 1u);
+      EXPECT_EQ(entry.fails, 1u);  // the wrong-key attempt used key 9
+    }
+  }
+}
+
+TEST_F(TlbTest, TranslateReportsFailKind) {
+  Map(0x10000, PageProt::Ro(5));
+  Map(0x11000, PageProt::Rw());
+  EXPECT_EQ(Translate(0x10000, AccessType::kRoLoad, 5).roload_fail_kind,
+            RoLoadFailKind::kNone);
+  EXPECT_EQ(Translate(0x10000, AccessType::kRoLoad, 6).roload_fail_kind,
+            RoLoadFailKind::kKeyMismatch);
+  EXPECT_EQ(Translate(0x11000, AccessType::kRoLoad, 5).roload_fail_kind,
+            RoLoadFailKind::kWritablePage);
+  EXPECT_EQ(Translate(0x900000, AccessType::kRoLoad, 5).roload_fail_kind,
+            RoLoadFailKind::kUnmapped);
+}
+
 TEST_F(TlbTest, PermissionCheckHappensOnHitsToo) {
   Map(0x10000, PageProt::Ro(9));
   EXPECT_TRUE(Translate(0x10000, AccessType::kRoLoad, 9).ok);   // refill

@@ -4,6 +4,7 @@
 //   rrun program.rimg|program.s [--variant baseline|proc|full]
 //        [--max-instructions N] [--trace] [--stats] [--verify]
 //        [--stats-json FILE] [--profile FILE] [--trace-events FILE]
+//        [--audit FILE]
 //
 // --verify        run the static pointee-integrity verifier (src/verify)
 //                 on the image first, then cross-check the loader: every
@@ -15,9 +16,24 @@
 // --trace-events  Chrome trace_event JSON (open in Perfetto / about:tracing),
 //                 streamed to the file during the run so it stays complete
 //                 past the in-memory ring's capacity
+// --audit         security forensics: write the roload.audit.v1 JSON
+//                 (ld.ro dispatch census + fault autopsies) to FILE; on a
+//                 fatal fault the human-readable autopsy also prints to
+//                 stderr
 //
-// Exit code mirrors the guest's exit code (or 128+signal when killed),
-// like a shell would report it.
+// Exit-code contract, in evaluation order:
+//    2          bad usage
+//   10..29      --verify refused the image (smallest violated rule id)
+//    1          I/O or load failure
+//  124          --max-instructions limit hit before the guest exited
+//   99          guest killed by a fatal signal classified as a ROLoad
+//               pointee-integrity violation (the attack-detected path;
+//               distinguishable from 128+sig so harnesses can assert
+//               "blocked by ROLoad" without parsing stderr). Caveat: a
+//               guest calling exit(99) is indistinguishable by code alone
+//               — the stderr "[ROLoad violation]" line disambiguates.
+//  128+signal   guest killed by any other fatal signal (shell convention)
+//  otherwise    the guest's own exit code (low 8 bits)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +43,7 @@
 
 #include "asmtool/assembler.h"
 #include "asmtool/image_io.h"
+#include "audit/report.h"
 #include "core/system.h"
 #include "core/toolchain.h"
 #include "isa/disasm.h"
@@ -45,7 +62,7 @@ int Usage() {
                "usage: rrun program.rimg|program.s "
                "[--variant baseline|proc|full] [--max-instructions N] "
                "[--trace] [--stats] [--verify] [--stats-json FILE] "
-               "[--profile FILE] [--trace-events FILE]\n");
+               "[--profile FILE] [--trace-events FILE] [--audit FILE]\n");
   return 2;
 }
 
@@ -78,12 +95,14 @@ int main(int argc, char** argv) {
   std::string stats_json_path;
   std::string profile_path;
   std::string trace_events_path;
+  std::string audit_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (FlagValue(argc, argv, &i, "--stats-json", &stats_json_path) ||
         FlagValue(argc, argv, &i, "--profile", &profile_path) ||
-        FlagValue(argc, argv, &i, "--trace-events", &trace_events_path)) {
+        FlagValue(argc, argv, &i, "--trace-events", &trace_events_path) ||
+        FlagValue(argc, argv, &i, "--audit", &audit_path)) {
       continue;
     }
     if (arg == "--variant" && i + 1 < argc) {
@@ -154,6 +173,7 @@ int main(int argc, char** argv) {
   core::SystemConfig config;
   config.variant = variant;
   config.trace.profile = !profile_path.empty();
+  config.trace.audit = !audit_path.empty();
   if (!trace_events_path.empty()) {
     config.trace.categories = trace::kAllCategories;
   }
@@ -185,7 +205,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     event_sink = std::move(opened).value();
-    system.trace().set_sink(event_sink.get());
+    system.trace().AddSink(event_sink.get());
   }
   if (trace) {
     system.cpu().set_trace_hook(
@@ -245,10 +265,25 @@ int main(int argc, char** argv) {
     }
   }
   if (event_sink != nullptr) {
-    system.trace().set_sink(nullptr);
+    system.trace().RemoveSink(event_sink.get());
     if (Status status = event_sink->Close(); !status.ok()) {
       std::fprintf(stderr, "rrun: %s\n", status.ToString().c_str());
       return 1;
+    }
+  }
+  if (!audit_path.empty()) {
+    const audit::Auditor* auditor = system.audit();
+    if (Status status = trace::WriteFile(audit_path,
+                                         audit::ExportAuditJson(*auditor));
+        !status.ok()) {
+      std::fprintf(stderr, "rrun: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    // A fatal fault with forensics on also prints the autopsy where a
+    // human will see it.
+    if (!auditor->autopsies().empty()) {
+      const std::string text = audit::ExportAuditText(*auditor);
+      std::fwrite(text.data(), 1, text.size(), stderr);
     }
   }
 
@@ -265,7 +300,9 @@ int main(int argc, char** argv) {
                    result.roload_violation ? " [ROLoad violation]" : "",
                    static_cast<unsigned long long>(result.fault_pc),
                    static_cast<unsigned long long>(result.fault_addr));
-      return 128 + result.signal;
+      // ROLoad pointee-integrity kills get their own code (see the
+      // contract in the header comment).
+      return result.roload_violation ? 99 : 128 + result.signal;
     case kernel::ExitKind::kInstructionLimit:
       std::fprintf(stderr, "rrun: instruction limit reached\n");
       return 124;
