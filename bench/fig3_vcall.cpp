@@ -6,7 +6,10 @@
 // VTint averages 2.750% / 0.0644%. Expected shape: VCall runtime well
 // under 1% and several times cheaper than VTint; VTint's instrumentation
 // enlarges the code section, giving it the higher memory overhead.
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "campaign/spec.h"
@@ -87,6 +90,58 @@ int main() {
   session.Record("average.vtint_mem_pct", mem_vtint / count);
   session.Record("paper.vcall_time_pct", 0.303);
   session.Record("paper.vtint_time_pct", 2.750);
+
+  // Under load: the same defenses on the RPC dispatch server (src/smp),
+  // requests spread across 1/2/4 harts. The paper measures batch SPEC
+  // runs only; these rows show the VCall overhead holds under concurrent
+  // server-style traffic, where every request takes the vcall-heavy
+  // handler path on its own hart behind the shared L2.
+  campaign::CampaignSpec load;
+  load.name = "fig3_vcall_underload";
+  load.workloads = {workloads::RpcServerWorkload(std::max<std::uint64_t>(
+      200, static_cast<std::uint64_t>(1200 * scale)))};
+  load.configs = grid.configs;
+  load.harts = {1, 2, 4};
+  const campaign::CampaignResult under =
+      campaign::Run(load, {.jobs = bench::BenchJobs()});
+  if (bench::ReportFaults(under)) return 1;
+
+  std::printf("\nUnder load: RPC dispatch server, requests spread across "
+              "harts\n\n");
+  std::printf("%-24s | %12s | %8s %8s\n", "rpc_server", "base cycles",
+              "VCall%", "VTint%");
+  bench::PrintRule(64);
+  for (unsigned harts : load.harts) {
+    const std::string suffix =
+        harts == 1 ? "" : "/h" + std::to_string(harts);
+    auto must = [&](const char* cfg) -> const core::RunMetrics& {
+      const std::string name =
+          std::string("rpc_server/") + cfg + "/full" + suffix;
+      const campaign::RunOutcome* outcome = under.Find(name);
+      if (outcome == nullptr || !outcome->ok()) {
+        std::fprintf(stderr, "bench: no clean run %s\n", name.c_str());
+        std::exit(1);
+      }
+      return outcome->metrics;
+    };
+    const auto& base = must("none");
+    const auto& vcall = must("VCall");
+    const auto& vtint = must("VTint");
+    const double t_vc = core::OverheadPercent(
+        static_cast<double>(base.cycles), static_cast<double>(vcall.cycles));
+    const double t_vt = core::OverheadPercent(
+        static_cast<double>(base.cycles), static_cast<double>(vtint.cycles));
+    const std::string row = "harts=" + std::to_string(harts);
+    std::printf("%-24s | %12llu | %8.3f %8.3f\n", row.c_str(),
+                static_cast<unsigned long long>(base.cycles), t_vc, t_vt);
+    session.Record("underload.h" + std::to_string(harts) + ".base_cycles",
+                   base.cycles);
+    session.Record("underload.h" + std::to_string(harts) +
+                       ".vcall_time_pct", t_vc);
+    session.Record("underload.h" + std::to_string(harts) +
+                       ".vtint_time_pct", t_vt);
+  }
+
   bench::WriteBenchJson(session);
   return 0;
 }

@@ -5,7 +5,10 @@
 // Paper result: ICall averages almost zero; CFI averages 9.073%. Expected
 // shape: ICall under ~1% everywhere; CFI an order of magnitude above it,
 // highest on the indirect-call-heavy benchmarks.
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "campaign/spec.h"
@@ -70,6 +73,58 @@ int main() {
   session.Record("average.icall_time_pct", time_icall / count);
   session.Record("average.cfi_time_pct", time_cfi / count);
   session.Record("paper.cfi_time_pct", 9.073);
+
+  // Under load: ICall vs classic CFI on the RPC dispatch server
+  // (src/smp), requests spread across 1/2/4 harts. Every request walks
+  // an indirect-call middleware table, so the fnptr-dispatch density is
+  // far above the batch SPEC rows — the CFI gap widens while ICall stays
+  // near zero.
+  campaign::CampaignSpec load;
+  load.name = "fig4_icall_underload";
+  load.workloads = {workloads::RpcServerWorkload(std::max<std::uint64_t>(
+      200, static_cast<std::uint64_t>(1200 * scale)))};
+  load.configs = grid.configs;
+  load.harts = {1, 2, 4};
+  const campaign::CampaignResult under =
+      campaign::Run(load, {.jobs = bench::BenchJobs()});
+  if (bench::ReportFaults(under)) return 1;
+
+  std::printf("\nUnder load: RPC dispatch server, requests spread across "
+              "harts\n\n");
+  std::printf("%-24s | %12s | %8s %8s\n", "rpc_server", "base cycles",
+              "ICall%", "CFI%");
+  bench::PrintRule(64);
+  for (unsigned harts : load.harts) {
+    const std::string suffix =
+        harts == 1 ? "" : "/h" + std::to_string(harts);
+    auto must = [&](const char* cfg) -> const core::RunMetrics& {
+      const std::string name =
+          std::string("rpc_server/") + cfg + "/full" + suffix;
+      const campaign::RunOutcome* outcome = under.Find(name);
+      if (outcome == nullptr || !outcome->ok()) {
+        std::fprintf(stderr, "bench: no clean run %s\n", name.c_str());
+        std::exit(1);
+      }
+      return outcome->metrics;
+    };
+    const auto& base = must("none");
+    const auto& icall = must("ICall");
+    const auto& cfi = must("CFI");
+    const double t_ic = core::OverheadPercent(
+        static_cast<double>(base.cycles), static_cast<double>(icall.cycles));
+    const double t_cfi = core::OverheadPercent(
+        static_cast<double>(base.cycles), static_cast<double>(cfi.cycles));
+    const std::string row = "harts=" + std::to_string(harts);
+    std::printf("%-24s | %12llu | %8.3f %8.3f\n", row.c_str(),
+                static_cast<unsigned long long>(base.cycles), t_ic, t_cfi);
+    session.Record("underload.h" + std::to_string(harts) + ".base_cycles",
+                   base.cycles);
+    session.Record("underload.h" + std::to_string(harts) +
+                       ".icall_time_pct", t_ic);
+    session.Record("underload.h" + std::to_string(harts) +
+                       ".cfi_time_pct", t_cfi);
+  }
+
   bench::WriteBenchJson(session);
   return 0;
 }

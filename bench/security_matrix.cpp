@@ -137,6 +137,69 @@ int main() {
     }
   }
 
+  // Under load: the same attacks launched on hart 0 of a 4-hart machine
+  // while harts 1-3 keep serving the victim's dispatch loops (src/smp,
+  // sec::RunAttackSmp). The defense verdicts must not change under
+  // traffic, and the blocked cells must attribute the kill to the hart
+  // the scheduler actually dispatched into the corrupted table first.
+  constexpr unsigned kLoadHarts = 4;
+  const core::Defense load_defenses[] = {
+      core::Defense::kNone, core::Defense::kVCall, core::Defense::kICall};
+  constexpr std::size_t kLoadDefenseCount = std::size(load_defenses);
+  const std::vector<AttackCell> load_cells =
+      campaign::ParallelMap<AttackCell>(
+          std::size(kinds) * kLoadDefenseCount, bench::BenchJobs(),
+          [&](std::size_t i) {
+            AttackCell cell;
+            auto run = sec::RunAttackSmp(kinds[i / kLoadDefenseCount],
+                                         load_defenses[i % kLoadDefenseCount],
+                                         kLoadHarts);
+            if (run.ok()) {
+              cell.result = *run;
+            } else {
+              cell.status = run.status();
+            }
+            return cell;
+          });
+
+  std::printf("\nUnder load (attack while %u harts serve RPC-style "
+              "dispatch)\n\n", kLoadHarts);
+  std::printf("%-30s", "attack \\ defense");
+  for (core::Defense defense : load_defenses) {
+    std::printf(" %-14s", core::DefenseName(defense).data());
+  }
+  std::printf("\n");
+  for (std::size_t k = 0; k < std::size(kinds); ++k) {
+    std::printf("%-30s", sec::AttackKindName(kinds[k]).data());
+    for (std::size_t d = 0; d < kLoadDefenseCount; ++d) {
+      const AttackCell& cell = load_cells[k * kLoadDefenseCount + d];
+      const std::string key =
+          std::string("attack_load.") +
+          std::string(sec::AttackKindName(kinds[k])) + "." +
+          std::string(core::DefenseName(load_defenses[d]));
+      if (!cell.status.ok()) {
+        std::printf(" %-14s", "ERROR");
+        session.Record(key, "ERROR");
+        any_error = true;
+        continue;
+      }
+      std::string verdict(sec::AttackOutcomeName(cell.result.outcome));
+      if (cell.result.roload_violation) {
+        verdict += "@hart" + std::to_string(cell.result.hart);
+      }
+      std::printf(" %-14s", verdict.c_str());
+      session.Record(key, verdict);
+      session.Record(key + ".hart",
+                     static_cast<std::uint64_t>(cell.result.hart));
+      merger.Add(std::string(sec::AttackKindName(kinds[k])) + "/" +
+                     std::string(core::DefenseName(load_defenses[d])) +
+                     "/h" + std::to_string(kLoadHarts),
+                 cell.result.counters);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+
   // Static verdicts next to the dynamic ones: the src/verify proof over
   // the very build each attack ran against. "proven" = zero violations
   // and every dispatch shown to consume an ld.ro result; "partial" =

@@ -1,6 +1,7 @@
 #include "audit/audit.h"
 
 #include <algorithm>
+#include <set>
 
 #include "isa/disasm.h"
 #include "isa/encoding.h"
@@ -35,9 +36,11 @@ std::string_view CheckOutcomeName(CheckOutcome outcome) {
 }
 
 void DispatchCensus::Record(std::uint64_t pc, std::uint32_t key,
-                            CheckOutcome outcome, std::uint64_t virt_addr) {
-  SiteRecord& site = sites_[pc];
+                            CheckOutcome outcome, std::uint64_t virt_addr,
+                            unsigned hart) {
+  SiteRecord& site = sites_[SiteKey(hart, pc)];
   site.pc = pc;
+  site.hart = hart;
   site.key = key;
   site.last_outcome = outcome;
   if (outcome == CheckOutcome::kPass) {
@@ -60,17 +63,27 @@ void DispatchCensus::Record(std::uint64_t pc, std::uint32_t key,
 
 std::map<std::uint32_t, KeyTotals> DispatchCensus::PerKey() const {
   std::map<std::uint32_t, KeyTotals> per_key;
-  for (const auto& [pc, site] : sites_) {
+  std::map<std::uint32_t, std::set<unsigned>> harts_per_key;
+  for (const auto& [site_key, site] : sites_) {
     KeyTotals& totals = per_key[site.key];
     ++totals.sites;
     totals.passes += site.passes;
     totals.fails += site.fails;
+    harts_per_key[site.key].insert(site.hart);
+  }
+  for (auto& [key, totals] : per_key) {
+    totals.harts = harts_per_key[key].size();
   }
   return per_key;
 }
 
 Auditor::Auditor(cpu::Cpu* cpu, mem::PhysMemory* memory)
-    : cpu_(cpu), memory_(memory) {}
+    : cpu_(cpu), hart_cpus_{cpu}, memory_(memory) {}
+
+void Auditor::RegisterHartCpu(unsigned hart, cpu::Cpu* cpu) {
+  if (hart_cpus_.size() <= hart) hart_cpus_.resize(hart + 1, nullptr);
+  hart_cpus_[hart] = cpu;
+}
 
 void Auditor::SetImage(const asmtool::LinkImage& image) {
   sections_.clear();
@@ -93,7 +106,7 @@ void Auditor::OnEvent(const trace::TraceEvent& event) {
   const auto key = static_cast<std::uint32_t>(event.arg & 0xFFFF);
   const auto outcome =
       static_cast<CheckOutcome>((event.arg >> 16) & 0xFF);
-  census_.Record(event.pc, key, outcome, event.addr);
+  census_.Record(event.pc, key, outcome, event.addr, event.hart);
 }
 
 std::string Auditor::NearestSymbol(std::uint64_t addr) const {
@@ -135,23 +148,23 @@ bool Auditor::InExecutableSection(std::uint64_t addr) const {
   return false;
 }
 
-void Auditor::CaptureBacktrace(Autopsy* autopsy) const {
+void Auditor::CaptureBacktrace(cpu::Cpu* cpu, Autopsy* autopsy) const {
   autopsy->backtrace.push_back(autopsy->fault_pc);
   // Frame 1: ra, when it points into code (leaf functions and the common
   // just-called case; our backend has no frame pointers to chain).
-  const std::uint64_t ra = cpu_->reg(isa::kRa);
+  const std::uint64_t ra = cpu->reg(isa::kRa);
   if (InExecutableSection(ra) && ra != autopsy->fault_pc) {
     autopsy->backtrace.push_back(ra);
   }
   // Deeper frames: scan the stack top for saved return addresses. Purely
   // best-effort — a code-looking data word adds a spurious frame, which
   // the report labels as such ("stack-scan").
-  const std::uint64_t sp = cpu_->reg(isa::kSp);
+  const std::uint64_t sp = cpu->reg(isa::kSp);
   for (std::size_t slot = 0; slot < kMaxStackScanSlots &&
                              autopsy->backtrace.size() < kMaxBacktraceFrames;
        ++slot) {
     std::uint64_t value = 0;
-    if (!cpu_->DebugReadVirt(sp + 8 * slot, 8, &value)) break;
+    if (!cpu->DebugReadVirt(sp + 8 * slot, 8, &value)) break;
     if (InExecutableSection(value) && value != autopsy->backtrace.back()) {
       autopsy->backtrace.push_back(value);
     }
@@ -166,12 +179,21 @@ void Auditor::OnFatalFault(const isa::Trap& trap,
   autopsy.cause = trap.cause;
   autopsy.signal = result.signal;
   autopsy.roload_violation = result.roload_violation;
+  autopsy.hart = result.hart;
+
+  // Read the faulting hart's architectural state — on SMP machines the
+  // fault may have been taken on any hart (RunResult carries which).
+  cpu::Cpu* cpu = cpu_;
+  if (result.hart < hart_cpus_.size() &&
+      hart_cpus_[result.hart] != nullptr) {
+    cpu = hart_cpus_[result.hart];
+  }
 
   // Re-fetch and decode the faulting instruction through the debug port
   // (bypasses the faulted access path) to recover the static key.
   std::uint64_t raw = 0;
-  if (cpu_->DebugReadVirt(autopsy.fault_pc, 4, &raw) ||
-      cpu_->DebugReadVirt(autopsy.fault_pc, 2, &raw)) {
+  if (cpu->DebugReadVirt(autopsy.fault_pc, 4, &raw) ||
+      cpu->DebugReadVirt(autopsy.fault_pc, 2, &raw)) {
     if (auto inst = isa::Decode(static_cast<std::uint32_t>(raw))) {
       autopsy.inst_decoded = true;
       autopsy.inst_is_roload = isa::IsRoLoad(inst->op);
@@ -182,7 +204,7 @@ void Auditor::OnFatalFault(const isa::Trap& trap,
 
   // Leaf-PTE state of the target page: the other half of the key check.
   mem::PageWalker walker(memory_);
-  if (auto walk = walker.Walk(cpu_->root_ppn(), autopsy.fault_va)) {
+  if (auto walk = walker.Walk(cpu->root_ppn(), autopsy.fault_va)) {
     autopsy.page_mapped = true;
     autopsy.page_readable = walk->pte.readable();
     autopsy.page_writable = walk->pte.writable();
@@ -190,9 +212,9 @@ void Auditor::OnFatalFault(const isa::Trap& trap,
   }
 
   for (unsigned r = 0; r < isa::kNumRegs; ++r) {
-    autopsy.regs[r] = cpu_->reg(r);
+    autopsy.regs[r] = cpu->reg(r);
   }
-  CaptureBacktrace(&autopsy);
+  CaptureBacktrace(cpu, &autopsy);
 
   autopsy.fault_symbol = NearestSymbol(autopsy.fault_pc);
   autopsy.va_symbol = NearestSymbol(autopsy.fault_va);

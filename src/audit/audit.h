@@ -49,9 +49,12 @@ enum class CheckOutcome : std::uint8_t {
 
 std::string_view CheckOutcomeName(CheckOutcome outcome);
 
-// One executed keyed-load site.
+// One executed keyed-load site. On SMP machines a site is a (hart, pc)
+// pair — the same static instruction executed from two harts is two
+// census rows, so cross-hart key usage is visible per hart.
 struct SiteRecord {
   std::uint64_t pc = 0;
+  unsigned hart = 0;            // hart that executed this site
   std::uint32_t key = 0;        // static key of the instruction
   std::uint64_t passes = 0;
   std::uint64_t fails = 0;
@@ -65,19 +68,26 @@ struct SiteRecord {
   static constexpr std::size_t kMaxPagesPerSite = 256;
 };
 
-// Per-key rollup of the census.
+// Per-key rollup of the census, including the cross-hart spread: how many
+// distinct harts dispatched through the key.
 struct KeyTotals {
   std::uint64_t sites = 0;
   std::uint64_t passes = 0;
   std::uint64_t fails = 0;
+  std::uint64_t harts = 0;  // distinct harts that executed sites of this key
 };
 
 class DispatchCensus {
  public:
   void Record(std::uint64_t pc, std::uint32_t key, CheckOutcome outcome,
-              std::uint64_t virt_addr);
+              std::uint64_t virt_addr, unsigned hart = 0);
 
-  // Sites keyed by pc — deterministic iteration order for the exporters.
+  // Sites keyed by (hart, pc) packed as hart<<56 | pc — for hart 0 (and
+  // thus every single-hart run) the map key is exactly the pc, and the
+  // iteration order stays deterministic for the exporters.
+  static std::uint64_t SiteKey(unsigned hart, std::uint64_t pc) {
+    return (static_cast<std::uint64_t>(hart) << 56) | pc;
+  }
   const std::map<std::uint64_t, SiteRecord>& sites() const { return sites_; }
   std::map<std::uint32_t, KeyTotals> PerKey() const;
 
@@ -97,6 +107,7 @@ struct Autopsy {
   isa::TrapCause cause = isa::TrapCause::kLoadPageFault;
   int signal = 0;
   bool roload_violation = false;
+  unsigned hart = 0;  // hart that took the fault (0 on single-hart runs)
 
   // The faulting instruction, re-fetched and decoded at autopsy time.
   bool inst_decoded = false;
@@ -131,6 +142,12 @@ struct Autopsy {
 class Auditor : public trace::EventSink, public kernel::FatalFaultObserver {
  public:
   Auditor(cpu::Cpu* cpu, mem::PhysMemory* memory);
+
+  // SMP: registers hart `hart`'s CPU so autopsies read the *faulting*
+  // hart's architectural state (registers, satp, stack) rather than hart
+  // 0's. Hart 0 is the constructor's cpu; unregistered hart ids fall back
+  // to it.
+  void RegisterHartCpu(unsigned hart, cpu::Cpu* cpu);
 
   // Copies the image's symbol table and section spans for symbolization.
   // Call at load time; without it autopsies still capture the hardware
@@ -172,9 +189,10 @@ class Auditor : public trace::EventSink, public kernel::FatalFaultObserver {
   };
 
   bool InExecutableSection(std::uint64_t addr) const;
-  void CaptureBacktrace(Autopsy* autopsy) const;
+  void CaptureBacktrace(cpu::Cpu* cpu, Autopsy* autopsy) const;
 
   cpu::Cpu* cpu_;
+  std::vector<cpu::Cpu*> hart_cpus_;  // [0] == cpu_; grown by RegisterHartCpu
   mem::PhysMemory* memory_;
   std::vector<SectionSpan> sections_;
   std::vector<std::pair<std::uint64_t, std::string>> symbols_;  // addr-sorted

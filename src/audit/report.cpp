@@ -21,6 +21,7 @@ void WriteAutopsyJson(JsonWriter* writer, const Autopsy& autopsy) {
   writer->KV("cause", isa::TrapCauseName(autopsy.cause));
   writer->KV("signal", autopsy.signal);
   writer->KV("roload_violation", autopsy.roload_violation);
+  writer->KV("hart", static_cast<std::uint64_t>(autopsy.hart));
   writer->KV("fault_pc", Hex(autopsy.fault_pc));
   writer->KV("fault_va", Hex(autopsy.fault_va));
   writer->KV("fault_symbol", autopsy.fault_symbol);
@@ -70,6 +71,7 @@ std::string ExportAuditJson(const Auditor& auditor) {
   for (const auto& [pc, site] : census.sites()) {
     writer.BeginObject();
     writer.KV("pc", Hex(site.pc));
+    writer.KV("hart", static_cast<std::uint64_t>(site.hart));
     writer.KV("symbol", auditor.NearestSymbol(site.pc));
     writer.KV("key", static_cast<std::uint64_t>(site.key));
     writer.KV("passes", site.passes);
@@ -89,6 +91,7 @@ std::string ExportAuditJson(const Auditor& auditor) {
     writer.KV("sites", totals.sites);
     writer.KV("passes", totals.passes);
     writer.KV("fails", totals.fails);
+    writer.KV("harts", totals.harts);
     writer.EndObject();
   }
   writer.EndArray();
@@ -111,6 +114,7 @@ std::string ExportAuditText(const Auditor& auditor) {
   for (const Autopsy& autopsy : auditor.autopsies()) {
     out += StrFormat("=== ROLoad fault autopsy #%d ===\n", index++);
     out += StrFormat("classification : %s\n", autopsy.classification.c_str());
+    out += StrFormat("hart           : %u\n", autopsy.hart);
     out += StrFormat("cause          : %s (signal %d%s)\n",
                      std::string(isa::TrapCauseName(autopsy.cause)).c_str(),
                      autopsy.signal,
@@ -162,17 +166,19 @@ std::string ExportAuditText(const Auditor& auditor) {
   for (const auto& [key, totals] : census.PerKey()) {
     const std::string section = auditor.SectionForKey(key);
     out += StrFormat(
-        "  key %-4u sites %-4llu pass %-8llu fail %-4llu %s\n", key,
-        static_cast<unsigned long long>(totals.sites),
+        "  key %-4u sites %-4llu pass %-8llu fail %-4llu harts %-2llu %s\n",
+        key, static_cast<unsigned long long>(totals.sites),
         static_cast<unsigned long long>(totals.passes),
         static_cast<unsigned long long>(totals.fails),
+        static_cast<unsigned long long>(totals.harts),
         section.empty() ? "<no section>" : section.c_str());
   }
-  for (const auto& [pc, site] : census.sites()) {
+  for (const auto& [site_key, site] : census.sites()) {
     const std::string symbol = auditor.NearestSymbol(site.pc);
     out += StrFormat(
-        "  site %s key %-4u pass %-8llu fail %-4llu pages %zu%s  %s\n",
-        Hex(site.pc).c_str(), site.key,
+        "  site %s hart %-2u key %-4u pass %-8llu fail %-4llu pages %zu%s  "
+        "%s\n",
+        Hex(site.pc).c_str(), site.hart, site.key,
         static_cast<unsigned long long>(site.passes),
         static_cast<unsigned long long>(site.fails), site.pages.size(),
         site.pages_saturated ? "+" : "", symbol.c_str());

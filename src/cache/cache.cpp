@@ -61,18 +61,33 @@ unsigned Cache::AccessSlow(std::uint64_t phys_addr, bool write) {
     }
     if (line.lru_tick < victim->lru_tick) victim = &line;
   }
-  unsigned cycles = config_.hit_cycles + config_.miss_cycles;
+  // Fill cost: a flat DRAM latency when this cache is the last level, or
+  // the next level's own access cost (its hit/miss discrimination) when a
+  // shared L2 sits below.
+  unsigned cycles = config_.hit_cycles;
+  if (next_ == nullptr) {
+    cycles += config_.miss_cycles;
+  } else {
+    cycles += next_->Access(phys_addr, false);
+  }
   if (victim->valid && victim->dirty) {
     ++stats_.writebacks;
     cycles += config_.writeback_cycles;
+    const bool need_victim_addr = trace_events || next_ != nullptr;
+    std::uint64_t victim_addr = 0;
+    if (need_victim_addr) {
+      victim_addr = config_.host_fast_path
+                        ? ((victim->tag << set_shift_) | set) << line_shift_
+                        : (victim->tag * num_sets_ + set) * config_.line_bytes;
+    }
     if (trace_events) {
-      const std::uint64_t victim_addr =
-          config_.host_fast_path
-              ? ((victim->tag << set_shift_) | set) << line_shift_
-              : (victim->tag * num_sets_ + set) * config_.line_bytes;
       trace_->Emit(unit_, trace::EventCategory::kCache,
                    trace::EventType::kCacheWriteback, 0, victim_addr, 0);
     }
+    // Forward the dirty line down so the next level sees the writeback
+    // traffic; the cost stays writeback_cycles (the writeback is buffered
+    // off the critical path), so only the lower level's stats change.
+    if (next_ != nullptr) next_->Access(victim_addr, true);
   }
   victim->valid = true;
   victim->dirty = write;

@@ -17,7 +17,7 @@ struct CacheConfig {
   unsigned ways = 8;
   unsigned line_bytes = 64;
   unsigned hit_cycles = 1;
-  unsigned miss_cycles = 40;       // DRAM fill latency
+  unsigned miss_cycles = 40;       // fill latency from the level below
   unsigned writeback_cycles = 10;  // dirty eviction cost
   // Host-only fast path: index/tag math via precomputed shifts instead of
   // the divide-based reference expressions (exact, since the geometry is
@@ -63,6 +63,16 @@ class Cache {
 
   void Flush();
 
+  // Optional next cache level (the shared L2 of the SMP machine). With a
+  // next level attached, a miss is filled from it — the miss cost becomes
+  // the next level's own Access() cost instead of the flat miss_cycles
+  // DRAM latency — and dirty evictions are forwarded down so the lower
+  // level sees the writeback traffic. Null (the default) keeps the
+  // original flat-latency behaviour bit-identical. Not owned; the next
+  // level must outlive this cache. Single-threaded use only: the SMP
+  // scheduler interleaves harts deterministically on one host thread.
+  void set_next_level(Cache* next) { next_ = next; }
+
   const CacheConfig& config() const { return config_; }
   const CacheStats& stats() const { return stats_; }
   void ResetStats() { stats_ = CacheStats{}; }
@@ -99,6 +109,8 @@ class Cache {
   // line (stack slots, straight-line code); self-validated shortcut.
   Line* last_line_ = nullptr;
   std::uint64_t last_line_addr_ = ~std::uint64_t{0};
+
+  Cache* next_ = nullptr;
 
   trace::Hub* trace_ = nullptr;
   trace::Unit unit_ = trace::Unit::kDCache;

@@ -23,7 +23,15 @@ Status ParseWorkloads(std::string_view value, double scale,
   const auto suite = workloads::SpecCint2006Suite(scale);
   for (std::string_view name : SplitString(value, ',')) {
     bool found = false;
+    if (name == "rpc_server") {
+      // The SMP traffic workload: `scale` multiplies the request count.
+      const double requests = 600.0 * scale;
+      spec->workloads.push_back(workloads::RpcServerWorkload(
+          requests < 64 ? 64 : static_cast<std::uint64_t>(requests)));
+      found = true;
+    }
     for (const workloads::WorkloadSpec& candidate : suite) {
+      if (found) break;
       if (candidate.name == name) {
         spec->workloads.push_back(candidate);
         found = true;
@@ -116,6 +124,18 @@ Status ParseGrid(std::string_view grid, double default_scale,
           spec->max_instructions == 0) {
         return Status::InvalidArgument("bad max-instructions: " +
                                        std::string(field));
+      }
+    } else if (key == "harts") {
+      spec->harts.clear();
+      for (std::string_view entry : SplitString(value, ',')) {
+        const std::string copy(entry);
+        char* end = nullptr;
+        const unsigned long harts = std::strtoul(copy.c_str(), &end, 0);
+        if (copy.empty() || end != copy.c_str() + copy.size() ||
+            harts == 0 || harts > 64) {
+          return Status::InvalidArgument("bad harts: " + std::string(field));
+        }
+        spec->harts.push_back(static_cast<unsigned>(harts));
       }
     } else if (key == "profile") {
       const auto parsed = ParseSwitch(value);

@@ -5,8 +5,9 @@
 //   workloads=cpp;defenses=none,ICall,CFI;scale=0.2;seed=7
 //
 // Keys (all optional; semicolon-separated, comma-separated values):
-//   workloads         suite benchmark names, or "cpp" (the C++ subset) or
-//                     "all" (the full CINT2006-like suite; the default)
+//   workloads         suite benchmark names, or "cpp" (the C++ subset),
+//                     "all" (the full CINT2006-like suite; the default),
+//                     or "rpc_server" (the SMP traffic workload)
 //   defenses          none | VCall | VTint | ICall | CFI
 //   variants          baseline | proc | full
 //   scale             positive workload-scale multiplier (overrides the
@@ -14,6 +15,8 @@
 //   seed              nonzero: derive per-run workload seeds (see
 //                     CampaignSpec::seed)
 //   max-instructions  per-run instruction budget
+//   harts             hart counts (e.g. "1,2,4"); cells with > 1 hart run
+//                     on an smp::Machine and are named "<...>/h<N>"
 //   profile           0/1: attach the cycle-attribution profiler
 #pragma once
 

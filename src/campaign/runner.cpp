@@ -1,5 +1,7 @@
 #include "campaign/runner.h"
 
+#include "smp/machine.h"
+
 namespace roload::campaign {
 namespace {
 
@@ -23,8 +25,14 @@ RunOutcome ExecuteOne(const RunSpec& spec, std::size_t index) {
   outcome.build.cfi_id_words = build->codegen.cfi_id_words;
   if (spec.build_only) return outcome;
 
-  auto metrics = core::RunBuild(*build, spec.variant, spec.max_instructions,
-                                spec.trace);
+  // harts == 1 stays on the legacy single-hart path — pre-SMP grids are
+  // bit-identical by construction, not by luck.
+  auto metrics =
+      spec.harts > 1
+          ? smp::RunBuildSmp(*build, spec.variant, spec.harts,
+                             spec.max_instructions, spec.trace)
+          : core::RunBuild(*build, spec.variant, spec.max_instructions,
+                           spec.trace);
   if (!metrics.ok()) {
     outcome.status = metrics.status();
     return outcome;

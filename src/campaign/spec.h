@@ -49,6 +49,10 @@ struct RunSpec {
   core::SystemVariant variant = core::SystemVariant::kFullRoload;
   bool build_only = false;
   std::uint64_t max_instructions = 1ull << 34;
+  // Hart count for the run. 1 executes on the legacy single-hart System
+  // (bit-identical to every pre-SMP grid); >= 2 executes on an
+  // smp::Machine and appends "/h<N>" to the run name.
+  unsigned harts = 1;
   trace::TraceConfig trace;
 };
 
@@ -63,6 +67,10 @@ struct CampaignSpec {
       core::SystemVariant::kFullRoload};
   bool profile = false;
   std::uint64_t max_instructions = 1ull << 34;
+  // The hart-count axis (innermost). The default {1} leaves every run on
+  // the single-hart path and every run name unchanged; entries >= 2 run
+  // on an SMP machine and are named "<...>/h<N>".
+  std::vector<unsigned> harts = {1};
   // 0 keeps each workload's own seed — the default, under which the
   // expanded grid reproduces the committed figure tables bit-identically.
   // Nonzero derives a distinct per-run workload seed through

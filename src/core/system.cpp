@@ -3,56 +3,45 @@
 #include "support/strings.h"
 
 namespace roload::core {
-namespace {
 
-// Bridges every module's stats struct into the hierarchical counter
-// namespace. The registry stores pointers into the live structs, so the
-// hot paths keep their plain-increment cost and a snapshot always shows
-// the current values.
-void RegisterCounters(trace::CounterRegistry* counters, const cpu::Cpu& cpu,
-                      const kernel::Kernel& kernel) {
+void RegisterCpuCounters(trace::CounterRegistry* counters,
+                         const cpu::Cpu& cpu, const std::string& prefix) {
   const cpu::CpuStats& c = cpu.stats();
-  counters->Register("cpu.cycles", &c.cycles);
-  counters->Register("cpu.instret", &c.instructions);
-  counters->Register("cpu.loads", &c.loads);
-  counters->Register("cpu.stores", &c.stores);
-  counters->Register("cpu.roload_loads", &c.roload_loads);
-  counters->Register("cpu.branches", &c.branches);
-  counters->Register("cpu.taken_branches", &c.taken_branches);
-  counters->Register("cpu.indirect_jumps", &c.indirect_jumps);
+  counters->Register(prefix + "cpu.cycles", &c.cycles);
+  counters->Register(prefix + "cpu.instret", &c.instructions);
+  counters->Register(prefix + "cpu.loads", &c.loads);
+  counters->Register(prefix + "cpu.stores", &c.stores);
+  counters->Register(prefix + "cpu.roload_loads", &c.roload_loads);
+  counters->Register(prefix + "cpu.branches", &c.branches);
+  counters->Register(prefix + "cpu.taken_branches", &c.taken_branches);
+  counters->Register(prefix + "cpu.indirect_jumps", &c.indirect_jumps);
 
   const tlb::TlbStats& it = cpu.itlb_stats();
-  counters->Register("tlb.i.hit", &it.hits);
-  counters->Register("tlb.i.miss", &it.misses);
-  counters->Register("tlb.i.flush", &it.flushes);
-  counters->Register("tlb.i.permission_fault", &it.permission_faults);
+  counters->Register(prefix + "tlb.i.hit", &it.hits);
+  counters->Register(prefix + "tlb.i.miss", &it.misses);
+  counters->Register(prefix + "tlb.i.flush", &it.flushes);
+  counters->Register(prefix + "tlb.i.permission_fault", &it.permission_faults);
 
   const tlb::TlbStats& dt = cpu.dtlb_stats();
-  counters->Register("tlb.d.hit", &dt.hits);
-  counters->Register("tlb.d.miss", &dt.misses);
-  counters->Register("tlb.d.flush", &dt.flushes);
-  counters->Register("tlb.d.permission_fault", &dt.permission_faults);
-  counters->Register("tlb.d.key_check", &dt.key_checks);
-  counters->Register("tlb.d.key_check_hit", &dt.key_check_hits);
-  counters->Register("tlb.d.key_fault", &dt.roload_key_faults);
-  counters->Register("tlb.d.writable_fault", &dt.roload_writable_faults);
+  counters->Register(prefix + "tlb.d.hit", &dt.hits);
+  counters->Register(prefix + "tlb.d.miss", &dt.misses);
+  counters->Register(prefix + "tlb.d.flush", &dt.flushes);
+  counters->Register(prefix + "tlb.d.permission_fault", &dt.permission_faults);
+  counters->Register(prefix + "tlb.d.key_check", &dt.key_checks);
+  counters->Register(prefix + "tlb.d.key_check_hit", &dt.key_check_hits);
+  counters->Register(prefix + "tlb.d.key_fault", &dt.roload_key_faults);
+  counters->Register(prefix + "tlb.d.writable_fault",
+                     &dt.roload_writable_faults);
 
   const cache::CacheStats& ic = cpu.icache_stats();
-  counters->Register("cache.i.hit", &ic.hits);
-  counters->Register("cache.i.miss", &ic.misses);
-  counters->Register("cache.i.writeback", &ic.writebacks);
+  counters->Register(prefix + "cache.i.hit", &ic.hits);
+  counters->Register(prefix + "cache.i.miss", &ic.misses);
+  counters->Register(prefix + "cache.i.writeback", &ic.writebacks);
 
   const cache::CacheStats& dc = cpu.dcache_stats();
-  counters->Register("cache.d.hit", &dc.hits);
-  counters->Register("cache.d.miss", &dc.misses);
-  counters->Register("cache.d.writeback", &dc.writebacks);
-
-  const kernel::KernelStats& k = kernel.stats();
-  counters->Register("kernel.syscalls", &k.syscalls);
-  counters->Register("kernel.traps", &k.traps);
-  counters->Register("kernel.fault.roload", &k.roload_faults);
-  counters->Register("kernel.signals", &k.signals);
-  counters->Register("kernel.context_switches", &k.context_switches);
+  counters->Register(prefix + "cache.d.hit", &dc.hits);
+  counters->Register(prefix + "cache.d.miss", &dc.misses);
+  counters->Register(prefix + "cache.d.writeback", &dc.writebacks);
 
   // Per-key key-check breakdown. The keys a run exercises are not known
   // up front, so this is a dynamic source over the dTLB's per-key table
@@ -61,17 +50,28 @@ void RegisterCounters(trace::CounterRegistry* counters, const cpu::Cpu& cpu,
   // pins the invariant).
   const tlb::TlbStats* dtlb = &cpu.dtlb_stats();
   counters->RegisterSource(
-      [dtlb](std::vector<std::pair<std::string, std::uint64_t>>* out) {
+      [dtlb, prefix](std::vector<std::pair<std::string, std::uint64_t>>* out) {
         for (const tlb::TlbKeyCheckCount& entry : dtlb->key_check_by_key) {
-          out->emplace_back(StrFormat("tlb.keycheck.pass.%u", entry.key),
-                            entry.passes);
-          out->emplace_back(StrFormat("tlb.keycheck.fail.%u", entry.key),
-                            entry.fails);
+          out->emplace_back(
+              prefix + StrFormat("tlb.keycheck.pass.%u", entry.key),
+              entry.passes);
+          out->emplace_back(
+              prefix + StrFormat("tlb.keycheck.fail.%u", entry.key),
+              entry.fails);
         }
       });
 }
 
-}  // namespace
+void RegisterKernelCounters(trace::CounterRegistry* counters,
+                            const kernel::Kernel& kernel) {
+  const kernel::KernelStats& k = kernel.stats();
+  counters->Register("kernel.syscalls", &k.syscalls);
+  counters->Register("kernel.traps", &k.traps);
+  counters->Register("kernel.fault.roload", &k.roload_faults);
+  counters->Register("kernel.signals", &k.signals);
+  counters->Register("kernel.context_switches", &k.context_switches);
+  counters->Register("kernel.tlb_shootdowns", &k.tlb_shootdowns);
+}
 
 System::System(const SystemConfig& config) : config_(config) {
   memory_ = std::make_unique<mem::PhysMemory>(config.memory_bytes);
@@ -99,7 +99,8 @@ System::System(const SystemConfig& config) : config_(config) {
   trace_->set_clock(&cpu_->stats().cycles);
   cpu_->set_trace(trace_.get());
   kernel_->set_trace(trace_.get());
-  RegisterCounters(&trace_->counters(), *cpu_, *kernel_);
+  RegisterCpuCounters(&trace_->counters(), *cpu_);
+  RegisterKernelCounters(&trace_->counters(), *kernel_);
 
   if (config_.trace.audit) {
     auditor_ = std::make_unique<audit::Auditor>(cpu_.get(), memory_.get());

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "asmtool/image.h"
 #include "audit/audit.h"
@@ -32,6 +33,21 @@ struct SystemConfig {
   // nothing; counters are always registered and queryable.
   trace::TraceConfig trace;
 };
+
+// Bridges one CPU's stats structs (core, both TLBs, both L1s, plus the
+// dynamic per-key key-check source) into the hierarchical counter
+// namespace under `prefix`. The single-hart System uses the empty prefix,
+// producing the historical names ("cpu.cycles", "tlb.d.key_check", ...);
+// the SMP machine registers each hart under "hart<N>." and sums the fleet
+// into the unprefixed aggregates itself. The registry stores pointers into
+// the live structs, so the hot paths keep their plain-increment cost.
+void RegisterCpuCounters(trace::CounterRegistry* counters,
+                         const cpu::Cpu& cpu, const std::string& prefix = "");
+
+// Kernel-side counters ("kernel.syscalls", "kernel.fault.roload", ...).
+// Never prefixed: the kernel is one object no matter how many harts.
+void RegisterKernelCounters(trace::CounterRegistry* counters,
+                            const kernel::Kernel& kernel);
 
 class System {
  public:

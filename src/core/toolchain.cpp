@@ -134,8 +134,13 @@ StatusOr<RunMetrics> CompileAndRun(const ir::Module& module,
 
 verify::Report VerifyLoadedImage(System& system,
                                  const asmtool::LinkImage& image) {
+  return VerifyLoadedImage(system.kernel(), image);
+}
+
+verify::Report VerifyLoadedImage(kernel::Kernel& kernel,
+                                 const asmtool::LinkImage& image) {
   verify::Report report;
-  kernel::AddressSpace* space = system.kernel().address_space();
+  kernel::AddressSpace* space = kernel.address_space();
   if (space == nullptr) {
     report.Add(verify::Rule::kLoaderKeyMismatch, "",
                "no active process (call System::Load first)");

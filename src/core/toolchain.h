@@ -124,6 +124,11 @@ StatusOr<RunMetrics> CompileAndRun(const ir::Module& module,
 // first ld.ro. Call after System::Load.
 verify::Report VerifyLoadedImage(System& system,
                                  const asmtool::LinkImage& image);
+// The same check against any loaded kernel — what rrun uses so the
+// cross-check also covers SMP machines (the harts share one address
+// space, so one proof covers them all).
+verify::Report VerifyLoadedImage(kernel::Kernel& kernel,
+                                 const asmtool::LinkImage& image);
 
 // Relative overhead helper: (value - base) / base * 100, in percent.
 double OverheadPercent(double base, double value);

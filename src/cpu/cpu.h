@@ -112,6 +112,19 @@ class Cpu {
   // cycle counts.
   void set_trace(trace::Hub* hub);
 
+  // Attaches a shared next-level cache (the SMP machine's L2) below both
+  // L1s: L1 misses are then filled from it instead of at the flat DRAM
+  // latency, and dirty evictions flow into it. Null (the default) keeps
+  // the single-level behaviour bit-identical. Not owned.
+  void set_next_level_cache(cache::Cache* next) {
+    icache_.set_next_level(next);
+    dcache_.set_next_level(next);
+  }
+
+  // Adds stall cycles that did not come from executing an instruction —
+  // the TLB-shootdown IPI cost the kernel charges to the initiating hart.
+  void ChargeStallCycles(unsigned cycles) { stats_.cycles += cycles; }
+
   // Direct (debug/kernel) access to guest memory through the page tables,
   // bypassing caches and permission checks. Used by the loader, the syscall
   // layer, and the attack-injection harness (which models an arbitrary

@@ -12,6 +12,52 @@ Kernel::Kernel(const KernelConfig& config, mem::PhysMemory* memory,
   // frames start right after a small kernel-reserved region.
   const std::uint64_t total_frames = memory_->size() >> mem::kPageShift;
   frames_ = std::make_unique<FrameAllocator>(16, total_frames - 16);
+  harts_.push_back(cpu);
+  hart_states_.resize(1);
+}
+
+void Kernel::AttachHart(cpu::Cpu* cpu) {
+  ROLOAD_CHECK(cpu != nullptr);
+  harts_.push_back(cpu);
+  hart_states_.resize(harts_.size());
+}
+
+void Kernel::set_current_hart(unsigned hart) {
+  ROLOAD_CHECK(hart < harts_.size());
+  current_hart_ = hart;
+  cpu_ = harts_[hart];
+  // Keep the telemetry stream coherent: timestamps come from the running
+  // hart's cycle counter and every event carries the hart id. Single-hart
+  // machines never reach this (the System wires the clock once).
+  if (trace_ != nullptr && harts_.size() > 1) {
+    trace_->set_clock(&cpu_->stats().cycles);
+    trace_->set_current_hart(hart);
+  }
+}
+
+void Kernel::ShootdownTlbs() {
+  // Local sfence.vma: the calling hart always flushes.
+  cpu_->FlushTlbs();
+  if (harts_.size() <= 1 || !config_.tlb_shootdown) return;
+  // Remote shootdown: deliver a flush IPI to every other hart so no stale
+  // keyed translation survives the PTE edit, and charge the initiator one
+  // IPI round-trip per remote hart.
+  unsigned remote = 0;
+  const bool trace_events =
+      trace_ != nullptr && trace_->enabled(trace::EventCategory::kKernel);
+  for (unsigned h = 0; h < harts_.size(); ++h) {
+    if (h == current_hart_) continue;
+    harts_[h]->FlushTlbs();
+    ++hart_states_[h].shootdowns_received;
+    ++stats_.tlb_shootdowns;
+    ++remote;
+    if (trace_events) {
+      trace_->Emit(trace::Unit::kKernel, trace::EventCategory::kKernel,
+                   trace::EventType::kTlbShootdown, cpu_->pc(), 0,
+                   (static_cast<std::uint64_t>(h) << 16) | current_hart_);
+    }
+  }
+  cpu_->ChargeStallCycles(config_.shootdown_ipi_cycles * remote);
 }
 
 AddressSpace* Kernel::address_space() {
@@ -158,7 +204,7 @@ bool Kernel::HandleSyscall(RunResult* result) {
           cpu_->set_reg(isa::kA0, process.brk);
           return true;
         }
-        cpu_->FlushTlbs();
+        ShootdownTlbs();
       }
       process.brk = new_brk;
       cpu_->set_reg(isa::kA0, process.brk);
@@ -191,7 +237,7 @@ bool Kernel::HandleSyscall(RunResult* result) {
         return true;
       }
       if (a0 == 0) process.mmap_cursor = addr + pages * mem::kPageSize;
-      cpu_->FlushTlbs();
+      ShootdownTlbs();
       cpu_->set_reg(isa::kA0, addr);
       return true;
     }
@@ -212,8 +258,9 @@ bool Kernel::HandleSyscall(RunResult* result) {
         cpu_->set_reg(isa::kA0, static_cast<std::uint64_t>(-22));  // EINVAL
         return true;
       }
-      // PTEs changed: the TLBs must be shot down (sfence.vma).
-      cpu_->FlushTlbs();
+      // PTEs changed: the TLBs must be shot down (sfence.vma on the
+      // calling hart, remote-flush IPIs to every other hart).
+      ShootdownTlbs();
       cpu_->set_reg(isa::kA0, 0);
       return true;
     }
@@ -229,6 +276,15 @@ void Kernel::HandleTrap(const isa::Trap& trap, RunResult* result) {
   result->trap_cause = trap.cause;
   result->fault_addr = trap.tval;
   result->fault_pc = cpu_->pc();
+  result->hart = current_hart_;
+
+  // Latch the per-hart supervisor CSRs (sepc/scause/stval analogues)
+  // exactly as trap entry would.
+  HartState& hart = hart_states_[current_hart_];
+  hart.sepc = cpu_->pc();
+  hart.scause = static_cast<std::uint64_t>(trap.cause);
+  hart.stval = trap.tval;
+  ++hart.traps;
 
   ++stats_.traps;
   if (trap.cause == isa::TrapCause::kRoLoadPageFault) ++stats_.roload_faults;
@@ -292,6 +348,112 @@ RunResult Kernel::Run(std::uint64_t max_instructions) {
   result.peak_mem_kib = process.space->mapped_pages() * mem::kPageSize / 1024;
   process.result = result;
   return result;
+}
+
+Status Kernel::LoadSmp(const asmtool::LinkImage& image) {
+  auto pid = LoadProcess(image);
+  if (!pid.ok()) return pid.status();
+  active_ = *pid;
+  Process& process = active();
+
+  // Hart 0 reuses the stack LoadProcess mapped; every further hart gets
+  // its own equally-sized region, stacked downwards below it.
+  const std::uint64_t stride = config_.stack_pages * mem::kPageSize;
+  const unsigned nharts = num_harts();
+  for (unsigned h = 1; h < nharts; ++h) {
+    const std::uint64_t base = config_.stack_top - (h + 1) * stride;
+    ROLOAD_RETURN_IF_ERROR(
+        process.space->Map(base, config_.stack_pages, PageProt::Rw()));
+  }
+
+  for (unsigned h = 0; h < nharts; ++h) {
+    cpu::Cpu* cpu = harts_[h];
+    cpu->set_pc(image.entry);
+    for (unsigned r = 1; r < isa::kNumRegs; ++r) cpu->set_reg(r, 0);
+    cpu->set_reg(isa::kSp, config_.stack_top - h * stride - 64);
+    // SBI-style boot protocol: a0 = hartid, a1 = hart count. _start
+    // forwards both untouched, so main(i64, i64) receives them.
+    cpu->set_reg(isa::kA0, h);
+    cpu->set_reg(isa::kA1, nharts);
+    cpu->set_root_ppn(process.space->root_ppn());
+    cpu->FlushTlbs();  // fresh page tables may reuse recycled frames
+    hart_states_[h] = HartState{};
+    hart_states_[h].alive = true;
+    hart_states_[h].start_instructions = cpu->stats().instructions;
+  }
+  set_current_hart(0);
+  return Status::Ok();
+}
+
+std::vector<RunResult> Kernel::RunSmp(std::uint64_t quantum,
+                                      std::uint64_t total_limit) {
+  ROLOAD_CHECK(active_ >= 0);
+  ROLOAD_CHECK(quantum > 0);
+  std::uint64_t executed = 0;
+  bool fatal = false;
+  bool any_alive = true;
+  while (any_alive && !fatal && executed < total_limit) {
+    any_alive = false;
+    for (unsigned h = 0; h < harts_.size() && !fatal; ++h) {
+      HartState& hart = hart_states_[h];
+      if (!hart.alive) continue;
+      any_alive = true;
+      set_current_hart(h);
+      const std::uint64_t turn_start = cpu_->stats().instructions;
+      bool running = true;
+      while (running && cpu_->stats().instructions - turn_start < quantum) {
+        switch (cpu_->Step()) {
+          case cpu::StepEvent::kRetired:
+            break;
+          case cpu::StepEvent::kEcall:
+            running = HandleSyscall(&hart.result);
+            if (!running) {
+              // exit() retires this hart only; the machine keeps going
+              // until every hart has exited.
+              hart.result.hart = h;
+              hart.alive = false;
+            }
+            break;
+          case cpu::StepEvent::kTrap:
+            // A fatal signal halts the whole machine, with the faulting
+            // hart recorded in the result (HandleTrap sets result.hart).
+            HandleTrap(cpu_->pending_trap(), &hart.result);
+            hart.alive = false;
+            running = false;
+            fatal = true;
+            break;
+        }
+      }
+      executed += cpu_->stats().instructions - turn_start;
+      if (executed >= total_limit) break;
+    }
+  }
+
+  Process& process = active();
+  std::vector<RunResult> results;
+  results.reserve(harts_.size());
+  bool none_alive = true;
+  for (const HartState& hart : hart_states_) {
+    if (hart.alive) none_alive = false;
+  }
+  if (fatal || none_alive) process.alive = false;
+  for (unsigned h = 0; h < harts_.size(); ++h) {
+    HartState& hart = hart_states_[h];
+    if (hart.alive) {
+      // Still running when the machine stopped: the shared instruction
+      // budget ran out, or another hart's fatal trap halted everything.
+      hart.result.kind = ExitKind::kInstructionLimit;
+      hart.result.hart = h;
+    }
+    hart.result.instructions =
+        harts_[h]->stats().instructions - hart.start_instructions;
+    hart.result.cycles = harts_[h]->stats().cycles;
+    hart.result.peak_mem_kib =
+        process.space->mapped_pages() * mem::kPageSize / 1024;
+    hart.result.stdout_text = process.stdout_text;
+    results.push_back(hart.result);
+  }
+  return results;
 }
 
 std::vector<RunResult> Kernel::RunAll(std::uint64_t slice,

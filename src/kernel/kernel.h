@@ -31,6 +31,14 @@ struct KernelConfig {
   std::uint64_t stack_pages = 64;      // 256 KiB stack
   std::uint64_t heap_base = 0x40000000;
   std::uint64_t mmap_base = 0x50000000;
+  // SMP TLB-shootdown protocol: when a syscall edits PTEs (brk/mmap/
+  // mprotect — including a page-key change), flush not just the calling
+  // hart's TLBs but every other hart's too, charging the initiator an IPI
+  // round-trip per remote hart. Turning this off models the unsound
+  // kernel that only runs sfence.vma locally — the stale-translation race
+  // the regression tests pin down. Irrelevant with a single hart.
+  bool tlb_shootdown = true;
+  unsigned shootdown_ipi_cycles = 40;  // per remote hart, charged to caller
 };
 
 // Signal numbers (only the ones the kernel delivers).
@@ -54,6 +62,9 @@ struct RunResult {
   // True when a roload-aware kernel classified the fault as a ROLoad
   // pointee-integrity violation (the paper's attack-detected path).
   bool roload_violation = false;
+  // Hart that produced this result (the faulting hart for kKilled); always
+  // 0 on single-hart machines.
+  unsigned hart = 0;
   std::string stdout_text;
 
   // Final performance counters.
@@ -70,6 +81,7 @@ struct KernelStats {
   std::uint64_t roload_faults = 0;   // hardware kRoLoadPageFault causes seen
   std::uint64_t signals = 0;         // fatal signals delivered
   std::uint64_t context_switches = 0;
+  std::uint64_t tlb_shootdowns = 0;  // remote flushes delivered (SMP only)
 };
 
 // Observer of fatal-signal delivery, called synchronously from the trap
@@ -100,6 +112,21 @@ inline constexpr std::uint64_t kProtWrite = 2;
 inline constexpr std::uint64_t kProtExec = 4;
 inline constexpr unsigned kProtKeyShift = 16;
 
+// Per-hart supervisor state: the CSR analogues a real RISC-V kernel keeps
+// per hart (sepc/scause/stval snapshots of the last trap taken on that
+// hart) plus the shootdown bookkeeping. Hart 0 exists on every machine;
+// AttachHart() adds the rest.
+struct HartState {
+  bool alive = false;          // running under RunSmp
+  std::uint64_t sepc = 0;      // pc of the last trap taken on this hart
+  std::uint64_t scause = 0;    // its cause (isa::TrapCause value)
+  std::uint64_t stval = 0;     // its faulting address
+  std::uint64_t traps = 0;     // traps taken on this hart
+  std::uint64_t shootdowns_received = 0;  // remote flushes delivered here
+  std::uint64_t start_instructions = 0;   // RunSmp accounting baseline
+  RunResult result;
+};
+
 class Kernel {
  public:
   Kernel(const KernelConfig& config, mem::PhysMemory* memory, cpu::Cpu* cpu);
@@ -122,6 +149,37 @@ class Kernel {
   // base architectural state (31 GPRs + pc + satp root): ROLoad adds no
   // per-process state, and the root-tagged TLB needs no shootdown.
   std::vector<RunResult> RunAll(std::uint64_t slice,
+                                std::uint64_t total_limit);
+
+  // ---- SMP API -------------------------------------------------------
+  // The machine starts with one hart (the constructor's cpu). AttachHart
+  // registers additional harts before LoadSmp; all harts share the
+  // physical memory and, under LoadSmp, one address space.
+  void AttachHart(cpu::Cpu* cpu);
+  unsigned num_harts() const { return static_cast<unsigned>(harts_.size()); }
+  unsigned current_hart() const { return current_hart_; }
+  // Points the kernel (and the trace hub's clock/hart stamp, when harts
+  // have been attached) at hart `hart`. The SMP scheduler calls this at
+  // every quantum boundary.
+  void set_current_hart(unsigned hart);
+  const HartState& hart_state(unsigned hart) const {
+    return hart_states_[hart];
+  }
+
+  // Loads `image` once and starts every attached hart in the shared
+  // address space: hart h enters at the image entry with a0 = h,
+  // a1 = num_harts and its own stack (hart h's stack sits h stack-regions
+  // below stack_top). Must be called after AttachHart.
+  Status LoadSmp(const asmtool::LinkImage& image);
+
+  // Deterministic SMP scheduler: round-robin over live harts in hart-id
+  // order, `quantum` instructions per turn, on one host thread — the
+  // interleaving is a pure function of the program, so runs reproduce
+  // exactly regardless of host parallelism. Stops when every hart has
+  // exited, any hart takes a fatal trap (the whole machine halts,
+  // recording the faulting hart), or `total_limit` instructions have
+  // retired across all harts. Returns one result per hart.
+  std::vector<RunResult> RunSmp(std::uint64_t quantum,
                                 std::uint64_t total_limit);
 
   std::uint64_t context_switches() const { return stats_.context_switches; }
@@ -161,6 +219,10 @@ class Kernel {
   bool HandleSyscall(RunResult* result);
   // Trap handler: the page-fault discrimination path.
   void HandleTrap(const isa::Trap& trap, RunResult* result);
+  // The sfence.vma path after a PTE edit: flushes the calling hart's TLBs
+  // and (on SMP machines with tlb_shootdown enabled) delivers a remote
+  // flush to every other hart, charging the caller the IPI cost.
+  void ShootdownTlbs();
 
   std::uint64_t PagesFor(std::uint64_t bytes) const {
     return (bytes + mem::kPageSize - 1) / mem::kPageSize;
@@ -168,7 +230,13 @@ class Kernel {
 
   KernelConfig config_;
   mem::PhysMemory* memory_;
+  // The running hart's CPU — every handler below reads architectural
+  // state through it. Single-hart kernels never re-point it; the SMP
+  // scheduler moves it via set_current_hart.
   cpu::Cpu* cpu_;
+  std::vector<cpu::Cpu*> harts_;      // harts_[0] is the constructor's cpu
+  std::vector<HartState> hart_states_;
+  unsigned current_hart_ = 0;
   std::unique_ptr<FrameAllocator> frames_;
   std::vector<Process> processes_;
   int active_ = -1;

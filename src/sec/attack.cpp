@@ -3,6 +3,7 @@
 #include "asmtool/image.h"
 #include "audit/audit.h"
 #include "ir/builder.h"
+#include "smp/machine.h"
 
 namespace roload::sec {
 namespace {
@@ -172,6 +173,12 @@ ir::Module MakeVictimModule() {
 
 StatusOr<AttackResult> RunAttack(AttackKind kind, core::Defense defense,
                                  core::SystemVariant variant) {
+  return RunAttackSmp(kind, defense, /*harts=*/1, variant);
+}
+
+StatusOr<AttackResult> RunAttackSmp(AttackKind kind, core::Defense defense,
+                                    unsigned harts,
+                                    core::SystemVariant variant) {
   core::BuildOptions options;
   options.defense = defense;
   auto build = core::Build(MakeVictimModule(), options);
@@ -185,14 +192,18 @@ StatusOr<AttackResult> RunAttack(AttackKind kind, core::Defense defense,
     return it->second;
   };
 
-  // Baseline (unattacked) exit code for divergence detection.
+  // Baseline (unattacked) exit code for divergence detection, at the same
+  // hart count (the harts cooperatively advance the shared loop counter,
+  // so the clean exit code is a function of the interleaving — which the
+  // deterministic scheduler makes reproducible).
   std::int64_t baseline_exit = 0;
   {
-    core::SystemConfig config;
+    smp::SmpConfig config;
     config.variant = variant;
-    core::System system(config);
-    ROLOAD_RETURN_IF_ERROR(system.Load(build->image));
-    const kernel::RunResult run = system.Run();
+    config.harts = harts;
+    smp::Machine machine(config);
+    ROLOAD_RETURN_IF_ERROR(machine.Load(build->image));
+    const kernel::RunResult run = machine.Run();
     if (run.kind != kernel::ExitKind::kExited) {
       return Status::Internal("victim does not run cleanly under " +
                               std::string(core::DefenseName(defense)));
@@ -200,25 +211,28 @@ StatusOr<AttackResult> RunAttack(AttackKind kind, core::Defense defense,
     baseline_exit = run.exit_code;
   }
 
-  core::SystemConfig config;
+  smp::SmpConfig config;
   config.variant = variant;
+  config.harts = harts;
   // Forensics on: a blocked run must explain *how* it was blocked (which
   // ld.ro, which keys disagreed) — that's the evidence the result carries.
   config.trace.audit = true;
-  core::System system(config);
-  ROLOAD_RETURN_IF_ERROR(system.Load(build->image));
+  smp::Machine machine(config);
+  ROLOAD_RETURN_IF_ERROR(machine.Load(build->image));
 
-  // Phase 1: run the victim into its steady state.
-  kernel::RunResult phase1 = system.Run(kPauseInstructions);
+  // Phase 1: run the victim into its steady state — on an SMP machine,
+  // every hart is mid-dispatch when the corruption lands.
+  kernel::RunResult phase1 = machine.Run(kPauseInstructions);
   if (phase1.kind != kernel::ExitKind::kInstructionLimit) {
     return Status::Internal("victim finished before the attack landed");
   }
 
   // Phase 2: the corruption, through the attacker's arbitrary-write
-  // primitive.
-  auto write64 = [&system](std::uint64_t addr,
-                           std::uint64_t value) -> Status {
-    if (!system.cpu().DebugWriteVirt(addr, 8, value)) {
+  // primitive (the address space is shared; any hart's debug port sees
+  // the same memory).
+  auto write64 = [&machine](std::uint64_t addr,
+                            std::uint64_t value) -> Status {
+    if (!machine.cpu(0).DebugWriteVirt(addr, 8, value)) {
       return Status::Internal("arbitrary write failed");
     }
     return Status::Ok();
@@ -266,17 +280,19 @@ StatusOr<AttackResult> RunAttack(AttackKind kind, core::Defense defense,
   }
 
   // Phase 3: let the victim continue.
-  const kernel::RunResult phase3 = system.Run();
+  const kernel::RunResult phase3 = machine.Run();
 
   AttackResult result;
   result.roload_violation = phase3.roload_violation;
   result.signal = phase3.signal;
   result.exit_code = phase3.exit_code;
+  result.hart = phase3.hart;
+  result.harts = harts;
 
   std::uint64_t sentinel = 0;
   auto scratch = sym("scratch");
   if (scratch.ok()) {
-    system.cpu().DebugReadVirt(
+    machine.cpu(0).DebugReadVirt(
         *scratch + static_cast<std::uint64_t>(kSentinelOffset), 8, &sentinel);
   }
 
@@ -295,7 +311,7 @@ StatusOr<AttackResult> RunAttack(AttackKind kind, core::Defense defense,
 
   // Forensic verdict. The auditor is always attached here, so a fault-path
   // block always comes with an autopsy.
-  const audit::Auditor* auditor = system.audit();
+  const audit::Auditor* auditor = machine.audit();
   if (auditor != nullptr && !auditor->autopsies().empty()) {
     const audit::Autopsy& autopsy = auditor->autopsies().back();
     result.has_autopsy = true;
@@ -330,7 +346,7 @@ StatusOr<AttackResult> RunAttack(AttackKind kind, core::Defense defense,
       }
       break;
   }
-  result.counters = system.trace().counters().Snapshot();
+  result.counters = machine.trace().counters().Snapshot();
   return result;
 }
 

@@ -71,6 +71,13 @@ struct AttackResult {
   //   "missed:hijacked" / "diverted:in-allowlist" / "no-effect"
   std::string classification;
 
+  // SMP attribution: the hart the outcome was observed on (for a blocked
+  // attack, the hart whose keyed dispatch caught it — not necessarily the
+  // hart count minus one, the scheduler decides who dispatches first after
+  // the corruption lands) and the machine width the attack ran at.
+  unsigned hart = 0;
+  unsigned harts = 1;
+
   // End-of-run counter snapshot of the attacked system (census totals,
   // per-key TLB checks, ...) for cross-run aggregation via
   // campaign::CounterMerger.
@@ -88,5 +95,17 @@ ir::Module MakeVictimModule();
 StatusOr<AttackResult> RunAttack(AttackKind kind, core::Defense defense,
                                  core::SystemVariant variant =
                                      core::SystemVariant::kFullRoload);
+
+// The under-load variant: the victim serves on every hart of a
+// `harts`-hart SMP machine (one shared address space, so every hart
+// dispatches through the same object and function-pointer slot), and the
+// corruption lands mid-run while the other harts are mid-dispatch. The
+// result records which hart's keyed dispatch caught the attack. With
+// harts == 1 this is exactly RunAttack — the single-hart machine is
+// bit-identical to the legacy System.
+StatusOr<AttackResult> RunAttackSmp(AttackKind kind, core::Defense defense,
+                                    unsigned harts,
+                                    core::SystemVariant variant =
+                                        core::SystemVariant::kFullRoload);
 
 }  // namespace roload::sec

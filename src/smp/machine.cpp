@@ -1,0 +1,297 @@
+#include "smp/machine.h"
+
+#include <map>
+
+#include "support/strings.h"
+
+namespace roload::smp {
+namespace {
+
+// Merged fleet-wide aggregates under the historical single-hart counter
+// names, so every grid/bench that reads "cpu.cycles" or "tlb.d.key_check"
+// keeps working against an SMP snapshot. Sums are totals of work done;
+// "smp.cycles_max" is the parallel wall-clock (what Run() reports).
+void RegisterAggregateCounters(trace::CounterRegistry* counters,
+                               std::vector<const cpu::Cpu*> cpus) {
+  counters->RegisterSource([cpus](std::vector<std::pair<std::string,
+                                                        std::uint64_t>>* out) {
+    std::uint64_t cycles = 0, cycles_max = 0, instret = 0, loads = 0;
+    std::uint64_t stores = 0, roload_loads = 0, branches = 0;
+    std::uint64_t taken_branches = 0, indirect_jumps = 0;
+    std::uint64_t it_hit = 0, it_miss = 0, it_flush = 0, it_perm = 0;
+    std::uint64_t dt_hit = 0, dt_miss = 0, dt_flush = 0, dt_perm = 0;
+    std::uint64_t dt_kc = 0, dt_kch = 0, dt_kf = 0, dt_wf = 0;
+    std::uint64_t ic_hit = 0, ic_miss = 0, ic_wb = 0;
+    std::uint64_t dc_hit = 0, dc_miss = 0, dc_wb = 0;
+    std::map<std::uint32_t, std::pair<std::uint64_t, std::uint64_t>> by_key;
+    for (const cpu::Cpu* cpu : cpus) {
+      const cpu::CpuStats& c = cpu->stats();
+      cycles += c.cycles;
+      if (c.cycles > cycles_max) cycles_max = c.cycles;
+      instret += c.instructions;
+      loads += c.loads;
+      stores += c.stores;
+      roload_loads += c.roload_loads;
+      branches += c.branches;
+      taken_branches += c.taken_branches;
+      indirect_jumps += c.indirect_jumps;
+      const tlb::TlbStats& it = cpu->itlb_stats();
+      it_hit += it.hits;
+      it_miss += it.misses;
+      it_flush += it.flushes;
+      it_perm += it.permission_faults;
+      const tlb::TlbStats& dt = cpu->dtlb_stats();
+      dt_hit += dt.hits;
+      dt_miss += dt.misses;
+      dt_flush += dt.flushes;
+      dt_perm += dt.permission_faults;
+      dt_kc += dt.key_checks;
+      dt_kch += dt.key_check_hits;
+      dt_kf += dt.roload_key_faults;
+      dt_wf += dt.roload_writable_faults;
+      for (const tlb::TlbKeyCheckCount& entry : dt.key_check_by_key) {
+        by_key[entry.key].first += entry.passes;
+        by_key[entry.key].second += entry.fails;
+      }
+      const cache::CacheStats& ic = cpu->icache_stats();
+      ic_hit += ic.hits;
+      ic_miss += ic.misses;
+      ic_wb += ic.writebacks;
+      const cache::CacheStats& dc = cpu->dcache_stats();
+      dc_hit += dc.hits;
+      dc_miss += dc.misses;
+      dc_wb += dc.writebacks;
+    }
+    out->emplace_back("cpu.cycles", cycles);
+    out->emplace_back("cpu.instret", instret);
+    out->emplace_back("cpu.loads", loads);
+    out->emplace_back("cpu.stores", stores);
+    out->emplace_back("cpu.roload_loads", roload_loads);
+    out->emplace_back("cpu.branches", branches);
+    out->emplace_back("cpu.taken_branches", taken_branches);
+    out->emplace_back("cpu.indirect_jumps", indirect_jumps);
+    out->emplace_back("tlb.i.hit", it_hit);
+    out->emplace_back("tlb.i.miss", it_miss);
+    out->emplace_back("tlb.i.flush", it_flush);
+    out->emplace_back("tlb.i.permission_fault", it_perm);
+    out->emplace_back("tlb.d.hit", dt_hit);
+    out->emplace_back("tlb.d.miss", dt_miss);
+    out->emplace_back("tlb.d.flush", dt_flush);
+    out->emplace_back("tlb.d.permission_fault", dt_perm);
+    out->emplace_back("tlb.d.key_check", dt_kc);
+    out->emplace_back("tlb.d.key_check_hit", dt_kch);
+    out->emplace_back("tlb.d.key_fault", dt_kf);
+    out->emplace_back("tlb.d.writable_fault", dt_wf);
+    out->emplace_back("cache.i.hit", ic_hit);
+    out->emplace_back("cache.i.miss", ic_miss);
+    out->emplace_back("cache.i.writeback", ic_wb);
+    out->emplace_back("cache.d.hit", dc_hit);
+    out->emplace_back("cache.d.miss", dc_miss);
+    out->emplace_back("cache.d.writeback", dc_wb);
+    for (const auto& [key, counts] : by_key) {
+      out->emplace_back(StrFormat("tlb.keycheck.pass.%u", key), counts.first);
+      out->emplace_back(StrFormat("tlb.keycheck.fail.%u", key), counts.second);
+    }
+    out->emplace_back("smp.harts",
+                      static_cast<std::uint64_t>(cpus.size()));
+    out->emplace_back("smp.cycles_max", cycles_max);
+  });
+}
+
+}  // namespace
+
+Machine::Machine(const SmpConfig& config) : config_(config) {
+  ROLOAD_CHECK(config.harts >= 1);
+  memory_ = std::make_unique<mem::PhysMemory>(config.memory_bytes);
+
+  trace::TraceConfig trace_config = config.trace;
+  if (trace_config.audit) {
+    trace_config.categories |=
+        trace::CategoryBit(trace::EventCategory::kRoLoad);
+  }
+  trace_ = std::make_unique<trace::Hub>(trace_config);
+
+  cpu::CpuConfig cpu_config = config.cpu;
+  cpu_config.roload_enabled =
+      config.variant != core::SystemVariant::kBaseline;
+
+  // Shared L2 only on true SMP machines: a single hart keeps the
+  // single-level hierarchy — and with it the exact seed cycle model.
+  if (config.harts >= 2) {
+    l2_ = std::make_unique<cache::Cache>(config.l2);
+    l2_->set_trace(trace_.get(), trace::Unit::kL2Cache);
+  }
+
+  for (unsigned h = 0; h < config.harts; ++h) {
+    auto cpu = std::make_unique<cpu::Cpu>(cpu_config, memory_.get());
+    if (l2_ != nullptr) cpu->set_next_level_cache(l2_.get());
+    cpu->set_trace(trace_.get());
+    cpus_.push_back(std::move(cpu));
+  }
+
+  kernel::KernelConfig kernel_config;
+  kernel_config.roload_aware =
+      config.variant == core::SystemVariant::kFullRoload;
+  kernel_config.tlb_shootdown = config.tlb_shootdown;
+  kernel_ = std::make_unique<kernel::Kernel>(kernel_config, memory_.get(),
+                                             cpus_[0].get());
+  for (unsigned h = 1; h < config.harts; ++h) {
+    kernel_->AttachHart(cpus_[h].get());
+  }
+  kernel_->set_trace(trace_.get());
+  trace_->set_clock(&cpus_[0]->stats().cycles);
+
+  if (config.harts == 1) {
+    // Historical names, exactly as the single-hart System registers them.
+    core::RegisterCpuCounters(&trace_->counters(), *cpus_[0]);
+  } else {
+    std::vector<const cpu::Cpu*> raw;
+    for (unsigned h = 0; h < config.harts; ++h) {
+      core::RegisterCpuCounters(&trace_->counters(), *cpus_[h],
+                                StrFormat("hart%u.", h));
+      raw.push_back(cpus_[h].get());
+    }
+    RegisterAggregateCounters(&trace_->counters(), std::move(raw));
+    const cache::CacheStats& l2s = l2_->stats();
+    trace_->counters().Register("cache.l2.hit", &l2s.hits);
+    trace_->counters().Register("cache.l2.miss", &l2s.misses);
+    trace_->counters().Register("cache.l2.writeback", &l2s.writebacks);
+  }
+  core::RegisterKernelCounters(&trace_->counters(), *kernel_);
+
+  if (config_.trace.audit) {
+    auditor_ = std::make_unique<audit::Auditor>(cpus_[0].get(),
+                                                memory_.get());
+    for (unsigned h = 1; h < config.harts; ++h) {
+      auditor_->RegisterHartCpu(h, cpus_[h].get());
+    }
+    trace_->AddSink(auditor_.get());
+    kernel_->set_fault_observer(auditor_.get());
+    const audit::Auditor* auditor = auditor_.get();
+    trace_->counters().RegisterSource(
+        [auditor](std::vector<std::pair<std::string, std::uint64_t>>* out) {
+          auditor->AppendCounters(out);
+        });
+  }
+}
+
+Status Machine::Load(const asmtool::LinkImage& image) {
+  if (auditor_ != nullptr) auditor_->SetImage(image);
+  if (config_.harts == 1) return kernel_->Load(image);
+  return kernel_->LoadSmp(image);
+}
+
+kernel::RunResult Machine::Run(std::uint64_t max_instructions) {
+  if (config_.harts == 1) {
+    // The seed path, untouched: bit-identical cycles and counters.
+    kernel::RunResult result = kernel_->Run(max_instructions);
+    hart_results_ = {result};
+    return result;
+  }
+
+  hart_results_ = kernel_->RunSmp(config_.quantum, max_instructions);
+
+  // Merge to one machine-level result: a kill wins (it halted the whole
+  // machine and carries the faulting hart), then an instruction-limit,
+  // then a clean exit with the first nonzero exit code.
+  kernel::RunResult merged;
+  bool have_kill = false;
+  bool have_limit = false;
+  for (const kernel::RunResult& r : hart_results_) {
+    if (r.kind == kernel::ExitKind::kKilled && !have_kill) {
+      merged = r;
+      have_kill = true;
+    }
+  }
+  if (!have_kill) {
+    for (const kernel::RunResult& r : hart_results_) {
+      if (r.kind == kernel::ExitKind::kInstructionLimit && !have_limit) {
+        merged = r;
+        have_limit = true;
+      }
+    }
+  }
+  if (!have_kill && !have_limit) {
+    merged = hart_results_[0];
+    for (const kernel::RunResult& r : hart_results_) {
+      if (r.exit_code != 0) {
+        merged.exit_code = r.exit_code;
+        merged.hart = r.hart;
+        break;
+      }
+    }
+  }
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles_max = 0;
+  for (const kernel::RunResult& r : hart_results_) {
+    instructions += r.instructions;
+    if (r.cycles > cycles_max) cycles_max = r.cycles;
+  }
+  merged.instructions = instructions;
+  merged.cycles = cycles_max;  // parallel wall-clock
+  merged.stdout_text = hart_results_[0].stdout_text;
+  merged.peak_mem_kib = hart_results_[0].peak_mem_kib;
+  return merged;
+}
+
+StatusOr<core::RunMetrics> RunBuildSmp(const core::BuildResult& build,
+                                       core::SystemVariant variant,
+                                       unsigned harts,
+                                       std::uint64_t max_instructions,
+                                       const trace::TraceConfig& trace) {
+  SmpConfig config;
+  config.variant = variant;
+  config.harts = harts;
+  config.trace = trace;
+  Machine machine(config);
+  ROLOAD_RETURN_IF_ERROR(machine.Load(build.image));
+  const kernel::RunResult run = machine.Run(max_instructions);
+
+  core::RunMetrics metrics;
+  metrics.cycles = run.cycles;
+  metrics.instructions = run.instructions;
+  metrics.peak_mem_kib = run.peak_mem_kib;
+  metrics.image_bytes = build.image_bytes;
+  metrics.exit_code = run.exit_code;
+  metrics.completed = run.kind == kernel::ExitKind::kExited;
+  metrics.roload_violation = run.roload_violation;
+  metrics.stdout_text = run.stdout_text;
+
+  std::uint64_t roload_loads = 0;
+  std::uint64_t dt_hit = 0, dt_miss = 0;
+  std::uint64_t dc_hit = 0, dc_miss = 0, ic_hit = 0, ic_miss = 0;
+  for (unsigned h = 0; h < harts; ++h) {
+    const cpu::Cpu& cpu = machine.cpu(h);
+    roload_loads += cpu.stats().roload_loads;
+    dt_hit += cpu.dtlb_stats().hits;
+    dt_miss += cpu.dtlb_stats().misses;
+    dc_hit += cpu.dcache_stats().hits;
+    dc_miss += cpu.dcache_stats().misses;
+    ic_hit += cpu.icache_stats().hits;
+    ic_miss += cpu.icache_stats().misses;
+  }
+  metrics.roload_loads = roload_loads;
+  metrics.dtlb_miss_rate =
+      static_cast<double>(dt_miss) / static_cast<double>(dt_hit + dt_miss + 1);
+  metrics.dcache_miss_rate =
+      dc_hit + dc_miss == 0
+          ? 0.0
+          : static_cast<double>(dc_miss) / static_cast<double>(dc_hit + dc_miss);
+  metrics.icache_miss_rate =
+      ic_hit + ic_miss == 0
+          ? 0.0
+          : static_cast<double>(ic_miss) / static_cast<double>(ic_hit + ic_miss);
+  metrics.counters = machine.trace().counters().Snapshot();
+  if (trace.profile) {
+    const trace::CycleProfiler& profiler = machine.trace().profiler();
+    for (std::size_t b = 0;
+         b < static_cast<std::size_t>(trace::CycleBucket::kNumBuckets); ++b) {
+      const auto bucket = static_cast<trace::CycleBucket>(b);
+      metrics.profile.emplace_back(std::string(trace::CycleBucketName(bucket)),
+                                   profiler.bucket(bucket));
+    }
+  }
+  return metrics;
+}
+
+}  // namespace roload::smp

@@ -48,6 +48,8 @@ std::string_view EventTypeName(EventType type) {
       return "syscall";
     case EventType::kContextSwitch:
       return "context_switch";
+    case EventType::kTlbShootdown:
+      return "tlb_shootdown";
   }
   return "?";
 }
@@ -66,6 +68,8 @@ std::string_view UnitName(Unit unit) {
       return "dcache";
     case Unit::kKernel:
       return "kernel";
+    case Unit::kL2Cache:
+      return "l2";
   }
   return "?";
 }

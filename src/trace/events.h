@@ -46,6 +46,10 @@ enum class EventType : std::uint8_t {
   kTrapEnter,
   kSyscall,
   kContextSwitch,
+  // Remote TLB flush delivered to another hart after a PTE/key change
+  // (the SMP shootdown protocol): pc is the initiating hart's pc, addr 0,
+  // arg packs target_hart<<16 | initiating_hart.
+  kTlbShootdown,
 };
 
 std::string_view EventTypeName(EventType type);
@@ -58,6 +62,7 @@ enum class Unit : std::uint8_t {
   kICache,
   kDCache,
   kKernel,
+  kL2Cache,  // the SMP machine's shared second-level cache
 };
 
 std::string_view UnitName(Unit unit);
@@ -70,6 +75,9 @@ struct TraceEvent {
   EventType type = EventType::kRetire;
   EventCategory category = EventCategory::kInstruction;
   Unit unit = Unit::kCpu;
+  // Hart the event was emitted from (Hub::set_current_hart, stamped by
+  // Emit). Always 0 on single-hart systems.
+  std::uint8_t hart = 0;
 };
 
 // Observer of the live event stream. A sink attached to the Hub sees

@@ -19,6 +19,7 @@ void Hub::Emit(Unit unit, EventCategory category, EventType type,
   event.type = type;
   event.category = category;
   event.unit = unit;
+  event.hart = current_hart_;
   events_.Push(event);
   for (EventSink* sink : sinks_) sink->OnEvent(event);
 }

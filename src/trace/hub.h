@@ -41,8 +41,17 @@ class Hub {
   bool profiling() const { return config_.profile; }
 
   // Timestamp source: the CPU's cycle counter. Set once by the System.
+  // SMP machines re-point it at the running hart's counter on every
+  // scheduler turn (alongside set_current_hart).
   void set_clock(const std::uint64_t* cycles) { clock_ = cycles; }
   std::uint64_t now() const { return clock_ != nullptr ? *clock_ : 0; }
+
+  // Hart id stamped into every emitted event. The SMP scheduler updates
+  // it before each hart's quantum; single-hart systems never touch it.
+  void set_current_hart(unsigned hart) {
+    current_hart_ = static_cast<std::uint8_t>(hart);
+  }
+  unsigned current_hart() const { return current_hart_; }
 
   // Records an event stamped with now(). Callers must check enabled()
   // first (the emission sites are hot paths; Emit assumes the check).
@@ -76,6 +85,7 @@ class Hub {
  private:
   TraceConfig config_;
   const std::uint64_t* clock_ = nullptr;
+  std::uint8_t current_hart_ = 0;
   CounterRegistry counters_;
   EventBuffer events_;
   CycleProfiler profiler_;

@@ -18,6 +18,13 @@ constexpr std::uint64_t kHotWindowBytes = 64 * 1024;
 // Ops per generated phase function (bounds frame size).
 constexpr unsigned kOpsPerPhase = 16;
 
+// RPC server family: handler-table geometry and per-hart state layout.
+constexpr unsigned kRpcHandlers = 8;       // distinct handler functions
+constexpr unsigned kRpcHandlerSlots = 16;  // handler-table entries
+constexpr unsigned kRpcOpsPerHandler = 10;
+constexpr unsigned kRpcMaxHarts = 8;       // rpc_state rows
+constexpr unsigned kRpcStateStride = 64;   // bytes per hart row
+
 // The op menu for the hot loop.
 enum class OpKind : unsigned {
   kArith = 0,
@@ -32,6 +39,7 @@ std::string VcallTypeName() { return "i64(ptr,i64)"; }
 std::string CbTypeName(unsigned type) {
   return StrFormat("i64(i64)#cb%u", type);
 }
+std::string RpcHandlerTypeName() { return "i64(i64)#rpc"; }
 
 class Generator {
  public:
@@ -51,6 +59,11 @@ class Generator {
   std::vector<std::string> EmitColdFns();
   void EmitStep(const std::vector<std::string>& phases);
   void EmitMain(const std::vector<std::string>& cold_fns);
+
+  // RPC server family (WorkloadKind::kRpcServer).
+  void EmitRpcGlobals();
+  void EmitRpcHandlers();
+  void EmitRpcMain();
 
   // Op emitters; take and return the running value vreg.
   int EmitArith(ir::FunctionBuilder& b, int v);
@@ -420,6 +433,121 @@ void Generator::EmitMain(const std::vector<std::string>& cold_fns) {
   }
 }
 
+void Generator::EmitRpcGlobals() {
+  // Per-hart server state rows: hart h owns bytes [h*64, (h+1)*64) — the
+  // request cursor and response accumulator never share a row across
+  // harts, so the shared address space stays free of cross-hart races.
+  ir::Global state;
+  state.name = "rpc_state";
+  state.read_only = false;
+  state.zero_bytes = kRpcMaxHarts * kRpcStateStride;
+  module_.globals.push_back(std::move(state));
+
+  // The handler table: the function-pointer middleware every request is
+  // routed through. Writable like the callback tables — this is exactly
+  // the attack surface the ICall defense keys with ld.ro.
+  ir::Global table;
+  table.name = "rpc_table";
+  table.read_only = false;
+  for (unsigned s = 0; s < kRpcHandlerSlots; ++s) {
+    table.quads.push_back(
+        ir::GlobalInit{0, StrFormat("rpc_handler_%u", s % kRpcHandlers)});
+  }
+  module_.globals.push_back(std::move(table));
+}
+
+void Generator::EmitRpcHandlers() {
+  // Handler bodies are vcall-heavy walks across the class hierarchies
+  // (mixed keys once the VCall defense assigns per-hierarchy keys), with
+  // icall callbacks and memory traffic mixed in. No branch ops: those
+  // spill through the shared `scratch` global, which multiple harts must
+  // not race on.
+  std::vector<unsigned> weights = {spec_.arith_weight, spec_.mem_weight,
+                                   0,                  spec_.call_weight,
+                                   spec_.icall_weight, spec_.vcall_weight};
+  for (unsigned handler = 0; handler < kRpcHandlers; ++handler) {
+    ir::FunctionBuilder b(&module_, StrFormat("rpc_handler_%u", handler),
+                          RpcHandlerTypeName(), 1);
+    int v = b.BinImm(ir::BinOp::kXor, b.Param(0),
+                     static_cast<std::int64_t>(handler * 29 + 3));
+    for (unsigned i = 0; i < kRpcOpsPerHandler; ++i) {
+      switch (static_cast<OpKind>(rng_.NextWeighted(weights))) {
+        case OpKind::kArith:
+          v = EmitArith(b, v);
+          break;
+        case OpKind::kMem:
+          v = EmitMem(b, v);
+          break;
+        case OpKind::kBranch:  // weight 0; unreachable
+          v = EmitArith(b, v);
+          break;
+        case OpKind::kCall:
+          v = EmitCall(b, v);
+          break;
+        case OpKind::kICall:
+          v = spec_.icall_weight > 0 ? EmitICall(b, v) : EmitArith(b, v);
+          break;
+        case OpKind::kVCall:
+          v = spec_.vcall_weight > 0 ? EmitVCall(b, v) : EmitArith(b, v);
+          break;
+      }
+    }
+    b.Ret(v);
+  }
+}
+
+void Generator::EmitRpcMain() {
+  // main(hartid, nharts): serve requests hartid, hartid+nharts, ... until
+  // spec_.iterations requests have been issued machine-wide. Virtual
+  // registers live in stack slots, and every hart runs on its own stack,
+  // so the cross-block values below are naturally per-hart.
+  ir::FunctionBuilder b(&module_, "main", "i64(i64,i64)", 2);
+  const int rpc_type = module_.InternFnType(RpcHandlerTypeName());
+  // A single-hart loader passes a1 = 0: nharts = a1 + (a1 <u 1).
+  const int one_if_zero = b.BinImm(ir::BinOp::kSltu, b.Param(1), 1);
+  const int nharts = b.Bin(ir::BinOp::kAdd, b.Param(1), one_if_zero);
+  // This hart's rpc_state row.
+  const int row_off = b.BinImm(ir::BinOp::kShl, b.Param(0), 6);
+  const int base = b.AddrOf("rpc_state");
+  const int slot = b.Bin(ir::BinOp::kAdd, base, row_off);
+  b.Store(slot, b.Param(0), 0);  // next request to serve
+  b.Store(slot, b.Const(static_cast<std::int64_t>(spec_.seed | 1)), 8);
+  b.Br("serve_head");
+
+  b.SetBlock("serve_head");
+  {
+    const int r = b.Load(slot, 0);
+    const int cond = b.BinImm(ir::BinOp::kSltu, r,
+                              static_cast<std::int64_t>(spec_.iterations));
+    b.CondBr(cond, "serve_body", "drain");
+  }
+  b.SetBlock("serve_body");
+  {
+    const int r = b.Load(slot, 0);
+    const int acc = b.Load(slot, 8);
+    // Route the request through the handler table (icall middleware).
+    const int mixed = b.Bin(ir::BinOp::kAdd, r, acc);
+    const int hashed = b.BinImm(ir::BinOp::kMul, mixed, 0x5E3779B1);
+    const int shifted = b.BinImm(ir::BinOp::kShr, hashed, 5);
+    const int idx =
+        b.BinImm(ir::BinOp::kAnd, shifted, kRpcHandlerSlots - 1);
+    const int byte_off = b.BinImm(ir::BinOp::kShl, idx, 3);
+    const int tbase = b.AddrOf("rpc_table");
+    const int entry = b.Bin(ir::BinOp::kAdd, tbase, byte_off);
+    const int fn = b.Load(entry, 0, 8, ir::Trait::kFnPtrLoad, rpc_type);
+    const int req = b.Bin(ir::BinOp::kAdd, acc, r);
+    const int resp = b.ICall(fn, {req}, rpc_type);
+    b.Store(slot, b.Bin(ir::BinOp::kXor, acc, resp), 8);
+    b.Store(slot, b.Bin(ir::BinOp::kAdd, r, nharts), 0);
+    b.Br("serve_head");
+  }
+  b.SetBlock("drain");
+  {
+    const int acc = b.Load(slot, 8);
+    b.Ret(b.BinImm(ir::BinOp::kAnd, acc, 63));
+  }
+}
+
 ir::Module Generator::Run() {
   module_.name = spec_.name;
   // Intern the shared types first so ids are stable across workloads.
@@ -428,8 +556,14 @@ ir::Module Generator::Run() {
   EmitMethods();
   EmitCallbacks();
   EmitHelpers();
-  EmitStep(EmitPhases());
-  EmitMain(EmitColdFns());
+  if (spec_.kind == WorkloadKind::kRpcServer) {
+    EmitRpcGlobals();
+    EmitRpcHandlers();
+    EmitRpcMain();
+  } else {
+    EmitStep(EmitPhases());
+    EmitMain(EmitColdFns());
+  }
   module_.RecomputeAddressTaken();
   ROLOAD_CHECK(ir::Verify(module_).ok());
   return std::move(module_);
@@ -507,6 +641,31 @@ std::vector<WorkloadSpec> SpecCint2006Suite(double scale) {
   suite.push_back(
       CppStyle("483.xalancbmk_like", 2, 3, 6, 6, 12288, it(2000), 483));
   return suite;
+}
+
+WorkloadSpec RpcServerWorkload(std::uint64_t requests, std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.name = "rpc_server";
+  spec.kind = WorkloadKind::kRpcServer;
+  spec.is_cpp = true;
+  spec.hierarchies = 4;
+  spec.classes_per_hierarchy = 4;
+  spec.vtable_slots = 4;
+  spec.fn_types = 4;
+  spec.fns_per_type = 8;
+  // Handler bodies are dispatch-heavy: mostly virtual calls across the
+  // hierarchies with icall callbacks mixed in. Branches are excluded (the
+  // branch emitter spills through a shared global).
+  spec.arith_weight = 4;
+  spec.mem_weight = 4;
+  spec.branch_weight = 0;
+  spec.call_weight = 2;
+  spec.icall_weight = 3;
+  spec.vcall_weight = 8;
+  spec.iterations = requests;  // total requests, spread across harts
+  spec.data_kib = 2048;
+  spec.seed = seed;
+  return spec;
 }
 
 std::vector<WorkloadSpec> SpecCppSubset(double scale) {

@@ -20,8 +20,25 @@
 
 namespace roload::workloads {
 
+// Which program family the generator emits.
+enum class WorkloadKind : std::uint8_t {
+  kSpecLike,    // SPEC CINT2006-like batch benchmark (the original family)
+  // RPC dispatch server: a strided request loop where every request is
+  // routed through a function-pointer handler table (icall middleware)
+  // into vcall-heavy handlers that dispatch across several class
+  // hierarchies — a mixed-key handler walk once the defenses assign
+  // per-hierarchy/per-type keys. main has type i64(i64, i64) and receives
+  // (hartid, nharts), so on an SMP machine hart h serves requests
+  // h, h+nharts, h+2*nharts, ... with all per-hart mutable state indexed
+  // by hartid (the single shared address space stays race-free). Loaded
+  // on a single-hart machine both arguments are zero and the loop
+  // degrades to serving every request on hart 0.
+  kRpcServer,
+};
+
 struct WorkloadSpec {
   std::string name;
+  WorkloadKind kind = WorkloadKind::kSpecLike;
   bool is_cpp = false;
 
   // Static structure.
@@ -65,5 +82,10 @@ std::vector<WorkloadSpec> SpecCint2006Suite(double scale = 1.0);
 // The three C++ benchmarks of the suite (omnetpp/astar/xalancbmk
 // analogues) used by the Figure-3 experiment.
 std::vector<WorkloadSpec> SpecCppSubset(double scale = 1.0);
+
+// The RPC dispatch-server workload (kind == kRpcServer): `requests` total
+// requests spread across however many harts the machine runs.
+WorkloadSpec RpcServerWorkload(std::uint64_t requests = 600,
+                               std::uint64_t seed = 777);
 
 }  // namespace roload::workloads

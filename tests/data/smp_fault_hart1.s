@@ -1,0 +1,23 @@
+# SMP exit-code-contract fixture: hart 0 exits cleanly (code 0) while
+# hart 1 trips a runtime ROLoad key mismatch (its ld.ro names key 5, but
+# `secret` lives on the key-9 page). The kill on hart 1 halts the whole
+# machine and wins the result merge, so `rrun --harts 2` must exit 99 —
+# the contract holds whichever hart the violation lands on.
+.section .text
+_start:
+  bnez a0, hart1
+  li a0, 0
+  li a7, 93
+  ecall
+hart1:
+  la t0, secret
+  ld.ro t1, (t0), 5
+  li a0, 0
+  li a7, 93
+  ecall
+.section .rodata.key.9
+secret:
+  .quad 1234
+.section .rodata.key.5
+legit:
+  .quad 4321

@@ -249,6 +249,68 @@ TEST(CampaignRunnerTest, ParallelIsBitIdenticalToSerial) {
   }
 }
 
+TEST(CampaignSpecTest, HartsAxisSuffixesOnlySmpCells) {
+  campaign::CampaignSpec spec;
+  spec.workloads = {workloads::RpcServerWorkload(128)};
+  spec.configs = {campaign::ForDefense(core::Defense::kVCall)};
+  spec.harts = {1, 2, 4};
+  const auto runs = campaign::Expand(spec);
+  ASSERT_EQ(runs.size(), 3u);
+  // The single-hart cell keeps the historical name; SMP cells get "/h<N>".
+  EXPECT_EQ(runs[0].name, "rpc_server/VCall/full");
+  EXPECT_EQ(runs[0].harts, 1u);
+  EXPECT_EQ(runs[1].name, "rpc_server/VCall/full/h2");
+  EXPECT_EQ(runs[1].harts, 2u);
+  EXPECT_EQ(runs[2].name, "rpc_server/VCall/full/h4");
+  EXPECT_EQ(runs[2].harts, 4u);
+}
+
+TEST(CampaignRunnerTest, SmpGridIsBitIdenticalAcrossJobCounts) {
+  // The jobs-1-vs-N differential over a grid with SMP cells: host
+  // parallelism must not perturb the simulated interleaving.
+  campaign::CampaignSpec spec;
+  spec.workloads = {workloads::RpcServerWorkload(200)};
+  spec.configs = {campaign::ForDefense(core::Defense::kNone),
+                  campaign::ForDefense(core::Defense::kVCall)};
+  spec.harts = {1, 2, 4};
+  const campaign::CampaignResult serial = campaign::Run(spec, {.jobs = 1});
+  const campaign::CampaignResult parallel = campaign::Run(spec, {.jobs = 4});
+  ASSERT_EQ(serial.outcomes().size(), 6u);
+  ASSERT_TRUE(serial.all_ok());
+  ASSERT_TRUE(parallel.all_ok());
+  for (std::size_t i = 0; i < serial.outcomes().size(); ++i) {
+    const auto& a = serial.outcomes()[i];
+    const auto& b = parallel.outcomes()[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.metrics.cycles, b.metrics.cycles);
+    EXPECT_EQ(a.metrics.instructions, b.metrics.instructions);
+    EXPECT_EQ(a.metrics.exit_code, b.metrics.exit_code);
+    EXPECT_EQ(a.metrics.counters, b.metrics.counters);
+  }
+  // And the SMP cells really scaled: 2 harts beat 1 on wall-clock.
+  const auto* one = serial.Find("rpc_server/VCall/full");
+  const auto* two = serial.Find("rpc_server/VCall/full/h2");
+  ASSERT_NE(one, nullptr);
+  ASSERT_NE(two, nullptr);
+  EXPECT_LT(two->metrics.cycles, one->metrics.cycles);
+}
+
+TEST(CampaignGridTest, ParsesHartsAxisAndRpcWorkload) {
+  campaign::CampaignSpec spec;
+  ASSERT_TRUE(campaign::ParseGrid(
+                  "workloads=rpc_server;defenses=VCall;harts=1,2,4", 1.0,
+                  &spec)
+                  .ok());
+  ASSERT_EQ(spec.workloads.size(), 1u);
+  EXPECT_EQ(spec.workloads[0].name, "rpc_server");
+  EXPECT_EQ(spec.workloads[0].kind, workloads::WorkloadKind::kRpcServer);
+  ASSERT_EQ(spec.harts.size(), 3u);
+  EXPECT_EQ(spec.harts[2], 4u);
+  campaign::CampaignSpec bad;
+  EXPECT_FALSE(campaign::ParseGrid("harts=0", 1.0, &bad).ok());
+  EXPECT_FALSE(campaign::ParseGrid("harts=x", 1.0, &bad).ok());
+}
+
 TEST(CampaignRunnerTest, FaultingRunDoesNotAbortTheGrid) {
   campaign::CampaignSpec spec = TinyCppGrid();
   spec.max_instructions = 1000;  // nothing real finishes in 1000 instructions

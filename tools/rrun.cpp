@@ -2,9 +2,15 @@
 // ROLoad machine.
 //
 //   rrun program.rimg|program.s [--variant baseline|proc|full]
-//        [--max-instructions N] [--trace] [--stats] [--verify]
+//        [--harts N] [--max-instructions N] [--trace] [--stats] [--verify]
 //        [--stats-json FILE] [--profile FILE] [--trace-events FILE]
 //        [--audit FILE]
+//
+// --harts         run on an N-hart SMP machine (default 1, the legacy
+//                 single-hart system — bit-identical cycles/counters).
+//                 Every hart boots at _start with a0 = hartid, a1 = N;
+//                 the exit-code contract below is machine-level: a ROLoad
+//                 kill on ANY hart exits 99, whichever hart it was
 //
 // --verify        run the static pointee-integrity verifier (src/verify)
 //                 on the image first, then cross-check the loader: every
@@ -47,6 +53,7 @@
 #include "core/system.h"
 #include "core/toolchain.h"
 #include "isa/disasm.h"
+#include "smp/machine.h"
 #include "support/strings.h"
 #include "trace/exporters.h"
 #include "trace/stream_sink.h"
@@ -60,7 +67,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: rrun program.rimg|program.s "
-               "[--variant baseline|proc|full] [--max-instructions N] "
+               "[--variant baseline|proc|full] [--harts N] "
+               "[--max-instructions N] "
                "[--trace] [--stats] [--verify] [--stats-json FILE] "
                "[--profile FILE] [--trace-events FILE] [--audit FILE]\n");
   return 2;
@@ -88,6 +96,7 @@ bool FlagValue(int argc, char** argv, int* i, const char* flag,
 int main(int argc, char** argv) {
   std::string input;
   core::SystemVariant variant = core::SystemVariant::kFullRoload;
+  unsigned harts = 1;
   std::uint64_t max_instructions = 1ull << 32;
   bool trace = false;
   bool stats = false;
@@ -116,6 +125,10 @@ int main(int argc, char** argv) {
       } else {
         return Usage();
       }
+    } else if (arg == "--harts" && i + 1 < argc) {
+      const unsigned long parsed = std::strtoul(argv[++i], nullptr, 0);
+      if (parsed == 0 || parsed > 64) return Usage();
+      harts = static_cast<unsigned>(parsed);
     } else if (arg == "--max-instructions" && i + 1 < argc) {
       max_instructions = std::strtoull(argv[++i], nullptr, 0);
     } else if (arg == "--trace") {
@@ -170,14 +183,17 @@ int main(int argc, char** argv) {
     }
   }
 
-  core::SystemConfig config;
+  smp::SmpConfig config;
   config.variant = variant;
+  config.harts = harts;
   config.trace.profile = !profile_path.empty();
   config.trace.audit = !audit_path.empty();
   if (!trace_events_path.empty()) {
     config.trace.categories = trace::kAllCategories;
   }
-  core::System system(config);
+  // One hart is the legacy single-hart System, bit-for-bit; more harts
+  // share the address space behind a shared L2.
+  smp::Machine system(config);
   if (Status status = system.Load(image); !status.ok()) {
     std::fprintf(stderr, "rrun: %s\n", status.ToString().c_str());
     return 1;
@@ -187,7 +203,8 @@ int main(int argc, char** argv) {
     // section must actually be mapped read-only with its key in the page
     // tables the kernel just built (a roload-unaware kernel silently maps
     // keys as 0, which would disarm ld.ro).
-    const verify::Report loader_report = core::VerifyLoadedImage(system, image);
+    const verify::Report loader_report =
+        core::VerifyLoadedImage(system.kernel(), image);
     if (!loader_report.ok()) {
       std::fprintf(stderr, "rrun: loader verification failed:\n%s",
                    loader_report.ToText().c_str());
@@ -208,12 +225,14 @@ int main(int argc, char** argv) {
     system.trace().AddSink(event_sink.get());
   }
   if (trace) {
-    system.cpu().set_trace_hook(
-        [](std::uint64_t pc, const isa::Instruction& inst) {
-          std::fprintf(stderr, "%10llx:  %s\n",
-                       static_cast<unsigned long long>(pc),
-                       isa::Disassemble(inst).c_str());
-        });
+    for (unsigned h = 0; h < harts; ++h) {
+      system.cpu(h).set_trace_hook(
+          [h](std::uint64_t pc, const isa::Instruction& inst) {
+            std::fprintf(stderr, "[%u] %10llx:  %s\n", h,
+                         static_cast<unsigned long long>(pc),
+                         isa::Disassemble(inst).c_str());
+          });
+    }
   }
 
   const kernel::RunResult result = system.Run(max_instructions);
@@ -245,6 +264,20 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(
                      system.cpu().dtlb_stats().misses),
                  static_cast<unsigned long long>(result.peak_mem_kib));
+    // SMP runs append the per-hart split (the block above is hart 0) and
+    // the machine totals the merged result reports.
+    if (harts > 1) {
+      for (unsigned h = 0; h < harts; ++h) {
+        const auto& hart = system.cpu(h).stats();
+        std::fprintf(stderr, "hart%u        %llu instructions, %llu cycles\n",
+                     h, static_cast<unsigned long long>(hart.instructions),
+                     static_cast<unsigned long long>(hart.cycles));
+      }
+      std::fprintf(stderr, "machine      %llu instructions, %llu cycles "
+                   "(max over harts)\n",
+                   static_cast<unsigned long long>(result.instructions),
+                   static_cast<unsigned long long>(result.cycles));
+    }
   }
 
   if (!stats_json_path.empty()) {
