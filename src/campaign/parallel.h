@@ -1,0 +1,49 @@
+// Deterministic parallel map: evaluates fn(0) .. fn(count-1) on up to
+// `jobs` threads (0 = one per hardware thread); results land in index
+// order regardless of completion order. The building block under
+// campaign::RunCampaign, and header-only with no campaign (or core)
+// dependencies so lower layers — the per-function binary verifier in
+// src/verify — can fan out over the same pool discipline without
+// linking roload_campaign (which links core, which links verify).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace roload::campaign {
+
+inline unsigned ResolveJobs(unsigned jobs, std::size_t count) {
+  if (jobs == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs = hw > 0 ? hw : 1;
+  }
+  if (count < jobs) jobs = static_cast<unsigned>(count);
+  return jobs > 0 ? jobs : 1;
+}
+
+template <typename T, typename Fn>
+std::vector<T> ParallelMap(std::size_t count, unsigned jobs, Fn&& fn) {
+  std::vector<T> results(count);
+  const unsigned workers = ResolveJobs(jobs, count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) results[i] = fn(i);
+    return results;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= count) break;
+      results[i] = fn(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) threads.emplace_back(worker);
+  for (std::thread& thread : threads) thread.join();
+  return results;
+}
+
+}  // namespace roload::campaign

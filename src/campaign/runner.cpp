@@ -43,15 +43,6 @@ RunOutcome ExecuteOne(const RunSpec& spec, std::size_t index) {
 
 }  // namespace
 
-unsigned ResolveJobs(unsigned jobs, std::size_t count) {
-  if (jobs == 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    jobs = hw > 0 ? hw : 1;
-  }
-  if (count < jobs) jobs = static_cast<unsigned>(count);
-  return jobs > 0 ? jobs : 1;
-}
-
 std::string RunOutcome::FailureText() const {
   if (!status.ok()) return status.ToString();
   if (!build_only && !metrics.completed) {

@@ -7,50 +7,22 @@
 // status in its outcome slot instead of aborting the grid.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <string_view>
-#include <thread>
 #include <utility>
 #include <vector>
 
+// ResolveJobs + ParallelMap live in campaign/parallel.h (header-only, no
+// campaign deps) so non-bench callers — the parallel per-function binary
+// verifier — can reuse the pool discipline without linking this library.
+#include "campaign/parallel.h"
 #include "campaign/spec.h"
 #include "trace/merge.h"
 #include "trace/session.h"
 
 namespace roload::campaign {
-
-// Deterministic parallel map: evaluates fn(0) .. fn(count-1) on up to
-// `jobs` threads (0 = one per hardware thread); results land in index
-// order regardless of completion order. The building block under
-// RunCampaign, exported for grids whose cells are not plain
-// workload × defense runs (the attack-injection matrix).
-unsigned ResolveJobs(unsigned jobs, std::size_t count);
-
-template <typename T, typename Fn>
-std::vector<T> ParallelMap(std::size_t count, unsigned jobs, Fn&& fn) {
-  std::vector<T> results(count);
-  const unsigned workers = ResolveJobs(jobs, count);
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < count; ++i) results[i] = fn(i);
-    return results;
-  }
-  std::atomic<std::size_t> next{0};
-  auto worker = [&]() {
-    while (true) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= count) break;
-      results[i] = fn(i);
-    }
-  };
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (unsigned t = 0; t < workers; ++t) threads.emplace_back(worker);
-  for (std::thread& thread : threads) thread.join();
-  return results;
-}
 
 // Static instrumentation/code-size numbers of one build, available even
 // for build-only runs.

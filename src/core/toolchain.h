@@ -38,6 +38,10 @@ struct BuildOptions {
   // Run the static pointee-integrity verifier (src/verify) on the build
   // products; Build fails with FailedPrecondition on any violation.
   bool verify = false;
+  // Worker threads for the verifier's per-function checking phase
+  // (0 = one per hardware thread). Any count yields bit-identical
+  // reports; raise it for whole-image verification of large builds.
+  unsigned verify_jobs = 1;
 };
 
 struct BuildResult {

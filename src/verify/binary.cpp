@@ -2,17 +2,18 @@
 
 #include <algorithm>
 #include <cstring>
-#include <deque>
 #include <map>
 #include <set>
 #include <string>
 #include <vector>
 
-#include "isa/encoding.h"
+#include "campaign/parallel.h"
 #include "isa/instruction.h"
 #include "isa/opcodes.h"
 #include "isa/registers.h"
 #include "support/strings.h"
+#include "verify/callgraph.h"
+#include "verify/summary.h"
 
 namespace roload::verify {
 namespace {
@@ -23,91 +24,8 @@ using isa::Instruction;
 using isa::Opcode;
 
 constexpr std::uint64_t kPageSize = 4096;
-
-// ---------------------------------------------------------------------------
-// Abstract values.
-
-struct AbsVal {
-  enum class Kind : std::uint8_t { kBottom, kConst, kRoLoaded, kUnknown };
-  Kind kind = Kind::kBottom;
-  std::uint64_t bits = 0;  // kConst: value; kRoLoaded: page key
-
-  static AbsVal Bottom() { return {}; }
-  static AbsVal Const(std::uint64_t v) { return {Kind::kConst, v}; }
-  static AbsVal RoLoaded(std::uint32_t key) { return {Kind::kRoLoaded, key}; }
-  static AbsVal Unknown() { return {Kind::kUnknown, 0}; }
-
-  bool operator==(const AbsVal&) const = default;
-};
-
-AbsVal Join(const AbsVal& a, const AbsVal& b) {
-  if (a == b) return a;
-  if (a.kind == AbsVal::Kind::kBottom) return b;
-  if (b.kind == AbsVal::Kind::kBottom) return a;
-  return AbsVal::Unknown();
-}
-
-// Machine state at one program point: the 32 integer registers, the
-// stack-pointer displacement from function entry, and the abstract
-// contents of sp-relative 8-byte slots (keyed by entry-relative offset).
-struct State {
-  AbsVal regs[32];
-  bool reached = false;
-  bool sp_valid = true;
-  std::int64_t sp_off = 0;  // sp == entry_sp + sp_off
-  std::map<std::int64_t, AbsVal> slots;
-};
-
-void DropSlots(State* s) { s->slots.clear(); }
-
-void InvalidateSp(State* s) {
-  s->sp_valid = false;
-  s->slots.clear();
-}
-
-// Returns true when `into` changed.
-bool Merge(State* into, const State& from) {
-  if (!into->reached) {
-    *into = from;
-    into->reached = true;
-    return true;
-  }
-  bool changed = false;
-  for (int r = 0; r < 32; ++r) {
-    AbsVal j = Join(into->regs[r], from.regs[r]);
-    if (!(j == into->regs[r])) {
-      into->regs[r] = j;
-      changed = true;
-    }
-  }
-  if (into->sp_valid &&
-      (!from.sp_valid || from.sp_off != into->sp_off)) {
-    InvalidateSp(into);
-    changed = true;
-  }
-  if (into->sp_valid) {
-    for (auto it = into->slots.begin(); it != into->slots.end();) {
-      auto other = from.slots.find(it->first);
-      AbsVal j = other == from.slots.end()
-                     ? AbsVal::Unknown()
-                     : Join(it->second, other->second);
-      if (j.kind == AbsVal::Kind::kUnknown) {
-        it = into->slots.erase(it);
-        changed = true;
-      } else {
-        if (!(j == it->second)) {
-          it->second = j;
-          changed = true;
-        }
-        ++it;
-      }
-    }
-  }
-  return changed;
-}
-
-// ---------------------------------------------------------------------------
-// Image geometry helpers.
+constexpr std::uint8_t kRa = static_cast<std::uint8_t>(isa::Reg::kRa);
+constexpr std::uint8_t kA0 = static_cast<std::uint8_t>(isa::Reg::kA0);
 
 const Section* SectionContaining(const LinkImage& image, std::uint64_t addr,
                                  std::uint64_t size) {
@@ -117,294 +35,10 @@ const Section* SectionContaining(const LinkImage& image, std::uint64_t addr,
   return nullptr;
 }
 
-bool IsKeyedRo(const Section& sec) {
-  return sec.key != 0 && sec.perms.read && !sec.perms.write &&
-         !sec.perms.exec;
-}
-
-// A function carved out of an executable section's symbol table.
-struct FuncSpan {
-  std::string name;
-  std::uint64_t start = 0;
-  std::uint64_t end = 0;
-};
-
-std::vector<FuncSpan> CarveFunctions(const LinkImage& image) {
-  std::vector<FuncSpan> funcs;
-  for (const Section& sec : image.sections) {
-    if (!sec.perms.exec) continue;
-    // Function symbols: inside this section, not block-local (.L_*).
-    std::vector<std::pair<std::uint64_t, std::string>> syms;
-    for (const auto& [name, addr] : image.symbols) {
-      if (addr < sec.vaddr || addr >= sec.vaddr + sec.size) continue;
-      if (name.rfind(".L", 0) == 0) continue;
-      syms.emplace_back(addr, name);
-    }
-    std::sort(syms.begin(), syms.end());
-    const std::uint64_t code_end = sec.vaddr + sec.bytes.size();
-    for (std::size_t i = 0; i < syms.size(); ++i) {
-      std::uint64_t end =
-          i + 1 < syms.size() ? syms[i + 1].first : code_end;
-      if (syms[i].first >= end) continue;  // aliased symbol, zero-size
-      funcs.push_back(FuncSpan{syms[i].second, syms[i].first, end});
-    }
-  }
-  return funcs;
-}
-
-// Linearly decoded function body.
-struct DecodedFunc {
-  FuncSpan span;
-  std::vector<std::uint64_t> pcs;
-  std::vector<Instruction> insts;
-  std::map<std::uint64_t, std::size_t> index_of;  // pc -> insts index
-};
-
-DecodedFunc DecodeFunc(const Section& sec, const FuncSpan& span) {
-  DecodedFunc fn;
-  fn.span = span;
-  std::uint64_t pc = span.start;
-  while (pc + 2 <= span.end) {
-    const std::uint64_t off = pc - sec.vaddr;
-    std::uint32_t raw = 0;
-    const std::uint64_t avail =
-        std::min<std::uint64_t>(4, sec.bytes.size() - off);
-    std::memcpy(&raw, sec.bytes.data() + off, avail);
-    std::uint16_t low16 = static_cast<std::uint16_t>(raw);
-    const unsigned len = isa::ParcelLength(low16);
-    if (pc + len > span.end) break;
-    std::optional<Instruction> inst = isa::Decode(raw);
-    if (!inst.has_value()) break;  // alignment padding / data tail
-    fn.index_of[pc] = fn.insts.size();
-    fn.pcs.push_back(pc);
-    fn.insts.push_back(*inst);
-    pc += inst->length;
-  }
-  return fn;
-}
-
-const Section* ExecSectionFor(const LinkImage& image, const FuncSpan& span) {
-  for (const Section& sec : image.sections) {
-    if (sec.perms.exec && span.start >= sec.vaddr &&
-        span.start < sec.vaddr + sec.size) {
-      return &sec;
-    }
-  }
-  return nullptr;
-}
-
-// ---------------------------------------------------------------------------
-// Transfer function.
-
-constexpr std::uint8_t kSp = static_cast<std::uint8_t>(isa::Reg::kSp);
-constexpr std::uint8_t kRa = static_cast<std::uint8_t>(isa::Reg::kRa);
-
-bool IsCallerSaved(int r) {
-  return r == 1 || (r >= 5 && r <= 7) || (r >= 10 && r <= 17) ||
-         (r >= 28 && r <= 31);
-}
-
-void ClobberCall(State* s) {
-  for (int r = 0; r < 32; ++r) {
-    if (IsCallerSaved(r)) s->regs[r] = AbsVal::Unknown();
-  }
-  DropSlots(s);  // the callee may store anywhere
-}
-
-void SetReg(State* s, std::uint8_t rd, AbsVal v) {
-  if (rd != 0) s->regs[rd] = v;
-}
-
 // Is `jalr` a plain return? (The assembler's `ret` pseudo.)
 bool IsRet(const Instruction& inst) {
   return inst.op == Opcode::kJalr && inst.rd == 0 && inst.rs1 == kRa &&
          inst.imm == 0;
-}
-
-struct Successors {
-  std::uint64_t pcs[2];
-  int count = 0;
-  void Add(std::uint64_t pc) { pcs[count++] = pc; }
-};
-
-// Applies `inst` at `pc` to `s`; returns the intra-function successors.
-Successors Step(const DecodedFunc& fn, std::uint64_t pc,
-                const Instruction& inst, State* s) {
-  Successors succ;
-  const std::uint64_t next = pc + inst.length;
-  auto in_func = [&fn](std::uint64_t target) {
-    return fn.index_of.count(target) != 0;
-  };
-
-  switch (inst.op) {
-    case Opcode::kLui:
-      SetReg(s, inst.rd,
-             AbsVal::Const(static_cast<std::uint64_t>(inst.imm) << 12));
-      succ.Add(next);
-      return succ;
-    case Opcode::kAuipc:
-      SetReg(s, inst.rd,
-             AbsVal::Const(pc + (static_cast<std::uint64_t>(inst.imm) << 12)));
-      succ.Add(next);
-      return succ;
-    case Opcode::kAddi: {
-      if (inst.rd == kSp) {
-        if (inst.rs1 == kSp && s->sp_valid) {
-          s->sp_off += inst.imm;
-        } else {
-          InvalidateSp(s);
-        }
-        succ.Add(next);
-        return succ;
-      }
-      const AbsVal src = s->regs[inst.rs1];
-      if (src.kind == AbsVal::Kind::kConst) {
-        SetReg(s, inst.rd, AbsVal::Const(src.bits + inst.imm));
-      } else if (inst.imm == 0) {
-        SetReg(s, inst.rd, src);  // mv preserves provenance
-      } else {
-        SetReg(s, inst.rd, AbsVal::Unknown());
-      }
-      succ.Add(next);
-      return succ;
-    }
-    case Opcode::kAddiw: {
-      const AbsVal src = s->regs[inst.rs1];
-      if (inst.rd == kSp) {
-        InvalidateSp(s);
-      } else if (src.kind == AbsVal::Kind::kConst) {
-        SetReg(s, inst.rd,
-               AbsVal::Const(static_cast<std::uint64_t>(
-                   static_cast<std::int32_t>(src.bits + inst.imm))));
-      } else {
-        SetReg(s, inst.rd, AbsVal::Unknown());
-      }
-      succ.Add(next);
-      return succ;
-    }
-    case Opcode::kJal:
-      if (inst.rd == 0) {
-        const std::uint64_t target = pc + inst.imm;
-        if (in_func(target)) succ.Add(target);
-        return succ;  // tail jump out of the function otherwise
-      }
-      SetReg(s, inst.rd, AbsVal::Unknown());
-      ClobberCall(s);
-      succ.Add(next);
-      return succ;
-    case Opcode::kJalr:
-      if (IsRet(inst)) return succ;
-      if (inst.rd != 0) {
-        SetReg(s, inst.rd, AbsVal::Unknown());
-        ClobberCall(s);
-        succ.Add(next);
-      }
-      return succ;  // rd == x0: tail dispatch, no fallthrough
-    case Opcode::kEcall:
-      SetReg(s, static_cast<std::uint8_t>(isa::Reg::kA0), AbsVal::Unknown());
-      succ.Add(next);
-      return succ;
-    case Opcode::kEbreak:
-    case Opcode::kFence:
-      succ.Add(next);
-      return succ;
-    default:
-      break;
-  }
-
-  if (isa::IsBranch(inst.op)) {
-    const std::uint64_t target = pc + inst.imm;
-    if (in_func(target)) succ.Add(target);
-    succ.Add(next);
-    return succ;
-  }
-  if (isa::IsRoLoad(inst.op)) {
-    if (inst.rd == kSp) InvalidateSp(s);
-    SetReg(s, inst.rd, AbsVal::RoLoaded(inst.key));
-    succ.Add(next);
-    return succ;
-  }
-  if (isa::IsLoad(inst.op)) {
-    AbsVal v = AbsVal::Unknown();
-    if (inst.op == Opcode::kLd && inst.rs1 == kSp && s->sp_valid) {
-      auto it = s->slots.find(s->sp_off + inst.imm);
-      if (it != s->slots.end()) v = it->second;
-    }
-    if (inst.rd == kSp) {
-      InvalidateSp(s);
-    } else {
-      SetReg(s, inst.rd, v);
-    }
-    succ.Add(next);
-    return succ;
-  }
-  if (isa::IsStore(inst.op)) {
-    if (inst.rs1 == kSp && s->sp_valid) {
-      const std::int64_t lo = s->sp_off + inst.imm;
-      if (inst.op == Opcode::kSd && lo % 8 == 0) {
-        s->slots[lo] = s->regs[inst.rs2];
-      } else {
-        // Partial overwrite: forget any slot the store touches.
-        const std::int64_t hi = lo + isa::MemAccessBytes(inst.op);
-        for (std::int64_t slot = (lo / 8) * 8 - 8; slot < hi; slot += 8) {
-          s->slots.erase(slot);
-        }
-      }
-    } else {
-      DropSlots(s);  // unknown base may alias the stack frame
-    }
-    succ.Add(next);
-    return succ;
-  }
-
-  // Remaining ALU ops: result unknown (no proof flows through them).
-  if (inst.rd == kSp) {
-    InvalidateSp(s);
-  } else {
-    SetReg(s, inst.rd, AbsVal::Unknown());
-  }
-  succ.Add(next);
-  return succ;
-}
-
-// ---------------------------------------------------------------------------
-// Per-function analysis.
-
-struct FuncAnalysis {
-  std::vector<State> in;  // converged state *before* each instruction
-};
-
-FuncAnalysis Analyze(const DecodedFunc& fn) {
-  FuncAnalysis a;
-  a.in.resize(fn.insts.size());
-  if (fn.insts.empty()) return a;
-
-  State entry;
-  for (int r = 0; r < 32; ++r) entry.regs[r] = AbsVal::Unknown();
-  entry.regs[0] = AbsVal::Const(0);
-  entry.reached = true;
-  a.in[0] = entry;
-
-  std::deque<std::size_t> worklist{0};
-  std::vector<bool> queued(fn.insts.size(), false);
-  queued[0] = true;
-  while (!worklist.empty()) {
-    const std::size_t idx = worklist.front();
-    worklist.pop_front();
-    queued[idx] = false;
-    State out = a.in[idx];
-    const Successors succ = Step(fn, fn.pcs[idx], fn.insts[idx], &out);
-    out.regs[0] = AbsVal::Const(0);  // x0 is hardwired
-    for (int i = 0; i < succ.count; ++i) {
-      auto it = fn.index_of.find(succ.pcs[i]);
-      if (it == fn.index_of.end()) continue;
-      if (Merge(&a.in[it->second], out) && !queued[it->second]) {
-        worklist.push_back(it->second);
-        queued[it->second] = true;
-      }
-    }
-  }
-  return a;
 }
 
 // ---------------------------------------------------------------------------
@@ -478,7 +112,7 @@ void CheckKeyedSymbols(const LinkImage& image, const Expectations& exp,
       continue;
     }
     const Section* sec = SectionContaining(image, it->second, 1);
-    if (sec == nullptr || !IsKeyedRo(*sec) || sec->key != key) {
+    if (sec == nullptr || !IsKeyedRoSection(*sec) || sec->key != key) {
       report->Add(
           Rule::kBinSymbolMisplaced, name,
           StrFormat("expected key-%u read-only placement but symbol is "
@@ -533,101 +167,380 @@ bool HasAddiFixup(const DecodedFunc& fn, std::size_t idx) {
   return false;
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// Per-function checking (phase C — the parallel phase).
 
-void VerifyImage(const LinkImage& image, const BinaryPolicy& policy,
-                 const Expectations* expectations, Report* report) {
-  CheckSections(image, report);
+std::string DescribeVal(const AbsVal& v) {
+  switch (v.kind) {
+    case AbsVal::Kind::kConst:
+      return StrFormat("a constant (0x%llx)",
+                       static_cast<unsigned long long>(v.bits));
+    case AbsVal::Kind::kRoLoaded:
+      return StrFormat("an ld.ro result (key %llu)",
+                       static_cast<unsigned long long>(v.bits));
+    case AbsVal::Kind::kEntry:
+      return StrFormat("the caller-provided value of %s",
+                       std::string(isa::RegName(static_cast<std::uint8_t>(
+                                       v.bits)))
+                           .c_str());
+    default:
+      return "an unknown value";
+  }
+}
 
-  // Keys that actually map to a keyed read-only frame (for rule 22).
-  std::set<std::uint32_t> mapped_keys;
-  for (const Section& sec : image.sections) {
-    if (IsKeyedRo(sec)) mapped_keys.insert(sec.key);
+// A direct call (or direct tail call) with the caller's abstract argument
+// registers at the site — the raw material of the rule 32/33 obligation
+// discharge pass.
+struct DirectCallSite {
+  std::size_t callee = kNoFunc;
+  std::uint64_t pc = 0;
+  AbsVal args[8];
+};
+
+// A dispatch consuming an entry argument: provable only through callers.
+struct ObligationSite {
+  std::uint64_t pc = 0;
+  int bit = 0;  // a0 + bit
+};
+
+struct FuncCheck {
+  std::vector<Violation> violations;
+  std::uint64_t instructions = 0;
+  std::uint64_t roloads = 0;
+  std::uint64_t fixups = 0;
+  std::uint64_t dispatches = 0;
+  std::uint64_t proven = 0;
+  std::vector<DirectCallSite> calls;
+  std::vector<ObligationSite> obligations;
+};
+
+FuncCheck CheckFunction(const LinkImage& image, const CallGraph& cg,
+                        const SummarySet& sums, const BinaryPolicy& policy,
+                        const std::set<std::uint32_t>& mapped_keys,
+                        std::size_t idx) {
+  const DecodedFunc& fn = cg.funcs[idx];
+  FuncCheck out;
+  out.instructions = fn.insts.size();
+  auto add = [&out](Rule rule, const std::string& where, std::uint64_t pc,
+                    std::string message) {
+    out.violations.push_back(
+        Violation{rule, where, pc, true, std::move(message)});
+  };
+
+  // Syntactic sweep: every decoded ld.ro, reachable or not, must name a
+  // mapped key; count ld.ro and fixups for the manifest rules.
+  for (std::size_t i = 0; i < fn.insts.size(); ++i) {
+    const Instruction& inst = fn.insts[i];
+    if (!isa::IsRoLoad(inst.op)) continue;
+    ++out.roloads;
+    if (HasAddiFixup(fn, i)) ++out.fixups;
+    if (mapped_keys.count(inst.key) == 0) {
+      add(Rule::kBinKeyUnmapped, fn.span.name, fn.pcs[i],
+          StrFormat("%s key %u names no keyed read-only section; every "
+                    "execution would fault",
+                    std::string(isa::OpcodeName(inst.op)).c_str(),
+                    inst.key));
+    }
   }
 
-  std::vector<DecodedFunc> funcs;
-  for (const FuncSpan& span : CarveFunctions(image)) {
-    const Section* sec = ExecSectionFor(image, span);
-    if (sec == nullptr) continue;
-    funcs.push_back(DecodeFunc(*sec, span));
-  }
+  const AnalysisContext ctx{&cg, &sums.summaries, &sums.keyed_join, idx};
+  const FuncAnalysis analysis = Analyze(ctx, fn);
 
-  std::uint64_t roload_count = 0;
-  std::uint64_t fixup_count = 0;
-  for (const DecodedFunc& fn : funcs) {
-    ++report->stats().functions;
-    report->stats().instructions += fn.insts.size();
+  // Semantic pass over the converged abstract states.
+  for (std::size_t i = 0; i < fn.insts.size(); ++i) {
+    const State& in = analysis.in[i];
+    if (!in.reached) continue;
+    const Instruction& inst = fn.insts[i];
+    const std::uint64_t pc = fn.pcs[i];
 
-    // Syntactic sweep: every decoded ld.ro, reachable or not, must name
-    // a mapped key; count ld.ro and fixups for the manifest rules.
-    for (std::size_t i = 0; i < fn.insts.size(); ++i) {
-      const Instruction& inst = fn.insts[i];
-      if (!isa::IsRoLoad(inst.op)) continue;
-      ++roload_count;
-      ++report->stats().roload_instructions;
-      if (HasAddiFixup(fn, i)) ++fixup_count;
-      if (mapped_keys.count(inst.key) == 0) {
-        report->AddAt(Rule::kBinKeyUnmapped, fn.span.name, fn.pcs[i],
-                      StrFormat("%s key %u names no keyed read-only "
-                                "section; every execution would fault",
-                                std::string(isa::OpcodeName(inst.op)).c_str(),
-                                inst.key));
+    if (isa::IsRoLoad(inst.op)) {
+      // Rule 23: statically-resolvable target must land inside the
+      // matching keyed frame.
+      const AbsVal base = in.regs[inst.rs1];
+      if (base.kind == AbsVal::Kind::kConst) {
+        const Section* target = SectionContaining(
+            image, base.bits, isa::MemAccessBytes(inst.op));
+        if (target == nullptr || !IsKeyedRoSection(*target) ||
+            target->key != inst.key) {
+          add(Rule::kBinStaticTargetMismatch, fn.span.name, pc,
+              StrFormat("ld.ro key %u reads 0x%llx which is %s",
+                        inst.key,
+                        static_cast<unsigned long long>(base.bits),
+                        target == nullptr
+                            ? "unmapped"
+                            : StrFormat("in %s (key %u, %s)",
+                                        target->name.c_str(), target->key,
+                                        target->perms.write ? "writable"
+                                                            : "read-only")
+                                  .c_str()));
+        }
       }
+      continue;
     }
 
-    // Semantic pass over the converged abstract states.
-    const FuncAnalysis analysis = Analyze(fn);
-    for (std::size_t i = 0; i < fn.insts.size(); ++i) {
-      const State& in = analysis.in[i];
-      if (!in.reached) continue;
-      const Instruction& inst = fn.insts[i];
-
-      if (isa::IsRoLoad(inst.op)) {
-        // Rule 23: statically-resolvable target must land inside the
-        // matching keyed frame.
-        const AbsVal base = in.regs[inst.rs1];
-        if (base.kind == AbsVal::Kind::kConst) {
-          const Section* target = SectionContaining(
-              image, base.bits, isa::MemAccessBytes(inst.op));
-          if (target == nullptr || !IsKeyedRo(*target) ||
-              target->key != inst.key) {
-            report->AddAt(
-                Rule::kBinStaticTargetMismatch, fn.span.name, fn.pcs[i],
-                StrFormat("ld.ro key %u reads 0x%llx which is %s",
-                          inst.key,
-                          static_cast<unsigned long long>(base.bits),
-                          target == nullptr
-                              ? "unmapped"
-                              : StrFormat("in %s (key %u, %s)",
-                                          target->name.c_str(), target->key,
-                                          target->perms.write ? "writable"
-                                                              : "read-only")
-                                    .c_str()));
-          }
-        }
-        continue;
+    if (inst.op == Opcode::kJal) {
+      // Record direct call/tail-call argument snapshots for the
+      // obligation pass (rules 32/33).
+      const std::uint64_t target = pc + inst.imm;
+      if (inst.rd == 0 && fn.index_of.count(target) != 0) continue;
+      const std::size_t callee = cg.FuncAt(target);
+      if (callee != kNoFunc) {
+        DirectCallSite site;
+        site.callee = callee;
+        site.pc = pc;
+        for (int k = 0; k < 8; ++k) site.args[k] = in.regs[kA0 + k];
+        out.calls.push_back(site);
       }
+      continue;
+    }
 
-      if (inst.op == Opcode::kJalr && !IsRet(inst)) {
-        ++report->stats().dispatches;
-        const AbsVal target = in.regs[inst.rs1];
-        const bool proven =
-            target.kind == AbsVal::Kind::kRoLoaded && inst.imm == 0;
-        if (proven) {
-          ++report->stats().proven_dispatches;
-        } else if (policy.require_protected_dispatch) {
-          report->AddAt(
-              Rule::kBinUnprovenDispatch, fn.span.name, fn.pcs[i],
+    if (inst.op == Opcode::kJalr && !IsRet(inst)) {
+      ++out.dispatches;
+      const AbsVal target = in.regs[inst.rs1];
+      const bool proven =
+          target.kind == AbsVal::Kind::kRoLoaded && inst.imm == 0;
+      if (proven) {
+        ++out.proven;
+      } else if (policy.require_protected_dispatch) {
+        if (target.kind == AbsVal::Kind::kEntry && inst.imm == 0 &&
+            target.bits >= kA0 && target.bits < kA0 + 8) {
+          // Dispatch on an argument register: the proof obligation moves
+          // to every caller — resolved by the serial obligation pass.
+          out.obligations.push_back(
+              ObligationSite{pc, static_cast<int>(target.bits - kA0)});
+        } else {
+          add(Rule::kBinUnprovenDispatch, fn.span.name, pc,
               StrFormat("dispatch target in %s is not an ld.ro result on "
                         "all paths (%s)",
                         std::string(isa::RegName(inst.rs1)).c_str(),
                         target.kind == AbsVal::Kind::kConst
                             ? "constant"
-                            : inst.imm != 0 ? "nonzero jalr offset"
-                                            : "unknown provenance"));
+                            : inst.imm != 0
+                                  ? "nonzero jalr offset"
+                                  : target.kind == AbsVal::Kind::kEntry
+                                        ? "caller-provided value"
+                                        : "unknown provenance"));
         }
       }
     }
+  }
+
+  // Interprocedural effect rules over the same converged states.
+  const FuncEffects fx = ScanEffects(ctx, fn, analysis);
+
+  // Rule 31: an ld.ro result written outside the function's own frame
+  // escapes to memory whose integrity the scheme cannot vouch for.
+  for (const EscapeStore& esc : fx.escapes) {
+    if (!esc.roload_value) continue;
+    const Instruction& inst = fn.insts[esc.inst];
+    add(Rule::kBinRoloadEscape, fn.span.name, fn.pcs[esc.inst],
+        StrFormat("ld.ro result in %s stored through %s outside the "
+                  "function's own frame: keyed pointer escapes to memory",
+                  std::string(isa::RegName(inst.rs2)).c_str(),
+                  std::string(isa::RegName(inst.rs1)).c_str()));
+  }
+
+  // Rules 30/34/35 at every reachable exit. Only *provable* violations
+  // are reported; an unprovable fact keeps the ABI assumption.
+  for (const ExitPoint& exit : fx.exits) {
+    const State& st = exit.state;
+    const std::uint64_t pc = fn.pcs[exit.inst];
+    for (int r = 0; r < 32; ++r) {
+      if (IsCalleeSaved(r) &&
+          ProvablyClobbered(st.regs[r], static_cast<std::uint8_t>(r))) {
+        add(Rule::kBinCalleeSavedClobbered, fn.span.name, pc,
+            StrFormat("callee-saved %s reaches this exit holding %s "
+                      "instead of its entry value",
+                      std::string(isa::RegName(static_cast<std::uint8_t>(r)))
+                          .c_str(),
+                      DescribeVal(st.regs[r]).c_str()));
+      }
+    }
+    if (ProvablyClobbered(st.regs[kRa], kRa)) {
+      add(Rule::kBinRetAddrUnproven, fn.span.name, pc,
+          StrFormat("ra at this exit holds %s, provably not the caller's "
+                    "return address",
+                    DescribeVal(st.regs[kRa]).c_str()));
+    }
+    if (st.sp_valid && st.sp_off != 0) {
+      add(Rule::kBinSpImbalance, fn.span.name, pc,
+          StrFormat("exit reached with sp displaced %lld bytes from its "
+                    "entry value",
+                    static_cast<long long>(st.sp_off)));
+    }
+  }
+
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule 32/33 obligation discharge (serial; needs every call site).
+//
+// ob[f] is the set of argument registers function f dispatches on,
+// closed transitively: if f dispatches on a_k and caller g forwards its
+// own a_j into that slot, then g's callers owe a proof for a_j too.
+// A bit is *tainted* when some path can feed it an unproven value:
+// address-taken/entry roots (no caller-side proof can cover indirect or
+// boot callers) and call sites passing a value that is neither an ld.ro
+// result nor a forwarded argument.
+void DischargeObligations(const CallGraph& cg, const SummarySet& sums,
+                          std::vector<FuncCheck>* checks, Report* report) {
+  const std::size_t n = cg.funcs.size();
+  std::vector<std::uint8_t> ob(n, 0);
+  for (std::size_t f = 0; f < n; ++f) ob[f] = sums.summaries[f].dispatch_args;
+
+  // Close the obligation sets over argument forwarding.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t g = 0; g < n; ++g) {
+      for (const DirectCallSite& site : (*checks)[g].calls) {
+        for (int k = 0; k < 8; ++k) {
+          if (((ob[site.callee] >> k) & 1) == 0) continue;
+          const AbsVal& v = site.args[k];
+          if (v.kind != AbsVal::Kind::kEntry) continue;
+          if (v.bits < kA0 || v.bits >= kA0 + 8) continue;
+          const std::uint8_t bit =
+              static_cast<std::uint8_t>(1u << (v.bits - kA0));
+          if ((ob[g] & bit) == 0) {
+            ob[g] |= bit;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Classify every call site against the closed obligation sets; collect
+  // forwarding edges for the taint fixpoint.
+  std::vector<std::uint8_t> taint(n, 0);
+  struct Edge {
+    std::size_t from;  // caller
+    int from_bit;
+    std::size_t to;  // callee
+    int to_bit;
+  };
+  std::vector<Edge> edges;
+  for (std::size_t g = 0; g < n; ++g) {
+    for (const DirectCallSite& site : (*checks)[g].calls) {
+      for (int k = 0; k < 8; ++k) {
+        if (((ob[site.callee] >> k) & 1) == 0) continue;
+        const AbsVal& v = site.args[k];
+        if (v.kind == AbsVal::Kind::kRoLoaded) continue;  // discharged
+        if (v.kind == AbsVal::Kind::kEntry && v.bits >= kA0 &&
+            v.bits < kA0 + 8) {
+          edges.push_back(Edge{g, static_cast<int>(v.bits - kA0),
+                               site.callee, k});
+          continue;
+        }
+        taint[site.callee] |= static_cast<std::uint8_t>(1u << k);
+        report->AddAt(
+            Rule::kBinUnprovenCalleeArg, cg.funcs[g].span.name, site.pc,
+            StrFormat("call to %s passes %s in %s, which %s dispatches "
+                      "on; the proof obligation is not discharged",
+                      cg.funcs[site.callee].span.name.c_str(),
+                      DescribeVal(v).c_str(),
+                      std::string(isa::RegName(
+                                      static_cast<std::uint8_t>(kA0 + k)))
+                          .c_str(),
+                      cg.funcs[site.callee].span.name.c_str()));
+      }
+    }
+  }
+
+  // Roots: a dispatching argument of an address-taken or entry function
+  // can be fed by callers no summary sees.
+  for (std::size_t f = 0; f < n; ++f) {
+    if (ob[f] == 0) continue;
+    if (!cg.address_taken[f] && f != cg.entry_func) continue;
+    for (int k = 0; k < 8; ++k) {
+      if (((ob[f] >> k) & 1) == 0) continue;
+      taint[f] |= static_cast<std::uint8_t>(1u << k);
+      report->AddAt(
+          Rule::kBinObligationUndischargeable, cg.funcs[f].span.name,
+          cg.funcs[f].span.start,
+          StrFormat("dispatch on %s cannot be proven by callers: the "
+                    "function is %s",
+                    std::string(isa::RegName(
+                                    static_cast<std::uint8_t>(kA0 + k)))
+                        .c_str(),
+                    cg.address_taken[f] ? "address-taken"
+                                        : "the image entry point"));
+    }
+  }
+
+  // Taint flows along forwarding edges (caller's bit feeds callee's).
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (const Edge& e : edges) {
+      const std::uint8_t from_bit =
+          static_cast<std::uint8_t>(1u << e.from_bit);
+      const std::uint8_t to_bit = static_cast<std::uint8_t>(1u << e.to_bit);
+      if ((taint[e.from] & from_bit) != 0 && (taint[e.to] & to_bit) == 0) {
+        taint[e.to] |= to_bit;
+        changed = true;
+      }
+    }
+  }
+
+  // Every untainted obligation dispatch is proven; tainted ones already
+  // carry a rule 32/33 violation naming the offending path.
+  for (std::size_t f = 0; f < n; ++f) {
+    for (const ObligationSite& site : (*checks)[f].obligations) {
+      if ((taint[f] & (1u << site.bit)) == 0) ++(*checks)[f].proven;
+    }
+  }
+}
+
+}  // namespace
+
+void VerifyImage(const LinkImage& image, const BinaryPolicy& policy,
+                 const Expectations* expectations, Report* report,
+                 const VerifyImageOptions& options) {
+  CheckSections(image, report);
+
+  // Keys that actually map to a keyed read-only frame (for rule 22).
+  std::set<std::uint32_t> mapped_keys;
+  for (const Section& sec : image.sections) {
+    if (IsKeyedRoSection(sec)) mapped_keys.insert(sec.key);
+  }
+
+  // Phase A (serial): carve, decode, build the call graph.
+  const CallGraph cg = BuildCallGraph(image);
+  // Phase B (serial): bottom-up call summaries over the SCC condensation.
+  const SummarySet sums = ComputeSummaries(cg);
+
+  // Phase C (parallel): per-function rule checks. Each function's check
+  // is pure — shared inputs are const — and results are merged in
+  // function index order, so diagnostics are bit-identical at any job
+  // count.
+  std::vector<FuncCheck> checks = campaign::ParallelMap<FuncCheck>(
+      cg.funcs.size(), options.jobs, [&](std::size_t i) {
+        return CheckFunction(image, cg, sums, policy, mapped_keys, i);
+      });
+
+  std::uint64_t roload_count = 0;
+  std::uint64_t fixup_count = 0;
+  for (const FuncCheck& check : checks) {
+    ++report->stats().functions;
+    report->stats().instructions += check.instructions;
+    report->stats().roload_instructions += check.roloads;
+    roload_count += check.roloads;
+    fixup_count += check.fixups;
+    report->stats().dispatches += check.dispatches;
+    for (const Violation& v : check.violations) {
+      report->AddAt(v.rule, v.where, v.pc, v.message);
+    }
+  }
+
+  // Serial post-pass: discharge cross-function dispatch obligations
+  // (rules 32/33) and settle the proven count.
+  if (policy.require_protected_dispatch) {
+    DischargeObligations(cg, sums, &checks, report);
+  }
+  for (const FuncCheck& check : checks) {
+    report->stats().proven_dispatches += check.proven;
   }
 
   if (expectations != nullptr) {
@@ -648,7 +561,7 @@ void VerifyImage(const LinkImage& image, const BinaryPolicy& policy,
                                 expectations->addi_fixups)));
     }
     CheckKeyedSymbols(image, *expectations, report);
-    CheckCfiIds(funcs, *expectations, report);
+    CheckCfiIds(cg.funcs, *expectations, report);
   }
 }
 

@@ -1,14 +1,19 @@
-// Layer 2 of the verifier: prove a linked LinkImage (rules 20-28).
+// Layer 2 of the verifier: prove a linked LinkImage (rules 20-28 and the
+// interprocedural rules 30-35).
 //
-// Decodes every function in the executable sections and runs an
-// intraprocedural abstract interpretation over a small lattice
-//   Bottom | Const(u64) | RoLoaded(key) | Unknown
+// Decodes every function in the executable sections (verify/callgraph.h)
+// and runs a whole-image abstract interpretation over a small lattice
+//   Bottom | Const(u64) | RoLoaded(key) | Entry(reg) | Unknown
 // tracking the 32 integer registers plus sp-relative stack slots (the
 // backend spills every virtual register, so proofs must flow through
-// memory). The fixpoint proves, per dispatch site, that the register
-// feeding `jalr` was defined by an ld.ro-family load on *all* paths,
-// and resolves ld.ro base addresses that are statically constant so
-// their targets can be checked against the keyed section layout.
+// memory). Bottom-up call summaries (verify/summary.h) model `jal`/`jalr`
+// sites, so dispatch proofs survive helper calls: the fixpoint proves,
+// per dispatch site, that the register feeding `jalr` was defined by an
+// ld.ro-family load — possibly in a callee — on *all* paths, resolves
+// statically-constant ld.ro bases against the keyed section layout, and
+// checks the summary rules (callee-saved preservation, keyed-pointer
+// escapes, caller-side dispatch obligations, return-address and sp
+// discipline).
 //
 // Optional `Expectations` (from the hardened IR) add the build-manifest
 // rules: ld.ro/addi-fixup counts, keyed-symbol placement, CFI ID words.
@@ -19,11 +24,19 @@
 
 namespace roload::verify {
 
-// Appends any rule 20-28 violations to `report` and fills its binary
-// stats (sections, functions, instructions, dispatch counts).
+struct VerifyImageOptions {
+  // Fan-out for the per-function checking phase (campaign::ParallelMap;
+  // 0 = one worker per hardware thread). Diagnostics are merged in
+  // function index order, so any job count yields bit-identical output.
+  unsigned jobs = 1;
+};
+
+// Appends any rule 20-28 / 30-35 violations to `report` and fills its
+// binary stats (sections, functions, instructions, dispatch counts).
 // `expectations` may be null (artifact-only mode: the rverify CLI on a
 // bare .rimg); the manifest rules 25-28 then do not run.
 void VerifyImage(const asmtool::LinkImage& image, const BinaryPolicy& policy,
-                 const Expectations* expectations, Report* report);
+                 const Expectations* expectations, Report* report,
+                 const VerifyImageOptions& options = {});
 
 }  // namespace roload::verify

@@ -1,0 +1,203 @@
+#include "verify/callgraph.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "isa/encoding.h"
+#include "isa/opcodes.h"
+
+namespace roload::verify {
+
+using asmtool::LinkImage;
+using asmtool::Section;
+using isa::Instruction;
+using isa::Opcode;
+
+std::vector<FuncSpan> CarveFunctions(const LinkImage& image) {
+  std::vector<FuncSpan> funcs;
+  for (const Section& sec : image.sections) {
+    if (!sec.perms.exec) continue;
+    // Function symbols: inside this section, not block-local (.L_*).
+    std::vector<std::pair<std::uint64_t, std::string>> syms;
+    for (const auto& [name, addr] : image.symbols) {
+      if (addr < sec.vaddr || addr >= sec.vaddr + sec.size) continue;
+      if (name.rfind(".L", 0) == 0) continue;
+      syms.emplace_back(addr, name);
+    }
+    std::sort(syms.begin(), syms.end());
+    const std::uint64_t code_end = sec.vaddr + sec.bytes.size();
+    for (std::size_t i = 0; i < syms.size(); ++i) {
+      std::uint64_t end =
+          i + 1 < syms.size() ? syms[i + 1].first : code_end;
+      if (syms[i].first >= end) continue;  // aliased symbol, zero-size
+      funcs.push_back(FuncSpan{syms[i].second, syms[i].first, end});
+    }
+  }
+  return funcs;
+}
+
+DecodedFunc DecodeFunc(const Section& sec, const FuncSpan& span) {
+  DecodedFunc fn;
+  fn.span = span;
+  std::uint64_t pc = span.start;
+  while (pc + 2 <= span.end) {
+    const std::uint64_t off = pc - sec.vaddr;
+    std::uint32_t raw = 0;
+    const std::uint64_t avail =
+        std::min<std::uint64_t>(4, sec.bytes.size() - off);
+    std::memcpy(&raw, sec.bytes.data() + off, avail);
+    std::uint16_t low16 = static_cast<std::uint16_t>(raw);
+    const unsigned len = isa::ParcelLength(low16);
+    if (pc + len > span.end) break;
+    std::optional<Instruction> inst = isa::Decode(raw);
+    if (!inst.has_value()) break;  // alignment padding / data tail
+    fn.index_of[pc] = fn.insts.size();
+    fn.pcs.push_back(pc);
+    fn.insts.push_back(*inst);
+    pc += inst->length;
+  }
+  return fn;
+}
+
+const Section* ExecSectionFor(const LinkImage& image, const FuncSpan& span) {
+  for (const Section& sec : image.sections) {
+    if (sec.perms.exec && span.start >= sec.vaddr &&
+        span.start < sec.vaddr + sec.size) {
+      return &sec;
+    }
+  }
+  return nullptr;
+}
+
+bool IsKeyedRoSection(const Section& sec) {
+  return sec.key != 0 && sec.perms.read && !sec.perms.write &&
+         !sec.perms.exec;
+}
+
+namespace {
+
+// Iterative Tarjan over the direct-call edges. SCCs complete callees
+// first, so assigning ids in completion order gives every cross-SCC edge
+// a strictly smaller callee id — the bottom-up summary order.
+void ComputeSccs(CallGraph* cg) {
+  const std::size_t n = cg->funcs.size();
+  cg->scc_id.assign(n, kNoFunc);
+  std::vector<std::size_t> index(n, kNoFunc), lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  std::size_t next_index = 0, next_scc = 0;
+
+  struct Frame {
+    std::size_t node;
+    std::size_t edge = 0;  // next callee position to visit
+  };
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != kNoFunc) continue;
+    std::vector<Frame> frames{{root}};
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const std::size_t v = f.node;
+      if (f.edge < cg->callees[v].size()) {
+        const std::size_t w = cg->callees[v][f.edge++];
+        if (index[w] == kNoFunc) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back(Frame{w});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+        continue;
+      }
+      if (lowlink[v] == index[v]) {
+        while (true) {
+          const std::size_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          cg->scc_id[w] = next_scc;
+          if (w == v) break;
+        }
+        ++next_scc;
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        const std::size_t parent = frames.back().node;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+
+  cg->bottom_up.resize(n);
+  for (std::size_t i = 0; i < n; ++i) cg->bottom_up[i] = i;
+  std::stable_sort(cg->bottom_up.begin(), cg->bottom_up.end(),
+                   [cg](std::size_t a, std::size_t b) {
+                     return cg->scc_id[a] < cg->scc_id[b];
+                   });
+}
+
+}  // namespace
+
+CallGraph BuildCallGraph(const LinkImage& image) {
+  CallGraph cg;
+  for (const FuncSpan& span : CarveFunctions(image)) {
+    const Section* sec = ExecSectionFor(image, span);
+    if (sec == nullptr) continue;
+    cg.funcs.push_back(DecodeFunc(*sec, span));
+  }
+  const std::size_t n = cg.funcs.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    cg.func_by_entry[cg.funcs[i].span.start] = i;
+  }
+
+  cg.callees.assign(n, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    const DecodedFunc& fn = cg.funcs[i];
+    for (std::size_t j = 0; j < fn.insts.size(); ++j) {
+      const Instruction& inst = fn.insts[j];
+      if (inst.op != Opcode::kJal) continue;
+      const std::uint64_t target = fn.pcs[j] + inst.imm;
+      if (inst.rd == 0 && fn.index_of.count(target) != 0) continue;  // jump
+      const std::size_t callee = cg.FuncAt(target);
+      if (callee == kNoFunc) continue;
+      cg.callees[i].push_back(callee);
+    }
+    std::sort(cg.callees[i].begin(), cg.callees[i].end());
+    cg.callees[i].erase(
+        std::unique(cg.callees[i].begin(), cg.callees[i].end()),
+        cg.callees[i].end());
+  }
+
+  // Address-taken sweep: any 8-byte little-endian window in a
+  // non-executable section that spells a function entry address.
+  cg.address_taken.assign(n, false);
+  cg.keyed_target.assign(n, false);
+  for (const Section& sec : image.sections) {
+    if (sec.perms.exec || sec.bytes.size() < 8) continue;
+    const bool keyed = IsKeyedRoSection(sec);
+    for (std::size_t off = 0; off + 8 <= sec.bytes.size(); ++off) {
+      std::uint64_t word = 0;
+      std::memcpy(&word, sec.bytes.data() + off, 8);
+      const std::size_t f = cg.FuncAt(word);
+      if (f == kNoFunc) continue;
+      cg.address_taken[f] = true;
+      if (keyed) cg.keyed_target[f] = true;
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (image.entry >= cg.funcs[i].span.start &&
+        image.entry < cg.funcs[i].span.end) {
+      cg.entry_func = i;
+      break;
+    }
+  }
+
+  ComputeSccs(&cg);
+  return cg;
+}
+
+}  // namespace roload::verify

@@ -1,0 +1,72 @@
+// ROP/JOP gadget census over a linked image — the attack-surface
+// baseline for the backward-edge (shadow-stack) work.
+//
+// A gadget is a straight-line instruction sequence, decodable from any
+// 2-byte-aligned offset of an executable section, that ends in an
+// indirect transfer: a `ret` (ROP) or any other `jalr` (JOP). Scanning
+// every 2-byte offset — not just the compiler's intended instruction
+// starts — surfaces the *misaligned* gadgets the RISC-V ROP literature
+// highlights: with the compressed `c.ld.ro` encoding in the ISA, the
+// second half of a 32-bit word can decode as a valid 16-bit parcel and
+// open an instruction stream the forward-edge verifier never modeled.
+//
+// Each gadget is classified by terminator, alignment (does every parcel
+// start on an intended instruction boundary?), compression (does it
+// contain a 16-bit parcel?), and whether it sits inside a keyed
+// read-only section or inside a function reachable from keyed dispatch
+// tables. `ToJson` emits the `roload.gadgets.v1` census.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asmtool/image.h"
+
+namespace roload::verify {
+
+struct Gadget {
+  enum class Kind : std::uint8_t { kRet, kJalr };
+  Kind kind = Kind::kRet;
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;    // one past the terminator
+  unsigned length = 0;      // instruction count, terminator included
+  bool misaligned = false;  // some parcel off the intended starts
+  bool compressed = false;  // contains a 16-bit parcel
+  bool in_keyed_ro = false;        // inside a keyed R-- section (red flag)
+  bool in_keyed_target = false;    // inside a keyed-dispatch-table target
+  std::string section;
+  std::string function;  // carved function containing `start` ("" if none)
+};
+
+struct GadgetStats {
+  std::uint64_t gadgets = 0;
+  std::uint64_t ret_terminated = 0;
+  std::uint64_t jalr_terminated = 0;
+  std::uint64_t misaligned = 0;
+  std::uint64_t compressed = 0;
+  std::uint64_t in_keyed_ro = 0;
+  std::uint64_t in_keyed_target = 0;
+  std::uint64_t exec_bytes = 0;
+};
+
+struct GadgetCensus {
+  std::vector<Gadget> gadgets;
+  GadgetStats stats;
+  unsigned max_insts = 0;
+
+  // {"schema":"roload.gadgets.v1","image":...,"stats":{...},
+  //  "gadgets":[{...}]}
+  std::string ToJson(std::string_view image_name) const;
+};
+
+// Scans every executable section of `image`. `max_insts` bounds the
+// gadget length (instructions including the terminator); longer
+// sequences are not useful gadgets and inflate the census. The default
+// covers the backend's spill/reload dispatch idiom, which puts up to
+// seven instructions between a compressed keyed load and its jalr.
+GadgetCensus ScanGadgets(const asmtool::LinkImage& image,
+                         unsigned max_insts = 8);
+
+}  // namespace roload::verify

@@ -1,0 +1,515 @@
+#include "verify/summary.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "isa/opcodes.h"
+#include "isa/registers.h"
+
+namespace roload::verify {
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+
+constexpr std::uint8_t kSp = static_cast<std::uint8_t>(isa::Reg::kSp);
+constexpr std::uint8_t kRa = static_cast<std::uint8_t>(isa::Reg::kRa);
+constexpr std::uint8_t kA0 = static_cast<std::uint8_t>(isa::Reg::kA0);
+
+bool IsCallerSaved(int r) {
+  return r == 1 || (r >= 5 && r <= 7) || (r >= 10 && r <= 17) ||
+         (r >= 28 && r <= 31);
+}
+
+// The no-summary call model: caller-saved registers die, callee-saved
+// survive (ABI assumption), spill slots die (the callee may store
+// anywhere).
+void ClobberCall(State* s) {
+  for (int r = 0; r < 32; ++r) {
+    if (IsCallerSaved(r)) s->regs[r] = AbsVal::Unknown();
+  }
+  DropSlots(s);
+}
+
+void SetReg(State* s, std::uint8_t rd, AbsVal v) {
+  if (rd != 0) s->regs[rd] = v;
+}
+
+// Is `jalr` a plain return? (The assembler's `ret` pseudo.)
+bool IsRet(const Instruction& inst) {
+  return inst.op == Opcode::kJalr && inst.rd == 0 && inst.rs1 == kRa &&
+         inst.imm == 0;
+}
+
+// Maps a callee-relative value (a summary's ret_a0/ret_a1) into the
+// caller's frame: Entry(j) is the caller's pre-call register j.
+AbsVal ResolveThroughCaller(const AbsVal& v, const State& pre_call) {
+  switch (v.kind) {
+    case AbsVal::Kind::kConst:
+    case AbsVal::Kind::kRoLoaded:
+      return v;
+    case AbsVal::Kind::kEntry:
+      return pre_call.regs[v.bits];
+    default:
+      return AbsVal::Unknown();
+  }
+}
+
+// The summary call model: everything the summary proved survives, every
+// unproven fact degrades to exactly what ClobberCall assumes.
+void ApplyCallSummary(const FuncSummary& sum, State* s) {
+  const State pre = *s;
+  for (int r = 0; r < 32; ++r) {
+    if (IsCallerSaved(r)) s->regs[r] = AbsVal::Unknown();
+  }
+  if (sum.returns) {
+    s->regs[kA0] = ResolveThroughCaller(sum.ret_a0, pre);
+    s->regs[kA0 + 1] = ResolveThroughCaller(sum.ret_a1, pre);
+  }
+  for (int r = 0; r < 32; ++r) {
+    if (IsCalleeSaved(r) && ((sum.clobbered_mask >> r) & 1)) {
+      s->regs[r] = AbsVal::Unknown();
+    }
+  }
+  if (sum.sp_broken) InvalidateSp(s);
+  if (!sum.frame_safe) DropSlots(s);
+}
+
+void ApplyCall(const CalleeRef& ref, State* s) {
+  if (ref.kind == CalleeRef::Kind::kSummary) {
+    ApplyCallSummary(*ref.summary, s);
+  } else {
+    ClobberCall(s);
+  }
+}
+
+// Entry-relative offset of a store, when it provably stays inside the
+// function's own frame [current sp_off, entry sp).
+bool StoreInOwnFrame(const State& s, const Instruction& inst) {
+  if (inst.rs1 != kSp || !s.sp_valid) return false;
+  const std::int64_t off = s.sp_off + inst.imm;
+  return off >= s.sp_off && off < 0;
+}
+
+}  // namespace
+
+AbsVal Join(const AbsVal& a, const AbsVal& b) {
+  if (a == b) return a;
+  if (a.kind == AbsVal::Kind::kBottom) return b;
+  if (b.kind == AbsVal::Kind::kBottom) return a;
+  return AbsVal::Unknown();
+}
+
+void DropSlots(State* s) { s->slots.clear(); }
+
+void InvalidateSp(State* s) {
+  s->sp_valid = false;
+  s->slots.clear();
+}
+
+bool Merge(State* into, const State& from) {
+  if (!into->reached) {
+    *into = from;
+    into->reached = true;
+    return true;
+  }
+  bool changed = false;
+  for (int r = 0; r < 32; ++r) {
+    AbsVal j = Join(into->regs[r], from.regs[r]);
+    if (!(j == into->regs[r])) {
+      into->regs[r] = j;
+      changed = true;
+    }
+  }
+  if (into->sp_valid &&
+      (!from.sp_valid || from.sp_off != into->sp_off)) {
+    InvalidateSp(into);
+    changed = true;
+  }
+  if (into->sp_valid) {
+    for (auto it = into->slots.begin(); it != into->slots.end();) {
+      auto other = from.slots.find(it->first);
+      AbsVal j = other == from.slots.end()
+                     ? AbsVal::Unknown()
+                     : Join(it->second, other->second);
+      if (j.kind == AbsVal::Kind::kUnknown) {
+        it = into->slots.erase(it);
+        changed = true;
+      } else {
+        if (!(j == it->second)) {
+          it->second = j;
+          changed = true;
+        }
+        ++it;
+      }
+    }
+  }
+  return changed;
+}
+
+bool IsCalleeSaved(int r) {
+  return r == 8 || r == 9 || (r >= 18 && r <= 27);
+}
+
+bool ProvablyClobbered(const AbsVal& v, std::uint8_t reg) {
+  switch (v.kind) {
+    case AbsVal::Kind::kConst:
+    case AbsVal::Kind::kRoLoaded:
+      return true;
+    case AbsVal::Kind::kEntry:
+      return v.bits != reg;
+    default:
+      return false;  // Unknown/Bottom: not provable either way
+  }
+}
+
+CalleeRef ResolveCallee(const AnalysisContext& ctx, const DecodedFunc& fn,
+                        std::uint64_t pc, const Instruction& inst,
+                        const State& s) {
+  (void)fn;
+  CalleeRef ref;
+  if (inst.op == Opcode::kJal) {
+    ref.kind = CalleeRef::Kind::kConservative;
+    if (ctx.cg == nullptr) return ref;
+    ref.callee = ctx.cg->FuncAt(pc + inst.imm);
+    if (ref.callee == kNoFunc || ctx.summaries == nullptr) return ref;
+    // In-SCC edges (including self-recursion) have no finished summary;
+    // they keep the conservative model — the documented precision limit.
+    if (ctx.func != kNoFunc &&
+        ctx.cg->scc_id[ref.callee] == ctx.cg->scc_id[ctx.func]) {
+      return ref;
+    }
+    const FuncSummary& sum = (*ctx.summaries)[ref.callee];
+    if (!sum.analyzed) return ref;
+    ref.kind = CalleeRef::Kind::kSummary;
+    ref.summary = &sum;
+    return ref;
+  }
+  // jalr: the only provable indirect targets are ld.ro results, which can
+  // only reach keyed-table entries — modeled by the keyed join.
+  ref.kind = CalleeRef::Kind::kConservative;
+  const AbsVal target = s.regs[inst.rs1];
+  if (target.kind == AbsVal::Kind::kRoLoaded && inst.imm == 0 &&
+      ctx.keyed_join != nullptr && ctx.keyed_join->analyzed) {
+    ref.kind = CalleeRef::Kind::kSummary;
+    ref.summary = ctx.keyed_join;
+  }
+  return ref;
+}
+
+Successors Step(const AnalysisContext& ctx, const DecodedFunc& fn,
+                std::uint64_t pc, const Instruction& inst, State* s) {
+  Successors succ;
+  const std::uint64_t next = pc + inst.length;
+  auto in_func = [&fn](std::uint64_t target) {
+    return fn.index_of.count(target) != 0;
+  };
+
+  switch (inst.op) {
+    case Opcode::kLui:
+      SetReg(s, inst.rd,
+             AbsVal::Const(static_cast<std::uint64_t>(inst.imm) << 12));
+      succ.Add(next);
+      return succ;
+    case Opcode::kAuipc:
+      SetReg(s, inst.rd,
+             AbsVal::Const(pc + (static_cast<std::uint64_t>(inst.imm) << 12)));
+      succ.Add(next);
+      return succ;
+    case Opcode::kAddi: {
+      if (inst.rd == kSp) {
+        if (inst.rs1 == kSp && s->sp_valid) {
+          s->sp_off += inst.imm;
+        } else {
+          InvalidateSp(s);
+        }
+        succ.Add(next);
+        return succ;
+      }
+      const AbsVal src = s->regs[inst.rs1];
+      if (src.kind == AbsVal::Kind::kConst) {
+        SetReg(s, inst.rd, AbsVal::Const(src.bits + inst.imm));
+      } else if (inst.imm == 0) {
+        SetReg(s, inst.rd, src);  // mv preserves provenance
+      } else {
+        SetReg(s, inst.rd, AbsVal::Unknown());
+      }
+      succ.Add(next);
+      return succ;
+    }
+    case Opcode::kAddiw: {
+      const AbsVal src = s->regs[inst.rs1];
+      if (inst.rd == kSp) {
+        InvalidateSp(s);
+      } else if (src.kind == AbsVal::Kind::kConst) {
+        SetReg(s, inst.rd,
+               AbsVal::Const(static_cast<std::uint64_t>(
+                   static_cast<std::int32_t>(src.bits + inst.imm))));
+      } else {
+        SetReg(s, inst.rd, AbsVal::Unknown());
+      }
+      succ.Add(next);
+      return succ;
+    }
+    case Opcode::kJal:
+      if (inst.rd == 0) {
+        const std::uint64_t target = pc + inst.imm;
+        if (in_func(target)) succ.Add(target);
+        return succ;  // tail call out of the function otherwise
+      }
+      ApplyCall(ResolveCallee(ctx, fn, pc, inst, *s), s);
+      SetReg(s, inst.rd, AbsVal::Unknown());
+      succ.Add(next);
+      return succ;
+    case Opcode::kJalr:
+      if (IsRet(inst)) return succ;
+      if (inst.rd != 0) {
+        ApplyCall(ResolveCallee(ctx, fn, pc, inst, *s), s);
+        SetReg(s, inst.rd, AbsVal::Unknown());
+        succ.Add(next);
+      }
+      return succ;  // rd == x0: tail dispatch, no fallthrough
+    case Opcode::kEcall:
+      SetReg(s, kA0, AbsVal::Unknown());
+      succ.Add(next);
+      return succ;
+    case Opcode::kEbreak:
+    case Opcode::kFence:
+      succ.Add(next);
+      return succ;
+    default:
+      break;
+  }
+
+  if (isa::IsBranch(inst.op)) {
+    const std::uint64_t target = pc + inst.imm;
+    if (in_func(target)) succ.Add(target);
+    succ.Add(next);
+    return succ;
+  }
+  if (isa::IsRoLoad(inst.op)) {
+    if (inst.rd == kSp) InvalidateSp(s);
+    SetReg(s, inst.rd, AbsVal::RoLoaded(inst.key));
+    succ.Add(next);
+    return succ;
+  }
+  if (isa::IsLoad(inst.op)) {
+    AbsVal v = AbsVal::Unknown();
+    if (inst.op == Opcode::kLd && inst.rs1 == kSp && s->sp_valid) {
+      auto it = s->slots.find(s->sp_off + inst.imm);
+      if (it != s->slots.end()) v = it->second;
+    }
+    if (inst.rd == kSp) {
+      InvalidateSp(s);
+    } else {
+      SetReg(s, inst.rd, v);
+    }
+    succ.Add(next);
+    return succ;
+  }
+  if (isa::IsStore(inst.op)) {
+    if (inst.rs1 == kSp && s->sp_valid) {
+      const std::int64_t lo = s->sp_off + inst.imm;
+      if (inst.op == Opcode::kSd && lo % 8 == 0) {
+        s->slots[lo] = s->regs[inst.rs2];
+      } else {
+        // Partial overwrite: forget any slot the store touches.
+        const std::int64_t hi = lo + isa::MemAccessBytes(inst.op);
+        for (std::int64_t slot = (lo / 8) * 8 - 8; slot < hi; slot += 8) {
+          s->slots.erase(slot);
+        }
+      }
+    } else {
+      DropSlots(s);  // unknown base may alias the stack frame
+    }
+    succ.Add(next);
+    return succ;
+  }
+
+  // Remaining ALU ops: result unknown (no proof flows through them).
+  if (inst.rd == kSp) {
+    InvalidateSp(s);
+  } else {
+    SetReg(s, inst.rd, AbsVal::Unknown());
+  }
+  succ.Add(next);
+  return succ;
+}
+
+FuncAnalysis Analyze(const AnalysisContext& ctx, const DecodedFunc& fn) {
+  FuncAnalysis a;
+  a.in.resize(fn.insts.size());
+  if (fn.insts.empty()) return a;
+
+  State entry;
+  for (int r = 1; r < 32; ++r) entry.regs[r] = AbsVal::Entry(r);
+  entry.regs[0] = AbsVal::Const(0);
+  entry.reached = true;
+  a.in[0] = entry;
+
+  std::deque<std::size_t> worklist{0};
+  std::vector<bool> queued(fn.insts.size(), false);
+  queued[0] = true;
+  while (!worklist.empty()) {
+    const std::size_t idx = worklist.front();
+    worklist.pop_front();
+    queued[idx] = false;
+    State out = a.in[idx];
+    const Successors succ = Step(ctx, fn, fn.pcs[idx], fn.insts[idx], &out);
+    out.regs[0] = AbsVal::Const(0);  // x0 is hardwired
+    for (int i = 0; i < succ.count; ++i) {
+      auto it = fn.index_of.find(succ.pcs[i]);
+      if (it == fn.index_of.end()) continue;
+      if (Merge(&a.in[it->second], out) && !queued[it->second]) {
+        worklist.push_back(it->second);
+        queued[it->second] = true;
+      }
+    }
+  }
+  return a;
+}
+
+FuncEffects ScanEffects(const AnalysisContext& ctx, const DecodedFunc& fn,
+                        const FuncAnalysis& analysis) {
+  FuncEffects fx;
+  for (std::size_t i = 0; i < fn.insts.size(); ++i) {
+    const State& in = analysis.in[i];
+    if (!in.reached) continue;
+    const Instruction& inst = fn.insts[i];
+    const std::uint64_t pc = fn.pcs[i];
+
+    if (inst.op == Opcode::kJal) {
+      const std::uint64_t target = pc + inst.imm;
+      if (inst.rd == 0 && fn.index_of.count(target) != 0) continue;  // jump
+      const CalleeRef ref = ResolveCallee(ctx, fn, pc, inst, in);
+      if (ref.kind != CalleeRef::Kind::kSummary ||
+          !ref.summary->frame_safe) {
+        fx.calls_unsafe = true;
+      }
+      if (inst.rd == 0) {
+        fx.exits.push_back(
+            ExitPoint{ExitPoint::Kind::kTailDirect, i, ref, in});
+      }
+      continue;
+    }
+    if (inst.op == Opcode::kJalr) {
+      if (IsRet(inst)) {
+        fx.exits.push_back(ExitPoint{ExitPoint::Kind::kRet, i, {}, in});
+        continue;
+      }
+      const AbsVal target = in.regs[inst.rs1];
+      if (target.kind == AbsVal::Kind::kEntry && inst.imm == 0 &&
+          target.bits >= kA0 && target.bits < kA0 + 8) {
+        fx.dispatch_entry_args |=
+            static_cast<std::uint8_t>(1u << (target.bits - kA0));
+      }
+      const CalleeRef ref = ResolveCallee(ctx, fn, pc, inst, in);
+      if (ref.kind != CalleeRef::Kind::kSummary ||
+          !ref.summary->frame_safe) {
+        fx.calls_unsafe = true;
+      }
+      if (inst.rd == 0) {
+        fx.exits.push_back(
+            ExitPoint{ExitPoint::Kind::kTailIndirect, i, ref, in});
+      }
+      continue;
+    }
+    if (isa::IsStore(inst.op) && !StoreInOwnFrame(in, inst)) {
+      fx.escapes.push_back(EscapeStore{
+          i, in.regs[inst.rs2].kind == AbsVal::Kind::kRoLoaded});
+    }
+  }
+  return fx;
+}
+
+namespace {
+
+FuncSummary FoldSummary(const FuncEffects& fx) {
+  FuncSummary sum;
+  sum.analyzed = true;
+  sum.frame_safe = fx.escapes.empty() && !fx.calls_unsafe;
+  sum.dispatch_args = fx.dispatch_entry_args;
+  for (const ExitPoint& exit : fx.exits) {
+    const State& st = exit.state;
+    // Preservation and sp discipline are local facts at every exit kind:
+    // a tail callee starts from whatever this function left behind.
+    for (int r = 0; r < 32; ++r) {
+      if (IsCalleeSaved(r) &&
+          ProvablyClobbered(st.regs[r], static_cast<std::uint8_t>(r))) {
+        sum.clobbered_mask |= 1u << r;
+      }
+    }
+    if (st.sp_valid && st.sp_off != 0) sum.sp_broken = true;
+
+    if (exit.kind == ExitPoint::Kind::kRet) {
+      sum.returns = true;
+      sum.ret_a0 = Join(sum.ret_a0, st.regs[kA0]);
+      sum.ret_a1 = Join(sum.ret_a1, st.regs[kA0 + 1]);
+      continue;
+    }
+    // Tail exit: forward the target's summary through this frame.
+    if (exit.tail.kind == CalleeRef::Kind::kSummary) {
+      const FuncSummary& t = *exit.tail.summary;
+      sum.clobbered_mask |= t.clobbered_mask;
+      sum.sp_broken = sum.sp_broken || t.sp_broken;
+      if (t.returns) {
+        sum.returns = true;
+        sum.ret_a0 = Join(sum.ret_a0, ResolveThroughCaller(t.ret_a0, st));
+        sum.ret_a1 = Join(sum.ret_a1, ResolveThroughCaller(t.ret_a1, st));
+      }
+    } else {
+      // Unknown tail target: may return anything (ABI assumptions apply).
+      sum.returns = true;
+      sum.ret_a0 = Join(sum.ret_a0, AbsVal::Unknown());
+      sum.ret_a1 = Join(sum.ret_a1, AbsVal::Unknown());
+    }
+  }
+  return sum;
+}
+
+FuncSummary JoinKeyedTargets(const CallGraph& cg,
+                             const std::vector<FuncSummary>& summaries) {
+  FuncSummary join;
+  join.frame_safe = true;
+  for (std::size_t i = 0; i < cg.funcs.size(); ++i) {
+    if (!cg.keyed_target[i]) continue;
+    const FuncSummary& sum = summaries[i];
+    join.analyzed = true;
+    join.clobbered_mask |= sum.clobbered_mask;
+    join.frame_safe = join.frame_safe && sum.frame_safe;
+    join.sp_broken = join.sp_broken || sum.sp_broken;
+    join.dispatch_args |= sum.dispatch_args;
+    if (sum.returns) {
+      join.returns = true;
+      join.ret_a0 = Join(join.ret_a0, sum.ret_a0);
+      join.ret_a1 = Join(join.ret_a1, sum.ret_a1);
+    }
+  }
+  if (!join.analyzed) join.frame_safe = false;
+  return join;
+}
+
+}  // namespace
+
+SummarySet ComputeSummaries(const CallGraph& cg) {
+  SummarySet set;
+  set.summaries.assign(cg.funcs.size(), FuncSummary{});
+  auto run_pass = [&](const FuncSummary* keyed_join) {
+    for (const std::size_t idx : cg.bottom_up) {
+      AnalysisContext ctx{&cg, &set.summaries, keyed_join, idx};
+      const FuncAnalysis analysis = Analyze(ctx, cg.funcs[idx]);
+      set.summaries[idx] = FoldSummary(ScanEffects(ctx, cg.funcs[idx],
+                                                   analysis));
+    }
+  };
+  // Pass 1: no model for indirect calls. The join over the keyed-target
+  // summaries is then a sound model for every proven-RoLoaded dispatch,
+  // and pass 2 re-folds everything with it. The checking phase reuses
+  // exactly this (summaries, keyed_join) pair.
+  run_pass(nullptr);
+  set.keyed_join = JoinKeyedTargets(cg, set.summaries);
+  run_pass(&set.keyed_join);
+  return set;
+}
+
+}  // namespace roload::verify

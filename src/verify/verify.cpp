@@ -43,6 +43,18 @@ std::string_view RuleName(Rule rule) {
       return "bin-missing-cfi-id";
     case Rule::kLoaderKeyMismatch:
       return "loader-key-mismatch";
+    case Rule::kBinCalleeSavedClobbered:
+      return "bin-callee-saved-clobbered";
+    case Rule::kBinRoloadEscape:
+      return "bin-roload-escape";
+    case Rule::kBinUnprovenCalleeArg:
+      return "bin-unproven-callee-arg";
+    case Rule::kBinObligationUndischargeable:
+      return "bin-obligation-undischargeable";
+    case Rule::kBinRetAddrUnproven:
+      return "bin-ret-addr-unproven";
+    case Rule::kBinSpImbalance:
+      return "bin-sp-imbalance";
   }
   return "unknown-rule";
 }

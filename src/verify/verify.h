@@ -31,7 +31,8 @@
 namespace roload::verify {
 
 // Stable rule identifiers. 10-15 are IR-lint rules, 20-28 binary rules,
-// 29 the loader page-table cross-check.
+// 29 the loader page-table cross-check, 30-35 the interprocedural
+// (call-summary) rules.
 // The numeric values are part of the tool contract (exit codes, JSON);
 // never renumber, only append.
 enum class Rule : int {
@@ -65,6 +66,30 @@ enum class Rule : int {
   kLoaderKeyMismatch = 29,      // a .rodata.key.<K> page is not mapped
                                 // read-only with key K (e.g. loaded by a
                                 // kernel that is not roload-aware)
+
+  // Interprocedural rules over call summaries. 30/31/34/35 report only
+  // *provable* violations (an unprovable fact keeps the ABI assumption,
+  // exactly like the intraprocedural verifier), so they are universal;
+  // 32/33 extend the dispatch proof across call boundaries and are gated
+  // by BinaryPolicy::require_protected_dispatch.
+  kBinCalleeSavedClobbered = 30,  // callee-saved register provably not
+                                  // preserved at a function exit
+  kBinRoloadEscape = 31,        // ld.ro result provably stored outside
+                                // the function's own stack frame: the
+                                // keyed pointer escapes to memory an
+                                // attacker may control
+  kBinUnprovenCalleeArg = 32,   // direct call passes an unproven value in
+                                // an argument register the callee
+                                // dispatches on (policy-gated)
+  kBinObligationUndischargeable = 33,  // a function dispatching on an
+                                       // argument is address-taken or the
+                                       // entry point, so no caller-side
+                                       // proof can cover every call
+                                       // (policy-gated)
+  kBinRetAddrUnproven = 34,     // ra at an exit provably does not hold
+                                // the caller's return address
+  kBinSpImbalance = 35,         // exit reached with sp provably displaced
+                                // from its entry value
 };
 
 int RuleId(Rule rule);

@@ -3,17 +3,44 @@
 # is "exit code == smallest violated rule id".
 #
 # Usage:
-#   cmake -DCMD=<exe> "-DARGS=a;b;c" -DEXPECT=<code> -P check_exit.cmake
+#   cmake -DCMD=<exe> "-DARGS=a;b;c" -DEXPECT=<code>
+#         ["-DEXPECT_OUTPUT=regex;regex"] -P check_exit.cmake
+#
+# EXPECT_OUTPUT is an optional semicolon-separated list of regexes; each
+# must match the combined stdout+stderr of the run. This lets exit-code
+# tests also pin diagnostic text (e.g. "both RV0NN lines are printed").
 if(NOT DEFINED CMD OR NOT DEFINED EXPECT)
   message(FATAL_ERROR "check_exit.cmake needs -DCMD=... and -DEXPECT=...")
+endif()
+# A missing binary must fail loudly as *this* error, not whatever
+# execute_process reports: a stale $<TARGET_FILE:...> or a typo'd path
+# would otherwise masquerade as a contract violation.
+if(NOT EXISTS "${CMD}")
+  message(FATAL_ERROR "check_exit.cmake: no such binary: ${CMD}")
 endif()
 execute_process(
   COMMAND ${CMD} ${ARGS}
   RESULT_VARIABLE actual
   OUTPUT_VARIABLE out
   ERROR_VARIABLE err)
+# RESULT_VARIABLE is a textual error ("Segmentation fault", "no such
+# file or directory", ...) when the process died without an exit code.
+if(NOT actual MATCHES "^[0-9]+$")
+  message(FATAL_ERROR
+    "${CMD} did not exit normally: ${actual}\nstdout:\n${out}\n"
+    "stderr:\n${err}")
+endif()
 if(NOT actual EQUAL ${EXPECT})
   message(FATAL_ERROR
     "${CMD} exited ${actual}, expected ${EXPECT}\nstdout:\n${out}\n"
     "stderr:\n${err}")
+endif()
+if(DEFINED EXPECT_OUTPUT)
+  foreach(pattern IN LISTS EXPECT_OUTPUT)
+    if(NOT "${out}${err}" MATCHES "${pattern}")
+      message(FATAL_ERROR
+        "${CMD} output does not match '${pattern}'\nstdout:\n${out}\n"
+        "stderr:\n${err}")
+    endif()
+  endforeach()
 endif()

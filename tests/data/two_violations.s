@@ -1,0 +1,19 @@
+# Two distinct violations in one image: the first ld.ro names a mapped
+# key but resolves to the wrong keyed frame (rule 23); the second names
+# a key no section carries (rule 22). rverify must exit 22 (the
+# smallest rule id) while printing BOTH RV022 and RV023 lines — the
+# multi-violation reporting contract.
+.section .text
+_start:
+  la t0, secret
+  ld.ro t1, (t0), 5
+  la t2, secret
+  ld.ro t3, (t2), 999
+  li a7, 93
+  ecall
+.section .rodata.key.5
+other:
+  .quad 1
+.section .rodata.key.6
+secret:
+  .quad 2

@@ -1,0 +1,24 @@
+# Wrapper-dispatch fixture: the ld.ro lives in `get_handler`, the jalr
+# in `_start`. Intraprocedurally the call clobbers a0 and the dispatch
+# is unprovable; the interprocedural verifier's summary for
+# `get_handler` (returns a0 = RoLoaded(key 9), frame-safe) proves it.
+# `rverify --policy icall` must exit 0 with 1/1 dispatches proven.
+.section .text
+_start:
+  addi sp, sp, -16
+  call get_handler
+  mv t2, a0
+  jalr ra, 0(t2)
+  addi sp, sp, 16
+  li a0, 0
+  li a7, 93
+  ecall
+get_handler:
+  la t0, table
+  ld.ro a0, (t0), 9
+  ret
+fn:
+  ret
+.section .rodata.key.9
+table:
+  .quad fn

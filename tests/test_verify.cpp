@@ -11,6 +11,8 @@
 //    path that bypasses ld.ro.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -19,7 +21,9 @@
 #include "ir/builder.h"
 #include "ir/ir.h"
 #include "sec/attack.h"
+#include "support/json.h"
 #include "verify/binary.h"
+#include "verify/gadgets.h"
 #include "verify/ir_lint.h"
 #include "verify/verify.h"
 #include "workloads/spec_like.h"
@@ -614,9 +618,11 @@ secret:
             RuleId(Rule::kBinStaticTargetMismatch));
 }
 
-TEST(BinaryVerifyTest, CallClobbersDispatchProof) {
-  // A call between the ld.ro and the dispatch invalidates the spilled
-  // proof (the callee may overwrite the frame): conservatively rejected.
+TEST(BinaryVerifyTest, CallSummaryPreservesDispatchProof) {
+  // A call between the ld.ro and the dispatch used to invalidate the
+  // spilled proof conservatively. The summary for `helper` proves it
+  // never stores outside its own frame, so the slot — and the dispatch
+  // proof — survive the call.
   const char* source = R"(
 .section .text
 _start:
@@ -636,6 +642,40 @@ fn:
 .section .rodata.key.9
 table:
   .quad fn
+)";
+  const Report report = VerifyAsm(source, true);
+  EXPECT_TRUE(report.ok()) << report.ToText();
+  EXPECT_EQ(report.stats().proven_dispatches, 1u);
+}
+
+TEST(BinaryVerifyTest, FrameUnsafeCalleeDropsDispatchProof) {
+  // Same shape, but the helper stores through a non-sp pointer. Its
+  // summary is not frame-safe, the caller's spilled slots are dropped
+  // across the call, and the dispatch is unproven again.
+  const char* source = R"(
+.section .text
+_start:
+  addi sp, sp, -32
+  la t0, table
+  ld.ro t1, (t0), 9
+  sd t1, 8(sp)
+  call helper
+  ld t2, 8(sp)
+  jalr ra, 0(t2)
+  li a7, 93
+  ecall
+helper:
+  la t3, buf
+  sd zero, 0(t3)
+  ret
+fn:
+  ret
+.section .rodata.key.9
+table:
+  .quad fn
+.section .data
+buf:
+  .quad 0
 )";
   const Report report = VerifyAsm(source, true);
   ASSERT_FALSE(report.ok());
@@ -664,6 +704,416 @@ fn:
   EXPECT_NE(json.find("\"exit_code\""), std::string::npos);
   EXPECT_NE(json.find("\"pc\""), std::string::npos);
   EXPECT_NE(json.find("\"violations\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural summaries (rules 30-35): call summaries let dispatch
+// proofs flow across function boundaries, and the summary rules police
+// the assumptions those summaries rest on.
+
+TEST(InterprocVerifyTest, WrapperDispatchProvedAcrossCall) {
+  // The canonical wrapper shape: the ld.ro lives in the callee, the
+  // jalr in the caller. Intraprocedurally a0 is clobbered by the call;
+  // the summary records ret a0 = RoLoaded(9) and the dispatch is proven.
+  const char* source = R"(
+.section .text
+_start:
+  addi sp, sp, -16
+  call get_handler
+  mv t2, a0
+  jalr ra, 0(t2)
+  addi sp, sp, 16
+  li a0, 0
+  li a7, 93
+  ecall
+get_handler:
+  la t0, table
+  ld.ro a0, (t0), 9
+  ret
+fn:
+  ret
+.section .rodata.key.9
+table:
+  .quad fn
+)";
+  const Report report = VerifyAsm(source, true);
+  EXPECT_TRUE(report.ok()) << report.ToText();
+  EXPECT_EQ(report.stats().dispatches, 1u);
+  EXPECT_EQ(report.stats().proven_dispatches, 1u);
+}
+
+TEST(InterprocVerifyTest, CalleeSavedClobberIsRule30) {
+  // `helper` provably leaves s1 holding a constant at its return — the
+  // summary the callers rely on (callee-saved preservation) is broken.
+  const char* source = R"(
+.section .text
+_start:
+  li a0, 0
+  li a7, 93
+  ecall
+helper:
+  li s1, 5
+  ret
+)";
+  const Report report = VerifyAsm(source, false);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(SmallestRuleId(report),
+            RuleId(Rule::kBinCalleeSavedClobbered));
+}
+
+TEST(InterprocVerifyTest, RoLoadedEscapeIsRule31) {
+  // Storing an ld.ro result through a non-stack pointer leaks a keyed
+  // pointee into mutable memory the verifier cannot track.
+  const char* source = R"(
+.section .text
+_start:
+  la t0, table
+  ld.ro t1, (t0), 9
+  la t3, buf
+  sd t1, 0(t3)
+  li a7, 93
+  ecall
+.section .rodata.key.9
+table:
+  .quad 7
+.section .data
+buf:
+  .quad 0
+)";
+  const Report report = VerifyAsm(source, false);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(SmallestRuleId(report), RuleId(Rule::kBinRoloadEscape));
+}
+
+TEST(InterprocVerifyTest, DispatchOnArgumentProvenThroughCaller) {
+  // `disp` dispatches on its first argument. The only caller passes an
+  // ld.ro result, so the caller-side obligation discharges cleanly.
+  const char* source = R"(
+.section .text
+_start:
+  la t0, table
+  ld.ro a0, (t0), 9
+  call disp
+  li a0, 0
+  li a7, 93
+  ecall
+disp:
+  jalr ra, 0(a0)
+  ret
+fn:
+  ret
+.section .rodata.key.9
+table:
+  .quad fn
+)";
+  const Report report = VerifyAsm(source, true);
+  EXPECT_TRUE(report.ok()) << report.ToText();
+  EXPECT_EQ(report.stats().dispatches, report.stats().proven_dispatches);
+}
+
+TEST(InterprocVerifyTest, UnprovenCalleeArgIsRule32) {
+  // Same dispatcher, but the caller passes a raw constant where the
+  // obligation demands an ld.ro result.
+  const char* source = R"(
+.section .text
+_start:
+  li a0, 7
+  call disp
+  li a0, 0
+  li a7, 93
+  ecall
+disp:
+  jalr ra, 0(a0)
+  ret
+fn:
+  ret
+.section .rodata.key.9
+table:
+  .quad fn
+)";
+  const Report report = VerifyAsm(source, true);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(SmallestRuleId(report),
+            RuleId(Rule::kBinUnprovenCalleeArg));
+}
+
+TEST(InterprocVerifyTest, AddressTakenArgDispatcherIsRule33) {
+  // `disp` dispatches on a0 but is itself reachable from a keyed
+  // dispatch table — an indirect caller could pass anything, so the
+  // obligation can never be discharged.
+  const char* source = R"(
+.section .text
+_start:
+  la t0, table
+  ld.ro t1, (t0), 9
+  mv t2, t1
+  jalr ra, 0(t2)
+  li a0, 0
+  li a7, 93
+  ecall
+disp:
+  jalr ra, 0(a0)
+  ret
+.section .rodata.key.9
+table:
+  .quad disp
+)";
+  const Report report = VerifyAsm(source, true);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(SmallestRuleId(report),
+            RuleId(Rule::kBinObligationUndischargeable));
+}
+
+TEST(InterprocVerifyTest, OverwrittenReturnAddressIsRule34) {
+  // `hijack` returns through a constant rather than its caller's ra —
+  // a statically visible backward-edge redirect.
+  const char* source = R"(
+.section .text
+_start:
+  li a0, 0
+  li a7, 93
+  ecall
+hijack:
+  la ra, fn
+  ret
+fn:
+  ret
+)";
+  const Report report = VerifyAsm(source, false);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(SmallestRuleId(report), RuleId(Rule::kBinRetAddrUnproven));
+}
+
+TEST(InterprocVerifyTest, SpImbalanceIsRule35) {
+  const char* source = R"(
+.section .text
+_start:
+  li a0, 0
+  li a7, 93
+  ecall
+leaky:
+  addi sp, sp, -16
+  ret
+)";
+  const Report report = VerifyAsm(source, false);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(SmallestRuleId(report), RuleId(Rule::kBinSpImbalance));
+}
+
+TEST(InterprocVerifyTest, NewRuleIdsAreStable) {
+  EXPECT_EQ(RuleId(Rule::kBinCalleeSavedClobbered), 30);
+  EXPECT_EQ(RuleId(Rule::kBinRoloadEscape), 31);
+  EXPECT_EQ(RuleId(Rule::kBinUnprovenCalleeArg), 32);
+  EXPECT_EQ(RuleId(Rule::kBinObligationUndischargeable), 33);
+  EXPECT_EQ(RuleId(Rule::kBinRetAddrUnproven), 34);
+  EXPECT_EQ(RuleId(Rule::kBinSpImbalance), 35);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-violation reporting and parallel determinism.
+
+constexpr const char* kTwoViolationSource = R"(
+.section .text
+_start:
+  la t0, secret
+  ld.ro t1, (t0), 5
+  la t2, secret
+  ld.ro t3, (t2), 999
+  li a7, 93
+  ecall
+.section .rodata.key.5
+other:
+  .quad 1
+.section .rodata.key.6
+secret:
+  .quad 2
+)";
+
+TEST(BinaryVerifyTest, EveryViolationIsPrintedNotJustTheSmallest) {
+  // The exit code is the smallest rule id, but the text report must
+  // carry one RV0NN line per violation.
+  const Report report = VerifyAsm(kTwoViolationSource, false);
+  ASSERT_GE(report.violations().size(), 2u);
+  EXPECT_EQ(SmallestRuleId(report), RuleId(Rule::kBinKeyUnmapped));
+  const std::string text = report.ToText();
+  EXPECT_NE(text.find("RV022"), std::string::npos);
+  EXPECT_NE(text.find("RV023"), std::string::npos);
+}
+
+TEST(BinaryVerifyTest, ParallelVerificationIsBitIdentical) {
+  const auto run = [](const asmtool::LinkImage& image, unsigned jobs,
+                      bool icall) {
+    Report report;
+    BinaryPolicy policy;
+    policy.name = icall ? "icall" : "none";
+    policy.require_protected_dispatch = icall;
+    VerifyImageOptions options;
+    options.jobs = jobs;
+    VerifyImage(image, policy, nullptr, &report, options);
+    return report;
+  };
+  // A clean full build (many functions, proofs across calls)...
+  const ir::Module module =
+      workloads::Generate(workloads::SpecCint2006Suite(0.001).front());
+  const core::BuildResult build = MustBuild(module, core::Defense::kICall);
+  const Report serial = run(build.image, 1, true);
+  const Report wide = run(build.image, 8, true);
+  EXPECT_TRUE(serial.ok()) << serial.ToText();
+  EXPECT_EQ(serial.ToText(), wide.ToText());
+  EXPECT_EQ(serial.ToJson("t", "img", "icall"),
+            wide.ToJson("t", "img", "icall"));
+  // ...and a violating image: diagnostics keep their order under fan-out.
+  const asmtool::LinkImage bad = MustAssemble(kTwoViolationSource);
+  EXPECT_EQ(run(bad, 1, false).ToText(), run(bad, 7, false).ToText());
+}
+
+TEST(CleanVerifyTest, RpcServerImageVerifiesUnderICall) {
+  // The SMP workload's image is single-image verifiable: its dispatch
+  // table loads are ld.ro like any other keyed dispatch.
+  const ir::Module module =
+      workloads::Generate(workloads::RpcServerWorkload(40));
+  for (const core::Defense defense :
+       {core::Defense::kNone, core::Defense::kICall}) {
+    const core::BuildResult build = MustBuild(module, defense, true);
+    const Report report = core::Verify(build);
+    EXPECT_TRUE(report.ok()) << report.ToText();
+    if (defense == core::Defense::kICall) {
+      EXPECT_GT(report.stats().dispatches, 0u);
+      EXPECT_EQ(report.stats().dispatches,
+                report.stats().proven_dispatches);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Gadget census.
+
+TEST(GadgetScanTest, FindsRetGadgetInHandAssembly) {
+  const asmtool::LinkImage image = MustAssemble(R"(
+.section .text
+_start:
+  li a0, 0
+  li a7, 93
+  ecall
+helper:
+  add a0, a0, a1
+  ret
+)");
+  const GadgetCensus census = ScanGadgets(image);
+  EXPECT_GT(census.stats.gadgets, 0u);
+  EXPECT_GT(census.stats.ret_terminated, 0u);
+  bool helper_ret = false;
+  for (const Gadget& g : census.gadgets) {
+    if (g.function == "helper" && g.kind == Gadget::Kind::kRet) {
+      helper_ret = true;
+    }
+  }
+  EXPECT_TRUE(helper_ret);
+}
+
+TEST(GadgetScanTest, JsonCensusCarriesSchema) {
+  const asmtool::LinkImage image = MustAssemble(R"(
+.section .text
+_start:
+  li a7, 93
+  ecall
+)");
+  const std::string json = ScanGadgets(image).ToJson("tiny.rimg");
+  EXPECT_NE(json.find("roload.gadgets.v1"), std::string::npos);
+  EXPECT_NE(json.find("\"stats\""), std::string::npos);
+  EXPECT_NE(json.find("\"exec_bytes\""), std::string::npos);
+}
+
+TEST(GadgetScanTest, CompressedBuildHasCompressedGadgets) {
+  // Under ICall+compressed a vtable dispatch is `c.ld.ro; ...; jalr` —
+  // the chain through the 16-bit parcel is a compressed gadget, the
+  // class the RISC-V ROP literature calls out. Only the unified vtable
+  // key fits the compressed encoding's key field, so pick a C++-like
+  // benchmark (virtual dispatch), not a C-like one.
+  const workloads::WorkloadSpec* spec = nullptr;
+  const auto suite = workloads::SpecCint2006Suite(0.001);
+  for (const auto& s : suite) {
+    if (s.name == "471.omnetpp_like") spec = &s;
+  }
+  ASSERT_NE(spec, nullptr);
+  const ir::Module module = workloads::Generate(*spec);
+  const core::BuildResult build =
+      MustBuild(module, core::Defense::kICall, /*compressed=*/true);
+  const GadgetCensus census = ScanGadgets(build.image);
+  EXPECT_GT(census.stats.gadgets, 0u);
+  EXPECT_GT(census.stats.ret_terminated, 0u);
+  EXPECT_GT(census.stats.compressed, 0u);
+}
+
+TEST(GadgetScanTest, CommittedCleanSuiteCensusIsCurrent) {
+  // Aggregated gadget stats over the compressed ICall suite, pinned as
+  // a committed artifact so attack-surface drift shows up in review.
+  // Regenerate with:
+  //   ROLOAD_REGEN_GADGETS=1 ./roload_tests \
+  //     --gtest_filter='*CommittedCleanSuiteCensusIsCurrent*'
+  const auto emit_stats = [](JsonWriter* json, const GadgetStats& s) {
+    json->BeginObject();
+    json->KV("gadgets", s.gadgets);
+    json->KV("ret_terminated", s.ret_terminated);
+    json->KV("jalr_terminated", s.jalr_terminated);
+    json->KV("misaligned", s.misaligned);
+    json->KV("compressed", s.compressed);
+    json->KV("in_keyed_ro", s.in_keyed_ro);
+    json->KV("in_keyed_target", s.in_keyed_target);
+    json->KV("exec_bytes", s.exec_bytes);
+    json->EndObject();
+  };
+  GadgetStats totals;
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("schema", "roload.gadgets.v1");
+  json.KV("suite", "cint2006-like icall compressed scale 0.001");
+  json.KV("max_insts", static_cast<std::uint64_t>(8));
+  json.Key("images");
+  json.BeginArray();
+  for (const auto& spec : workloads::SpecCint2006Suite(0.001)) {
+    const core::BuildResult build =
+        MustBuild(workloads::Generate(spec), core::Defense::kICall,
+                  /*compressed=*/true);
+    const GadgetCensus census = ScanGadgets(build.image);
+    json.BeginObject();
+    json.KV("name", spec.name);
+    json.Key("stats");
+    emit_stats(&json, census.stats);
+    json.EndObject();
+    totals.gadgets += census.stats.gadgets;
+    totals.ret_terminated += census.stats.ret_terminated;
+    totals.jalr_terminated += census.stats.jalr_terminated;
+    totals.misaligned += census.stats.misaligned;
+    totals.compressed += census.stats.compressed;
+    totals.in_keyed_ro += census.stats.in_keyed_ro;
+    totals.in_keyed_target += census.stats.in_keyed_target;
+    totals.exec_bytes += census.stats.exec_bytes;
+  }
+  json.EndArray();
+  json.Key("totals");
+  emit_stats(&json, totals);
+  json.EndObject();
+  const std::string current = json.str() + "\n";
+
+  // The acceptance bar: the clean suite exposes at least one
+  // compressed-instruction gadget.
+  EXPECT_GT(totals.compressed, 0u);
+
+  const std::string path =
+      std::string(ROLOAD_TESTS_DATA_DIR) + "/GADGETS_clean_suite.json";
+  if (std::getenv("ROLOAD_REGEN_GADGETS") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << path;
+    out << current;
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing committed census: " << path;
+  const std::string committed((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+  EXPECT_EQ(committed, current)
+      << "gadget census drifted; regenerate with ROLOAD_REGEN_GADGETS=1";
 }
 
 // ---------------------------------------------------------------------------

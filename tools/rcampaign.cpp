@@ -2,7 +2,7 @@
 // simulated ROLoad machine, in parallel, with merged telemetry.
 //
 //   rcampaign [--grid SPEC] [--jobs N] [--json FILE] [--profile]
-//             [--scale S] [--name NAME] [--quiet]
+//             [--scale S] [--name NAME] [--emit-images DIR] [--quiet]
 //
 // --grid     semicolon-separated key=value grid (see src/campaign/grid.h),
 //            e.g. "workloads=cpp;defenses=none,VCall,VTint;variants=full".
@@ -14,14 +14,21 @@
 // --profile  attach the cycle-attribution profiler to every run
 // --scale    workload scale when the grid does not set one (default 0.5)
 // --name     campaign name used in the telemetry (default "campaign")
+// --emit-images DIR
+//            build every run of the grid and save its linked image as
+//            DIR/<run name>.rimg (slashes become '_'), skipping
+//            simulation entirely — the feed for whole-image rverify /
+//            gadget-census sweeps in CI
 // --quiet    suppress the per-run table, print only the summary line
 //
 // Exit code: 0 when every run is clean, 1 when any run faulted,
 // 2 on usage errors.
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 
+#include "asmtool/image_io.h"
 #include "campaign/env.h"
 #include "campaign/grid.h"
 #include "campaign/runner.h"
@@ -35,10 +42,59 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: rcampaign [--grid SPEC] [--jobs N] [--json FILE] "
-               "[--profile] [--scale S] [--name NAME] [--quiet]\n"
+               "[--profile] [--scale S] [--name NAME] "
+               "[--emit-images DIR] [--quiet]\n"
                "grid keys: workloads, defenses, variants, scale, seed, "
                "max-instructions, profile\n");
   return 2;
+}
+
+// "<workload>/<config>/<variant>" -> a filesystem-safe image stem.
+std::string SanitizeRunName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '/' || c == ' ') c = '_';
+  }
+  return out;
+}
+
+// Builds every run of the expanded grid and writes DIR/<name>.rimg;
+// no simulation. Returns 0 when every build + save succeeded.
+int EmitImages(const campaign::CampaignSpec& spec, const std::string& dir,
+               bool quiet) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "rcampaign: cannot create %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  std::size_t written = 0;
+  std::size_t failed = 0;
+  for (const campaign::RunSpec& run : campaign::Expand(spec)) {
+    const ir::Module module = workloads::Generate(run.workload);
+    auto build = core::Build(module, run.build);
+    if (!build.ok()) {
+      std::fprintf(stderr, "rcampaign: %s: %s\n", run.name.c_str(),
+                   build.status().ToString().c_str());
+      ++failed;
+      continue;
+    }
+    const std::string path =
+        dir + "/" + SanitizeRunName(run.name) + ".rimg";
+    if (Status status = asmtool::SaveImage(build->image, path);
+        !status.ok()) {
+      std::fprintf(stderr, "rcampaign: %s: %s\n", path.c_str(),
+                   status.ToString().c_str());
+      ++failed;
+      continue;
+    }
+    ++written;
+    if (!quiet) std::printf("%-44s -> %s\n", run.name.c_str(), path.c_str());
+  }
+  std::printf("%zu images written to %s, %zu failed\n", written, dir.c_str(),
+              failed);
+  return failed == 0 ? 0 : 1;
 }
 
 bool FlagValue(int argc, char** argv, int* i, const char* flag,
@@ -64,6 +120,7 @@ int main(int argc, char** argv) {
   std::string name = "campaign";
   std::string jobs_text;
   std::string scale_text;
+  std::string emit_dir;
   bool profile = false;
   bool quiet = false;
 
@@ -73,7 +130,8 @@ int main(int argc, char** argv) {
         FlagValue(argc, argv, &i, "--json", &json_path) ||
         FlagValue(argc, argv, &i, "--name", &name) ||
         FlagValue(argc, argv, &i, "--jobs", &jobs_text) ||
-        FlagValue(argc, argv, &i, "--scale", &scale_text)) {
+        FlagValue(argc, argv, &i, "--scale", &scale_text) ||
+        FlagValue(argc, argv, &i, "--emit-images", &emit_dir)) {
       continue;
     }
     if (arg == "--profile") {
@@ -114,6 +172,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (profile) spec.profile = true;
+
+  if (!emit_dir.empty()) return EmitImages(spec, emit_dir, quiet);
 
   const campaign::CampaignResult result =
       campaign::Run(spec, {.jobs = jobs});

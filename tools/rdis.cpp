@@ -1,11 +1,14 @@
 // rdis — disassemble the executable sections of a .rimg image.
 //
-//   rdis program.rimg [--section NAME]
+//   rdis program.rimg [--section NAME] [--gadgets]
 //
 // Prints addresses, raw encodings and assembly, annotating symbols.
 // Section headers carry the mapping (perms + page key) and ld.ro-family
 // lines are annotated with `key=<K>`, so rverify diagnostics (which name
 // sections, keys and pcs) cross-reference the listing directly.
+// `--gadgets` additionally runs the ROP/JOP gadget scanner and marks
+// every line where a gadget chain starts (`# gadget: ...`), including
+// misaligned starts that do not appear as listed instructions.
 #include <cstdio>
 #include <map>
 #include <string>
@@ -14,25 +17,31 @@
 #include "isa/disasm.h"
 #include "isa/encoding.h"
 #include "isa/opcodes.h"
+#include "verify/gadgets.h"
 
 using namespace roload;
 
 int main(int argc, char** argv) {
   std::string input;
   std::string only_section;
+  bool gadgets = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--section" && i + 1 < argc) {
       only_section = argv[++i];
+    } else if (arg == "--gadgets") {
+      gadgets = true;
     } else if (!arg.empty() && arg[0] == '-') {
-      std::fprintf(stderr, "usage: rdis program.rimg [--section NAME]\n");
+      std::fprintf(stderr,
+                   "usage: rdis program.rimg [--section NAME] [--gadgets]\n");
       return 2;
     } else {
       input = arg;
     }
   }
   if (input.empty()) {
-    std::fprintf(stderr, "usage: rdis program.rimg [--section NAME]\n");
+    std::fprintf(stderr,
+                 "usage: rdis program.rimg [--section NAME] [--gadgets]\n");
     return 2;
   }
 
@@ -46,6 +55,27 @@ int main(int argc, char** argv) {
   std::map<std::uint64_t, std::string> by_addr;
   for (const auto& [name, value] : image->symbols) {
     by_addr.emplace(value, name);
+  }
+
+  // Gadget-start annotations, keyed by start address.
+  std::map<std::uint64_t, std::string> gadget_at;
+  if (gadgets) {
+    const verify::GadgetCensus census = verify::ScanGadgets(*image);
+    for (const verify::Gadget& g : census.gadgets) {
+      char note[96];
+      std::snprintf(note, sizeof(note), "# gadget: %s len=%u%s%s",
+                    g.kind == verify::Gadget::Kind::kRet ? "ret" : "jalr",
+                    g.length, g.misaligned ? " misaligned" : "",
+                    g.compressed ? " compressed" : "");
+      gadget_at[g.start] = note;
+    }
+    std::printf("gadget census: %llu gadgets (%llu ret, %llu jalr, "
+                "%llu compressed, %llu misaligned)\n",
+                static_cast<unsigned long long>(census.stats.gadgets),
+                static_cast<unsigned long long>(census.stats.ret_terminated),
+                static_cast<unsigned long long>(census.stats.jalr_terminated),
+                static_cast<unsigned long long>(census.stats.compressed),
+                static_cast<unsigned long long>(census.stats.misaligned));
   }
 
   for (const auto& section : image->sections) {
@@ -90,6 +120,19 @@ int main(int argc, char** argv) {
           char note[32];
           std::snprintf(note, sizeof(note), "   # key=%u", inst->key);
           text += note;
+        }
+        if (auto g = gadget_at.find(addr); g != gadget_at.end()) {
+          text += "   " + g->second;
+        }
+        // A gadget chain can open mid-parcel (the misaligned class);
+        // surface it as its own note line since no listed instruction
+        // starts there.
+        if (inst->length == 4) {
+          if (auto g = gadget_at.find(addr + 2); g != gadget_at.end()) {
+            std::printf("  %8llx:  (misaligned start) %s\n",
+                        static_cast<unsigned long long>(addr + 2),
+                        g->second.c_str());
+          }
         }
         if (length == 4) {
           std::printf("  %8llx:  %08x   %s\n",

@@ -29,7 +29,7 @@
 //
 // Exit-code contract, in evaluation order:
 //    2          bad usage
-//   10..29      --verify refused the image (smallest violated rule id)
+//   10..35      --verify refused the image (smallest violated rule id)
 //    1          I/O or load failure
 //  124          --max-instructions limit hit before the guest exited
 //   99          guest killed by a fatal signal classified as a ROLoad
