@@ -1,15 +1,17 @@
-// Host throughput: simulated-MIPS of the simulator itself, with the
-// host-only fast paths (decode cache, indexed TLB lookup, cache index
-// math) off vs on. "Off" is the reference implementation — the seed
-// simulator before the fast paths landed — so the `baseline` column is a
-// recorded pre-change baseline, not an estimate.
+// Host throughput: simulated-MIPS of the simulator itself across the
+// three execute tiers — the reference interpreter (every host fast path
+// off: the seed simulator, so the `interp` column is a recorded
+// pre-change baseline, not an estimate), the PR 2 host fast paths
+// (decode cache, indexed TLB lookup, cache index math), and the
+// superblock translation tier (pre-decoded blocks entered through
+// guards, chained block-to-block; see docs/PERF.md).
 //
-// The fast paths claim to be invisible to the simulation: every run pair
-// is checked for bit-identical cycles, instructions, exit code and the
-// full telemetry counter snapshot, and the bench exits nonzero on any
+// The tiers claim to be invisible to the simulation: every tier pair is
+// checked for bit-identical cycles, instructions, exit code and the full
+// telemetry counter snapshot, and the bench exits nonzero on any
 // mismatch. Workloads are the Figure 3 C++ subset (base + VCall) and the
 // Figure 4 CINT2006 suite (ICall), i.e. the exact guest programs whose
-// tables the fast paths must not perturb.
+// tables the tiers must not perturb.
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -37,12 +39,12 @@ struct TimedRun {
 // (not the build). Best-of-`reps` to shave scheduler noise; the simulated
 // results of every rep are identical by construction (fresh system each
 // time), so only the time varies.
-TimedRun RunImage(const asmtool::LinkImage& image, bool fast_paths,
+TimedRun RunImage(const asmtool::LinkImage& image, cpu::ExecTier tier,
                   int reps) {
   TimedRun best;
   for (int rep = 0; rep < reps; ++rep) {
     core::SystemConfig config;
-    cpu::SetHostFastPaths(&config.cpu, fast_paths);
+    cpu::SetExecTier(&config.cpu, tier);
     core::System system(config);
     if (Status status = system.Load(image); !status.ok()) {
       std::fprintf(stderr, "host_throughput: load failed: %s\n",
@@ -67,9 +69,9 @@ TimedRun RunImage(const asmtool::LinkImage& image, bool fast_paths,
   return best;
 }
 
-// Any divergence between the reference and fast-path runs means a fast
-// path leaked into the simulation — fail loudly, the figure tables can no
-// longer be trusted.
+// Any divergence between the reference and an accelerated tier means a
+// host optimization leaked into the simulation — fail loudly, the figure
+// tables can no longer be trusted.
 bool CheckIdentical(const std::string& label, const TimedRun& ref,
                     const TimedRun& fast) {
   bool ok = true;
@@ -105,21 +107,29 @@ bool CheckIdentical(const std::string& label, const TimedRun& ref,
 }
 
 struct SuiteTotals {
-  double ref_seconds = 0.0;
+  double interp_seconds = 0.0;
   double fast_seconds = 0.0;
+  double translated_seconds = 0.0;
   std::uint64_t instructions = 0;
 
-  double RefMips() const {
-    return static_cast<double>(instructions) / 1e6 / ref_seconds;
+  double InterpMips() const {
+    return static_cast<double>(instructions) / 1e6 / interp_seconds;
   }
   double FastMips() const {
     return static_cast<double>(instructions) / 1e6 / fast_seconds;
   }
-  double Speedup() const { return ref_seconds / fast_seconds; }
+  double TranslatedMips() const {
+    return static_cast<double>(instructions) / 1e6 / translated_seconds;
+  }
+  double FastSpeedup() const { return interp_seconds / fast_seconds; }
+  double TranslatedSpeedup() const {
+    return interp_seconds / translated_seconds;
+  }
 };
 
-// One workload × one defense: build once, time both modes, verify, print
-// one table row and record the numbers.
+// One workload × one defense: build once, time all three tiers, verify
+// fast and translated against the reference, print one table row and
+// record the numbers.
 bool MeasureOne(trace::TelemetrySession* session, SuiteTotals* totals,
                 const workloads::WorkloadSpec& spec, core::Defense defense,
                 int reps) {
@@ -134,32 +144,48 @@ bool MeasureOne(trace::TelemetrySession* session, SuiteTotals* totals,
   }
   const std::string label =
       spec.name + "." + std::string(core::DefenseName(defense));
-  const TimedRun ref = RunImage(build->image, /*fast_paths=*/false, reps);
-  const TimedRun fast = RunImage(build->image, /*fast_paths=*/true, reps);
-  const bool identical = CheckIdentical(label, ref, fast);
-  const double speedup =
+  const TimedRun ref = RunImage(build->image, cpu::ExecTier::kInterp, reps);
+  const TimedRun fast = RunImage(build->image, cpu::ExecTier::kFast, reps);
+  const TimedRun xlat =
+      RunImage(build->image, cpu::ExecTier::kTranslated, reps);
+  const bool identical = CheckIdentical(label + ".fast", ref, fast) &
+                         CheckIdentical(label + ".translated", ref, xlat);
+  const double fast_speedup =
       fast.seconds > 0 ? ref.seconds / fast.seconds : 0.0;
-  std::printf("%-32s | %10.2f %10.2f | %7.2fx %s\n", label.c_str(),
-              ref.Mips(), fast.Mips(), speedup, identical ? "" : "MISMATCH");
+  const double xlat_speedup =
+      xlat.seconds > 0 ? ref.seconds / xlat.seconds : 0.0;
+  std::printf("%-28s | %8.2f %8.2f %8.2f | %6.2fx %6.2fx %s\n",
+              label.c_str(), ref.Mips(), fast.Mips(), xlat.Mips(),
+              fast_speedup, xlat_speedup, identical ? "" : "MISMATCH");
   session->Record(label + ".baseline_mips", ref.Mips());
   session->Record(label + ".optimized_mips", fast.Mips());
-  session->Record(label + ".speedup", speedup);
-  totals->ref_seconds += ref.seconds;
+  session->Record(label + ".translated_mips", xlat.Mips());
+  session->Record(label + ".speedup", fast_speedup);
+  session->Record(label + ".translated_speedup", xlat_speedup);
+  totals->interp_seconds += ref.seconds;
   totals->fast_seconds += fast.seconds;
+  totals->translated_seconds += xlat.seconds;
   totals->instructions += ref.instructions;
   return identical;
+}
+
+void PrintAggregate(const char* name, const SuiteTotals& totals) {
+  std::printf("%-28s | %8.2f %8.2f %8.2f | %6.2fx %6.2fx\n", name,
+              totals.InterpMips(), totals.FastMips(),
+              totals.TranslatedMips(), totals.FastSpeedup(),
+              totals.TranslatedSpeedup());
 }
 
 }  // namespace
 
 int main() {
   const double scale = bench::BenchScale();
-  const int reps = 2;  // best-of-2 per mode
-  std::printf("Host throughput: simulated MIPS, reference vs fast paths "
+  const int reps = 2;  // best-of-2 per tier
+  std::printf("Host throughput: simulated MIPS by execute tier "
               "(scale=%.2f)\n\n", scale);
-  std::printf("%-32s | %10s %10s | %8s\n", "workload.defense",
-              "base MIPS", "fast MIPS", "speedup");
-  bench::PrintRule(70);
+  std::printf("%-28s | %8s %8s %8s | %6s %6s\n", "workload.defense",
+              "interp", "fast", "xlat", "fast", "xlat");
+  bench::PrintRule(76);
 
   trace::TelemetrySession session("host_throughput");
   session.Record("scale", scale);
@@ -180,22 +206,25 @@ int main() {
         MeasureOne(&session, &fig4, spec, core::Defense::kICall, reps);
   }
 
-  bench::PrintRule(70);
-  std::printf("%-32s | %10.2f %10.2f | %7.2fx\n", "fig3 aggregate",
-              fig3.RefMips(), fig3.FastMips(), fig3.Speedup());
-  std::printf("%-32s | %10.2f %10.2f | %7.2fx\n", "fig4 aggregate",
-              fig4.RefMips(), fig4.FastMips(), fig4.Speedup());
-  std::printf("\nbit-identical simulation across modes: %s\n",
+  bench::PrintRule(76);
+  PrintAggregate("fig3 aggregate", fig3);
+  PrintAggregate("fig4 aggregate", fig4);
+  std::printf("\nbit-identical simulation across tiers: %s\n",
               all_identical ? "yes" : "NO");
 
-  session.Record("fig3.baseline_mips", fig3.RefMips());
+  session.Record("fig3.baseline_mips", fig3.InterpMips());
   session.Record("fig3.optimized_mips", fig3.FastMips());
-  session.Record("fig3.speedup", fig3.Speedup());
-  session.Record("fig4.baseline_mips", fig4.RefMips());
+  session.Record("fig3.translated_mips", fig3.TranslatedMips());
+  session.Record("fig3.speedup", fig3.FastSpeedup());
+  session.Record("fig3.translated_speedup", fig3.TranslatedSpeedup());
+  session.Record("fig4.baseline_mips", fig4.InterpMips());
   session.Record("fig4.optimized_mips", fig4.FastMips());
-  session.Record("fig4.speedup", fig4.Speedup());
+  session.Record("fig4.translated_mips", fig4.TranslatedMips());
+  session.Record("fig4.speedup", fig4.FastSpeedup());
+  session.Record("fig4.translated_speedup", fig4.TranslatedSpeedup());
   session.Record("bit_identical", std::uint64_t{all_identical ? 1u : 0u});
   session.Record("required.fig3_speedup", 1.5);
+  session.Record("required.fig3_translated_speedup", 10.0);
   bench::WriteBenchJson(session);
   return all_identical ? 0 : 1;
 }

@@ -200,6 +200,67 @@ int main() {
   }
   std::printf("\n");
 
+  // The same under-load grid with the corruption injected through the LAST
+  // hart's debug port instead of hart 0. The address space is shared, so
+  // every verdict (and the catching hart) must match the hart-0 rows —
+  // any divergence is an attribution bug and fails the bench.
+  constexpr unsigned kInjectHart = kLoadHarts - 1;
+  const std::vector<AttackCell> inject_cells =
+      campaign::ParallelMap<AttackCell>(
+          std::size(kinds) * kLoadDefenseCount, bench::BenchJobs(),
+          [&](std::size_t i) {
+            AttackCell cell;
+            auto run = sec::RunAttackSmp(kinds[i / kLoadDefenseCount],
+                                         load_defenses[i % kLoadDefenseCount],
+                                         kLoadHarts,
+                                         core::SystemVariant::kFullRoload,
+                                         kInjectHart);
+            if (run.ok()) {
+              cell.result = *run;
+            } else {
+              cell.status = run.status();
+            }
+            return cell;
+          });
+
+  std::printf("Under load, corruption injected from hart %u (parity with "
+              "hart-0 injection)\n\n", kInjectHart);
+  for (std::size_t k = 0; k < std::size(kinds); ++k) {
+    std::printf("%-30s", sec::AttackKindName(kinds[k]).data());
+    for (std::size_t d = 0; d < kLoadDefenseCount; ++d) {
+      const AttackCell& cell = inject_cells[k * kLoadDefenseCount + d];
+      const AttackCell& base = load_cells[k * kLoadDefenseCount + d];
+      const std::string key =
+          std::string("attack_inject_h") + std::to_string(kInjectHart) +
+          "." + std::string(sec::AttackKindName(kinds[k])) + "." +
+          std::string(core::DefenseName(load_defenses[d]));
+      if (!cell.status.ok()) {
+        std::printf(" %-14s", "ERROR");
+        session.Record(key, "ERROR");
+        any_error = true;
+        continue;
+      }
+      std::string verdict(sec::AttackOutcomeName(cell.result.outcome));
+      if (cell.result.roload_violation) {
+        verdict += "@hart" + std::to_string(cell.result.hart);
+      }
+      const bool parity =
+          base.status.ok() &&
+          cell.result.outcome == base.result.outcome &&
+          cell.result.hart == base.result.hart &&
+          cell.result.classification == base.result.classification;
+      if (!parity) {
+        verdict += "!=h0";
+        any_error = true;
+      }
+      std::printf(" %-14s", verdict.c_str());
+      session.Record(key, verdict);
+      session.Record(key + ".parity", static_cast<std::uint64_t>(parity));
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+
   // Static verdicts next to the dynamic ones: the src/verify proof over
   // the very build each attack ran against. "proven" = zero violations
   // and every dispatch shown to consume an ld.ro result; "partial" =

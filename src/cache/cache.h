@@ -42,6 +42,18 @@ class Cache {
  public:
   explicit Cache(const CacheConfig& config);
 
+  // One cache line, public so the translation tier (src/cpu/translate.h)
+  // can pin a line pointer inside a block guard. `lines_` never
+  // reallocates, so the pointer stays stable for the Cache's lifetime;
+  // Flush() and evictions mutate lines in place. Guard holders must
+  // revalidate (valid + tag) before every use.
+  struct Line {
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t tag = 0;
+    std::uint64_t lru_tick = 0;
+  };
+
   // Performs an access to physical address `phys_addr`; returns the cycle
   // cost. `write` marks the line dirty (write-allocate policy).
   //
@@ -60,6 +72,87 @@ class Cache {
     }
     return AccessSlow(phys_addr, write);
   }
+
+  // Guard-probe for the translation tier: returns the resident line for
+  // `phys_addr`, or nullptr. Pure query — no stats, no LRU tick, no hint
+  // update — so probing is invisible to the counter contract. Runs once
+  // per block build / guard revalidation, never per instruction.
+  Line* Probe(std::uint64_t phys_addr) {
+    const std::uint64_t line_addr = phys_addr >> line_shift_;
+    const std::uint64_t set = line_addr & (num_sets_ - 1);
+    const std::uint64_t tag = line_addr >> set_shift_;
+    Line* base = &lines_[set * config_.ways];
+    for (unsigned way = 0; way < config_.ways; ++way) {
+      if (base[way].valid && base[way].tag == tag) return &base[way];
+    }
+    return nullptr;
+  }
+
+  // Tag a physical address maps to — what a guard compares against the
+  // pinned line's tag to prove the line still holds this address.
+  std::uint64_t TagOf(std::uint64_t phys_addr) const {
+    return (phys_addr >> line_shift_) >> set_shift_;
+  }
+
+  // Batched fetch-hit replay for the translation tier. A block run of n
+  // instructions is n read hits in a known line order, with no other
+  // access to this cache interleaved (data accesses go to the D-side
+  // cache), so the bookkeeping splits exactly:
+  //
+  //   base = replay_base();              // tick before the run
+  //   per hit i (1-based): line_i->lru_tick = base + i;   // caller
+  //   CommitReplayBatch(n);              // n hit counts + n ticks
+  //   ReplayHint(last_line, last_phys);  // hint after the final hit
+  //
+  // which reproduces, state-for-state, what n Access() read hits on those
+  // lines would have left behind (a fetch never dirties a line). The
+  // guard proved every line is resident; replay_base() lets the caller
+  // stamp final LRU ticks while the run executes.
+  std::uint64_t replay_base() const { return tick_; }
+  void CommitReplayBatch(std::uint64_t hits) {
+    stats_.hits += hits;
+    tick_ += hits;
+  }
+  void ReplayHint(Line* line, std::uint64_t phys_addr) {
+    last_line_ = line;
+    last_line_addr_ = phys_addr >> line_shift_;
+  }
+
+  // Per-site inline-cache support for the translated tier's memory
+  // micro-ops. Once the caller has re-proven that the memoized line still
+  // holds `line_addr` (valid + tag), ReplayDataHit applies exactly what
+  // the reference access performs for that hit — hit count, LRU tick,
+  // dirty bit, and the same-line hint, which every reference hit path
+  // leaves equal to the accessed line. site_hint() re-arms a memo after a
+  // generic Access: both hit paths and the miss refill keep last_line_
+  // pointing at the line the access touched. The shifts are exact in
+  // every config (the geometry is power-of-two checked; the reference
+  // path's divides compute the same values).
+  std::uint64_t LineAddrOf(std::uint64_t phys_addr) const {
+    return phys_addr >> line_shift_;
+  }
+  unsigned ReplayDataHit(Line* line, std::uint64_t line_addr, bool write) {
+    ++stats_.hits;
+    line->lru_tick = ++tick_;
+    line->dirty = line->dirty || write;
+    last_line_ = line;
+    last_line_addr_ = line_addr;
+    return config_.hit_cycles;
+  }
+  // Batched form of ReplayDataHit: the caller stamps each proven hit with
+  // `tick = replay_base() + k` (k = 1-based hit index since the last
+  // commit) and commits the hit count and tick advance in one
+  // CommitReplayBatch call. Identical to the per-hit form as long as the
+  // pending batch is flushed before any generic Access interleaves.
+  unsigned ReplayDataHitAt(Line* line, std::uint64_t line_addr, bool write,
+                           std::uint64_t tick) {
+    line->lru_tick = tick;
+    line->dirty = line->dirty || write;
+    last_line_ = line;
+    last_line_addr_ = line_addr;
+    return config_.hit_cycles;
+  }
+  Line* site_hint() { return last_line_; }
 
   void Flush();
 
@@ -88,13 +181,6 @@ class Cache {
   // The scan/miss half of Access: everything past the inline same-line
   // shortcut (and the whole of the reference path).
   unsigned AccessSlow(std::uint64_t phys_addr, bool write);
-
-  struct Line {
-    bool valid = false;
-    bool dirty = false;
-    std::uint64_t tag = 0;
-    std::uint64_t lru_tick = 0;
-  };
 
   CacheConfig config_;
   unsigned num_sets_;

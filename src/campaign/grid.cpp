@@ -137,6 +137,20 @@ Status ParseGrid(std::string_view grid, double default_scale,
         }
         spec->harts.push_back(static_cast<unsigned>(harts));
       }
+    } else if (key == "exec") {
+      spec->execs.clear();
+      for (std::string_view entry : SplitString(value, ',')) {
+        const auto tier = cpu::ParseExecTier(entry);
+        if (!tier) {
+          return Status::InvalidArgument("bad exec tier: " +
+                                         std::string(field));
+        }
+        spec->execs.push_back(*tier);
+      }
+      if (spec->execs.empty()) {
+        return Status::InvalidArgument("empty exec axis: " +
+                                       std::string(field));
+      }
     } else if (key == "profile") {
       const auto parsed = ParseSwitch(value);
       if (!parsed) {

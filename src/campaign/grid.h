@@ -17,6 +17,11 @@
 //   max-instructions  per-run instruction budget
 //   harts             hart counts (e.g. "1,2,4"); cells with > 1 hart run
 //                     on an smp::Machine and are named "<...>/h<N>"
+//   exec              host execute tiers: interp | fast | translated
+//                     (e.g. "exec=interp,fast,translated" cross-checks
+//                     all three); any non-default axis appends "/<tier>"
+//                     to the run names. Tiers never change cycles or
+//                     counters — only host speed.
 //   profile           0/1: attach the cycle-attribution profiler
 #pragma once
 

@@ -30,9 +30,9 @@ RunOutcome ExecuteOne(const RunSpec& spec, std::size_t index) {
   auto metrics =
       spec.harts > 1
           ? smp::RunBuildSmp(*build, spec.variant, spec.harts,
-                             spec.max_instructions, spec.trace)
+                             spec.max_instructions, spec.trace, spec.exec)
           : core::RunBuild(*build, spec.variant, spec.max_instructions,
-                           spec.trace);
+                           spec.trace, spec.exec);
   if (!metrics.ok()) {
     outcome.status = metrics.status();
     return outcome;

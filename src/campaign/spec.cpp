@@ -48,31 +48,43 @@ RunConfig ForDefense(core::Defense defense) {
 }
 
 std::vector<RunSpec> Expand(const CampaignSpec& spec) {
+  // Any non-default tier axis grows the "/<tier>" suffix on every cell,
+  // keeping same-grid tiers distinguishable while the default {kFast}
+  // reproduces the historical names exactly.
+  const bool name_execs =
+      spec.execs.size() > 1 ||
+      (spec.execs.size() == 1 && spec.execs[0] != cpu::ExecTier::kFast);
   std::vector<RunSpec> runs;
   runs.reserve(spec.workloads.size() * spec.configs.size() *
-               spec.variants.size() * spec.harts.size());
+               spec.variants.size() * spec.harts.size() * spec.execs.size());
   for (const workloads::WorkloadSpec& workload : spec.workloads) {
     for (const RunConfig& config : spec.configs) {
       for (core::SystemVariant variant : spec.variants) {
         for (unsigned harts : spec.harts) {
-          RunSpec run;
-          run.name = workload.name + "/" + config.label + "/" +
-                     std::string(VariantName(variant));
-          // Single-hart runs keep their historical names (the default
-          // {1} axis expands to exactly the pre-SMP grid); only true SMP
-          // cells grow the "/h<N>" suffix.
-          if (harts != 1) run.name += "/h" + std::to_string(harts);
-          run.workload = workload;
-          run.build = config.build;
-          run.variant = variant;
-          run.build_only = config.build_only;
-          run.max_instructions = spec.max_instructions;
-          run.harts = harts;
-          run.trace.profile = spec.profile;
-          if (spec.seed != 0) {
-            run.workload.seed = DeriveSeed(spec.seed, runs.size());
+          for (cpu::ExecTier exec : spec.execs) {
+            RunSpec run;
+            run.name = workload.name + "/" + config.label + "/" +
+                       std::string(VariantName(variant));
+            // Single-hart runs keep their historical names (the default
+            // {1} axis expands to exactly the pre-SMP grid); only true
+            // SMP cells grow the "/h<N>" suffix.
+            if (harts != 1) run.name += "/h" + std::to_string(harts);
+            if (name_execs) {
+              run.name += "/" + std::string(cpu::ExecTierName(exec));
+            }
+            run.workload = workload;
+            run.build = config.build;
+            run.variant = variant;
+            run.build_only = config.build_only;
+            run.max_instructions = spec.max_instructions;
+            run.harts = harts;
+            run.exec = exec;
+            run.trace.profile = spec.profile;
+            if (spec.seed != 0) {
+              run.workload.seed = DeriveSeed(spec.seed, runs.size());
+            }
+            runs.push_back(std::move(run));
           }
-          runs.push_back(std::move(run));
         }
       }
     }

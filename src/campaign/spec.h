@@ -53,6 +53,11 @@ struct RunSpec {
   // (bit-identical to every pre-SMP grid); >= 2 executes on an
   // smp::Machine and appends "/h<N>" to the run name.
   unsigned harts = 1;
+  // Host execute tier for the run. All three tiers retire bit-identical
+  // cycles and counters, so this axis only changes host speed — it exists
+  // so grids can cross-check the tiers against each other and so heavy
+  // sweeps can opt into translation.
+  cpu::ExecTier exec = cpu::ExecTier::kFast;
   trace::TraceConfig trace;
 };
 
@@ -71,6 +76,11 @@ struct CampaignSpec {
   // the single-hart path and every run name unchanged; entries >= 2 run
   // on an SMP machine and are named "<...>/h<N>".
   std::vector<unsigned> harts = {1};
+  // The execute-tier axis (innermost, below harts). The default {kFast}
+  // keeps every run on the fast-path tier with unchanged names; any other
+  // set appends "/<tier name>" to each run name so interp/fast/translated
+  // cells of the same cross-check grid stay distinguishable.
+  std::vector<cpu::ExecTier> execs = {cpu::ExecTier::kFast};
   // 0 keeps each workload's own seed — the default, under which the
   // expanded grid reproduces the committed figure tables bit-identically.
   // Nonzero derives a distinct per-run workload seed through

@@ -87,10 +87,12 @@ verify::Report Verify(const BuildResult& build) {
 
 StatusOr<RunMetrics> RunBuild(const BuildResult& build, SystemVariant variant,
                               std::uint64_t max_instructions,
-                              const trace::TraceConfig& trace) {
+                              const trace::TraceConfig& trace,
+                              cpu::ExecTier exec) {
   SystemConfig config;
   config.variant = variant;
   config.trace = trace;
+  cpu::SetExecTier(&config.cpu, exec);
   System system(config);
   ROLOAD_RETURN_IF_ERROR(system.Load(build.image));
   const kernel::RunResult run = system.Run(max_instructions);

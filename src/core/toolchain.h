@@ -102,10 +102,13 @@ struct RunMetrics {
 // Runs an already-built image on a fresh system of `variant` and collects
 // RunMetrics. The execution half of CompileAndRun, split out so callers
 // holding a BuildResult (the campaign executor, build-only sweeps that
-// later decide to run) do not pay a second build.
+// later decide to run) do not pay a second build. `exec` picks the host
+// execute tier (reference interpreter / fast paths / translation) — all
+// three are bit-identical in cycles and counters, only host speed differs.
 StatusOr<RunMetrics> RunBuild(const BuildResult& build, SystemVariant variant,
                               std::uint64_t max_instructions = 1ull << 34,
-                              const trace::TraceConfig& trace = {});
+                              const trace::TraceConfig& trace = {},
+                              cpu::ExecTier exec = cpu::ExecTier::kFast);
 
 // Builds `module` under `defense` and runs it on a fresh system of
 // `variant`. The workhorse of every table/figure bench. `trace` configures

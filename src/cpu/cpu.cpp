@@ -6,9 +6,17 @@
 namespace roload::cpu {
 namespace {
 
-std::uint64_t MulHigh(std::uint64_t a, std::uint64_t b) {
-  return static_cast<std::uint64_t>(
-      (static_cast<unsigned __int128>(a) * b) >> 64);
+// Superblock terminators: unconditional transfers and environment ops end
+// a block (conditional branches continue fall-through; execution exits on
+// divergence).
+bool EndsBlock(isa::Opcode op) {
+  return op == isa::Opcode::kJal || op == isa::Opcode::kJalr ||
+         op == isa::Opcode::kEcall || op == isa::Opcode::kEbreak;
+}
+
+bool IsStoreOp(isa::Opcode op) {
+  return op == isa::Opcode::kSb || op == isa::Opcode::kSh ||
+         op == isa::Opcode::kSw || op == isa::Opcode::kSd;
 }
 
 }  // namespace
@@ -22,6 +30,30 @@ void SetHostFastPaths(CpuConfig* config, bool enabled) {
   config->host_unchecked_mem = enabled;
 }
 
+void SetExecTier(CpuConfig* config, ExecTier tier) {
+  SetHostFastPaths(config, tier != ExecTier::kInterp);
+  config->host_translate = tier == ExecTier::kTranslated;
+}
+
+std::string_view ExecTierName(ExecTier tier) {
+  switch (tier) {
+    case ExecTier::kInterp:
+      return "interp";
+    case ExecTier::kFast:
+      return "fast";
+    case ExecTier::kTranslated:
+      return "translated";
+  }
+  return "?";
+}
+
+std::optional<ExecTier> ParseExecTier(std::string_view name) {
+  if (name == "interp") return ExecTier::kInterp;
+  if (name == "fast") return ExecTier::kFast;
+  if (name == "translated") return ExecTier::kTranslated;
+  return std::nullopt;
+}
+
 Cpu::Cpu(const CpuConfig& config, mem::PhysMemory* memory)
     : config_(config),
       memory_(memory),
@@ -30,6 +62,12 @@ Cpu::Cpu(const CpuConfig& config, mem::PhysMemory* memory)
       itlb_(config.itlb, memory),
       dtlb_(config.dtlb, memory) {
   if (config.host_decode_cache) decode_cache_.resize(kDecodeCacheSlots);
+  if (config.host_translate) {
+    translator_ = std::make_unique<Translator>(config.translate_threshold,
+                                               config.translate_max_blocks);
+    code_table_ = std::make_shared<CodeVersionTable>(memory->size());
+    code_table_ptr_ = code_table_.get();
+  }
 }
 
 void Cpu::set_reg(unsigned index, std::uint64_t value) {
@@ -40,10 +78,16 @@ void Cpu::set_reg(unsigned index, std::uint64_t value) {
 void Cpu::FlushTlbs() {
   itlb_.Flush();
   dtlb_.Flush();
+  if (code_table_ptr_ != nullptr) code_table_ptr_->Advance();
   // The sfence.vma analogue also drops host-cached decodes: a remap can
   // change the bytes behind an unchanged pc, and a same-bytes remap must
   // not resurrect a decode taken under dropped translations.
   InvalidateDecodeCache();
+  // Same reasoning for translated blocks: a flush signals PTE edits
+  // (remap, mprotect re-key, shootdown), so drop them all. Flushes only
+  // happen between blocks (kernel code runs between Run calls), so no
+  // block is mid-replay and no chain source is live.
+  if (translator_ != nullptr) translator_->InvalidateAll();
 }
 
 void Cpu::InvalidateDecodeCache() {
@@ -228,6 +272,10 @@ bool Cpu::MemAccess(const isa::Instruction& inst, std::uint64_t virt_addr,
     } else {
       memory_->Write(xlat.phys_addr, bytes, *value);
     }
+    // Self-modifying-code barrier for the translation tier (no-op unless
+    // the page holds translated code; stores are size-aligned, so one
+    // page covers the whole access).
+    if (code_table_ptr_ != nullptr) code_table_ptr_->OnWrite(xlat.phys_addr);
   } else {
     std::uint64_t raw = config_.host_unchecked_mem
                             ? memory_->ReadUnchecked(xlat.phys_addr, bytes)
@@ -244,6 +292,10 @@ bool Cpu::MemAccess(const isa::Instruction& inst, std::uint64_t virt_addr,
 StepEvent Cpu::Step() {
   isa::Instruction inst;
   unsigned cycles = 0;
+  // An interpreted step can evict I-TLB entries and I-cache lines (its
+  // fetch runs the real lookup paths), so every proven block guard may be
+  // stale afterwards — advance the epoch so re-entries re-prove.
+  if (code_table_ptr_ != nullptr) code_table_ptr_->Advance();
   const bool profiling = trace_ != nullptr && trace_->profiling();
   const std::uint64_t step_pc = pc_;
   if (profiling) trace_->profiler().BeginStep();
@@ -256,7 +308,21 @@ StepEvent Cpu::Step() {
     return StepEvent::kTrap;
   }
   if (trace_hook_) trace_hook_(pc_, inst);
+  return ExecuteDecoded(inst, cycles);
+}
 
+StepEvent Cpu::ExecuteDecoded(const isa::Instruction& inst, unsigned cycles) {
+  return ExecuteDecodedImpl<false>(inst, cycles);
+}
+
+template <bool kLean>
+StepEvent Cpu::ExecuteDecodedImpl(const isa::Instruction& inst,
+                                  unsigned cycles) {
+  // kLean runs strictly under TranslationTransparent(), where profiling is
+  // guaranteed off — fold the checks away at compile time.
+  const bool profiling =
+      !kLean && trace_ != nullptr && trace_->profiling();
+  const std::uint64_t step_pc = pc_;
   const std::uint64_t next_pc = pc_ + inst.length;
   std::uint64_t new_pc = next_pc;
   const std::uint64_t rs1 = regs_[inst.rs1];
@@ -566,7 +632,9 @@ StepEvent Cpu::Step() {
   pc_ = new_pc;
   stats_.cycles += cycles + 1;
   ++stats_.instructions;
-  if (trace_ != nullptr) {
+  // Lean mode is only entered with kInstruction events masked and the
+  // profiler off, so this whole tail is statically dead there.
+  if (!kLean && trace_ != nullptr) {
     if (profiling) {
       // A ld.ro's own execution cycles form the "roload_load" bucket —
       // the direct cost of the checked-load path (Fig 3/4 decomposition).
@@ -584,6 +652,854 @@ StepEvent Cpu::Step() {
   return StepEvent::kRetired;
 }
 
+bool Cpu::TranslationTransparent() const {
+  if (translator_ == nullptr) return false;
+  // A per-retire hook, the cycle profiler, or per-instruction retire
+  // events all observe individual fetch/decode steps — interpret so they
+  // see exactly the reference stream. TLB/cache/roload event categories
+  // stay exact under translation (hits emit no events; misses and the
+  // whole data side run the real paths), so they do not deopt.
+  if (trace_hook_) return false;
+  if (trace_ != nullptr &&
+      (trace_->profiling() ||
+       trace_->enabled(trace::EventCategory::kInstruction))) {
+    return false;
+  }
+  return true;
+}
+
+StepEvent Cpu::Run(std::uint64_t budget) {
+  if (budget == 0) budget = 1;
+  const std::uint64_t target = stats_.instructions + budget;
+  if (!TranslationTransparent()) {
+    while (true) {
+      const StepEvent event = Step();
+      if (event != StepEvent::kRetired || stats_.instructions >= target) {
+        return event;
+      }
+    }
+  }
+  // Translated hot loop: chained block -> block, falling back to the map,
+  // the builder, and finally single-step interpretation (which performs
+  // any real TLB/cache miss the guards refused to replay).
+  TranslatedBlock* prev = nullptr;
+  while (true) {
+    TranslatedBlock* block =
+        prev != nullptr ? prev->ChainLookup(pc_, root_ppn_) : nullptr;
+    if (block != nullptr) {
+      ++translator_->stats().chained_entries;
+    } else {
+      // Visit-count gate before the map: the direct-mapped counter is a
+      // fraction of the hash lookup's cost, and a block can only exist
+      // for a pc that crossed the threshold. Aliasing in the counter
+      // table can evict a hot pc's count; that merely re-warms the pc
+      // through the interpreter for a few steps — the map is consulted
+      // again as soon as the count returns, never a correctness issue.
+      if (translator_->NoteVisit(root_ppn_, pc_)) {
+        block = translator_->Lookup(root_ppn_, pc_);
+        if (block == nullptr) {
+          if (translator_->AtCapacity()) {
+            // Frees every block; drop the chain source before it dangles.
+            translator_->InvalidateAll();
+            prev = nullptr;
+          }
+          block = BuildBlock();
+        }
+        if (block != nullptr && prev != nullptr) {
+          prev->ChainInstall(pc_, block);
+        }
+      }
+    }
+    StepEvent event;
+    if (block != nullptr && BlockGuardsPass(block)) {
+      ++translator_->stats().block_entries;
+      event = ExecuteBlock(block, target);
+      prev = block->dead ? nullptr : block;
+    } else {
+      event = Step();
+      prev = nullptr;
+    }
+    if (event != StepEvent::kRetired || stats_.instructions >= target) {
+      return event;
+    }
+  }
+}
+
+TranslatedBlock* Cpu::BuildBlock() {
+  if ((pc_ & 1) != 0) return nullptr;
+  tlb::Tlb::Entry* entry = itlb_.Probe(root_ppn_, pc_);
+  if (entry == nullptr) return nullptr;
+  if (!entry->pte.executable() || !entry->pte.user()) return nullptr;
+  auto block = std::make_unique<TranslatedBlock>();
+  block->head_pc = pc_;
+  block->root_ppn = root_ppn_;
+  block->vpn = pc_ >> mem::kPageShift;
+  block->pte_raw = entry->pte.raw();
+  block->phys_page = entry->phys_page;
+  block->itlb_entry = entry;
+  std::uint64_t vpc = pc_;
+  while (block->ops.size() < config_.translate_max_ops) {
+    if ((vpc >> mem::kPageShift) != block->vpn) break;  // page end
+    const std::uint64_t phys =
+        (block->phys_page << mem::kPageShift) | (vpc & (mem::kPageSize - 1));
+    if (!memory_->Contains(phys, 2)) break;
+    std::uint32_t raw =
+        static_cast<std::uint32_t>(memory_->ReadUnchecked(phys, 2));
+    const unsigned length = isa::ParcelLength(static_cast<std::uint16_t>(raw));
+    if (length == 4) {
+      // A page-straddling fetch takes the interpreter's two-translation
+      // path; blocks simply stop before it.
+      if (((vpc + 2) & (mem::kPageSize - 1)) == 0) break;
+      if (!memory_->Contains(phys + 2, 2)) break;
+      raw |= static_cast<std::uint32_t>(memory_->ReadUnchecked(phys + 2, 2))
+             << 16;
+    }
+    auto decoded = isa::Decode(raw);
+    if (!decoded) break;
+    if (!config_.roload_enabled && isa::IsRoLoad(decoded->op)) break;
+    cache::Cache::Line* line = icache_.Probe(phys);
+    if (line == nullptr) break;  // not resident yet; interpreting warms it
+    // Dedup line guards by identity: Probe returning the same way for two
+    // addresses proves they share one cache line.
+    std::uint32_t line_index = 0;
+    for (; line_index < block->lines.size(); ++line_index) {
+      if (block->lines[line_index].line == line) break;
+    }
+    if (line_index == block->lines.size()) {
+      block->lines.push_back(LineGuard{line, phys, icache_.TagOf(phys)});
+    }
+    TranslatedOp op;
+    op.inst = *decoded;
+    op.pc = vpc;
+    op.fetch_phys = phys;
+    op.line_index = line_index;
+    op.is_store = IsStoreOp(decoded->op);
+    if (op.is_store) {
+      op.mem_bytes = static_cast<std::uint8_t>(isa::MemAccessBytes(decoded->op));
+    } else {
+      switch (decoded->op) {
+        case isa::Opcode::kLb:
+        case isa::Opcode::kLh:
+        case isa::Opcode::kLw:
+        case isa::Opcode::kLd:
+        case isa::Opcode::kLbu:
+        case isa::Opcode::kLhu:
+        case isa::Opcode::kLwu:
+          op.mem_bytes =
+              static_cast<std::uint8_t>(isa::MemAccessBytes(decoded->op));
+          op.load_unsigned = isa::LoadIsUnsigned(decoded->op);
+          break;
+        case isa::Opcode::kLbRo:
+        case isa::Opcode::kLhRo:
+        case isa::Opcode::kLwRo:
+        case isa::Opcode::kLdRo:
+        case isa::Opcode::kCLdRo:
+          op.mem_bytes =
+              static_cast<std::uint8_t>(isa::MemAccessBytes(decoded->op));
+          op.load_unsigned = isa::LoadIsUnsigned(decoded->op);
+          op.is_roload = true;
+          break;
+        default:
+          break;
+      }
+    }
+    block->ops.push_back(op);
+    vpc += decoded->length;
+    if (EndsBlock(decoded->op)) break;
+  }
+  if (block->ops.empty()) return nullptr;
+  code_table_ptr_->MarkCode(block->phys_page);
+  block->code_version = code_table_ptr_->Version(block->phys_page);
+  return translator_->Insert(std::move(block));
+}
+
+bool Cpu::BlockGuardsPass(TranslatedBlock* block) {
+  // Epoch fast path: the full guard set below was proven at valid_epoch,
+  // and the epoch advances on every event that could invalidate any guard
+  // (interpreted step, TLB flush/shootdown, code-page write, root switch;
+  // Retire resets valid_epoch to 0). Same epoch ⟹ same proof holds.
+  if (block->valid_epoch == code_table_ptr_->guard_epoch()) return true;
+  if (block->dead || block->root_ppn != root_ppn_) {
+    ++translator_->stats().guard_fails;
+    return false;
+  }
+  tlb::Tlb::Entry* entry = block->itlb_entry;
+  if (!(entry->valid && entry->vpn == block->vpn &&
+        entry->asid_root == block->root_ppn &&
+        entry->pte.raw() == block->pte_raw &&
+        entry->phys_page == block->phys_page)) {
+    // The pinned entry no longer covers the page. It may simply have been
+    // refilled into another slot after a flush — re-pin it.
+    entry = itlb_.Probe(block->root_ppn, block->head_pc);
+    if (entry == nullptr) {
+      // Genuine TLB miss: deopt so the interpreter takes the real miss.
+      ++translator_->stats().guard_fails;
+      return false;
+    }
+    if (entry->pte.raw() != block->pte_raw ||
+        entry->phys_page != block->phys_page) {
+      // Remapped or re-keyed: the decoded bytes/permissions are stale.
+      translator_->Retire(block);
+      ++translator_->stats().guard_fails;
+      return false;
+    }
+    block->itlb_entry = entry;
+  }
+  if (code_table_ptr_->Version(block->phys_page) != block->code_version) {
+    translator_->Retire(block);  // self- or cross-hart-modified code
+    ++translator_->stats().guard_fails;
+    return false;
+  }
+  for (LineGuard& guard : block->lines) {
+    if (guard.line->valid && guard.line->tag == guard.tag) continue;
+    cache::Cache::Line* line = icache_.Probe(guard.phys);
+    if (line == nullptr) {
+      // Evicted: deopt so the interpreter performs the real refill.
+      ++translator_->stats().guard_fails;
+      return false;
+    }
+    guard.line = line;
+  }
+  block->valid_epoch = code_table_ptr_->guard_epoch();
+  return true;
+}
+
+// The threaded micro-op executor. Pre-decoded ops dispatch through one
+// compact switch whose hot cases (ALU, branches, plain loads/stores)
+// inline the exact computation ExecuteDecodedImpl performs for the same
+// opcode, with the per-op bookkeeping batched:
+//
+//   * fetch side — every replayed op is one I-TLB hit plus one I-cache
+//     hit, and nothing inside the run touches either structure (data
+//     accesses go to the D-side, traps/ecalls end the run): stamp each
+//     line's final LRU tick in the loop, commit counts/hints once at the
+//     end;
+//   * retire side — each fast op costs (fetch_cycles + 1) cycles plus
+//     per-op extras (mul/div latency, taken branches, D-TLB walk and
+//     D-cache miss cycles) and retires one instruction; the sums land in
+//     stats_ at exit. Counter updates are pure +=, so batching commutes
+//     and the committed totals are bit-identical to per-op updates.
+//
+// pc_ is materialized lazily (fast ops never read it; kAuipc and branch
+// targets use the pre-decoded op.pc) and synced before anything that
+// observes it: the generic-op fallback, trap delivery, and block exit.
+// Ops outside the fast set — ld.ro (key-check counters + roload_check
+// event stream), ecall/ebreak, and any future opcode — run through the
+// unmodified ExecuteDecodedImpl<true>, which does its own accounting.
+// Plain loads and stores use per-site inline caches (TranslatedOp memos)
+// validated against the live D-TLB entry / D-cache line before replaying
+// the exact reference hit mutations.
+StepEvent Cpu::ExecuteBlock(TranslatedBlock* block, std::uint64_t target) {
+  TranslatedOp* ops = block->ops.data();  // non-const: per-site memo re-arming
+  const LineGuard* lines = block->lines.data();
+  const std::size_t count = block->ops.size();
+  const std::uint64_t icache_base = icache_.replay_base();
+  const unsigned fetch_cycles = config_.icache.hit_cycles;
+  // Run() only enters with instructions < target, so remaining >= 1.
+  const std::uint64_t remaining = target - stats_.instructions;
+  const std::size_t limit =
+      remaining < count ? static_cast<std::size_t>(remaining) : count;
+
+  std::uint64_t fast_ops = 0;      // ops retired by the fast cases below
+  std::uint64_t extra_cycles = 0;  // their cycles beyond (fetch_cycles + 1)
+  std::size_t done = 0;            // ops whose fetch replayed (incl. traps)
+  std::uint64_t next_pc = pc_;     // architectural pc after the last op
+  StepEvent result = StepEvent::kRetired;
+  // Hoisted hot members: the inline memory ops below store through
+  // byte/line/entry pointers the compiler must assume alias `this`, so
+  // reading these once keeps every later use a register instead of a
+  // reload. All are loop-invariant (no op mutates them; a store that
+  // remaps pages can only do so via a trap, which exits the run).
+  const std::uint64_t root = root_ppn_;
+  const bool unchecked_mem = config_.host_unchecked_mem;
+  mem::PhysMemory* const memory = memory_;
+  CodeVersionTable* const code_table = code_table_ptr_;
+  // ld.ro with the kRoLoad event category live must emit one kRoLoadCheck
+  // event per executed site with the site pc — exactly what the reference
+  // executor does — so those ops take the generic fallback below.
+  const bool ro_generic =
+      trace_ != nullptr && trace_->enabled(trace::EventCategory::kRoLoad);
+
+  // Batched D-side hit bookkeeping (see Tlb/Cache ReplaySiteHitAt): site
+  // hits stamp LRU ticks from a base read when the batch opens and commit
+  // hit counts + tick advances in bulk. Any generic lookup would observe
+  // the shared tick, so the batch is flushed first (after which the next
+  // site hit re-reads the base).
+  // The bases are re-read after every generic lookup/access (which bumps
+  // the shared tick behind the batch's back), so a stamp is always
+  // base + 1-based index with no per-hit branch.
+  std::uint64_t dtlb_pending = 0;
+  std::uint64_t dtlb_base = dtlb_.replay_base();
+  std::uint64_t dc_pending = 0;
+  std::uint64_t dc_base = dcache_.replay_base();
+  auto flush_mem = [&] {
+    if (dtlb_pending != 0) {
+      dtlb_.CommitReplayBatch(dtlb_pending);
+      dtlb_pending = 0;
+    }
+    if (dc_pending != 0) {
+      dcache_.CommitReplayBatch(dc_pending);
+      dc_pending = 0;
+    }
+  };
+  auto rearm_bases = [&] {
+    dtlb_base = dtlb_.replay_base();
+    dc_base = dcache_.replay_base();
+  };
+
+  // Trap from an inline memory op: the op's fetch replayed and its cycles
+  // are charged, but it does not retire and pc stays at the faulting
+  // instruction — exactly the reference MemAccess-failure path.
+  auto trap_exit = [&](std::size_t idx, isa::TrapCause cause,
+                       std::uint64_t tval, unsigned cycles) {
+    RaiseTrap(cause, tval);
+    stats_.cycles += cycles + 1;
+    done = idx + 1;
+    next_pc = ops[idx].pc;
+    result = StepEvent::kTrap;
+  };
+
+  for (std::size_t i = 0; i < limit; ++i) {
+    TranslatedOp& op = ops[i];
+    lines[op.line_index].line->lru_tick = icache_base + i + 1;
+    const isa::Instruction& inst = op.inst;
+    const std::uint64_t rs1 = regs_[inst.rs1];
+    const std::uint64_t rs2 = regs_[inst.rs2];
+    std::uint64_t rd_value = 0;
+    using isa::Opcode;
+    switch (inst.op) {
+      case Opcode::kAddi:
+        rd_value = rs1 + static_cast<std::uint64_t>(inst.imm);
+        break;
+      case Opcode::kSlti:
+        rd_value = static_cast<std::int64_t>(rs1) < inst.imm ? 1 : 0;
+        break;
+      case Opcode::kSltiu:
+        rd_value = rs1 < static_cast<std::uint64_t>(inst.imm) ? 1 : 0;
+        break;
+      case Opcode::kXori:
+        rd_value = rs1 ^ static_cast<std::uint64_t>(inst.imm);
+        break;
+      case Opcode::kOri:
+        rd_value = rs1 | static_cast<std::uint64_t>(inst.imm);
+        break;
+      case Opcode::kAndi:
+        rd_value = rs1 & static_cast<std::uint64_t>(inst.imm);
+        break;
+      case Opcode::kSlli:
+        rd_value = rs1 << (inst.imm & 63);
+        break;
+      case Opcode::kSrli:
+        rd_value = rs1 >> (inst.imm & 63);
+        break;
+      case Opcode::kSrai:
+        rd_value = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(rs1) >> (inst.imm & 63));
+        break;
+      case Opcode::kAddiw:
+        rd_value = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(static_cast<std::int32_t>(
+                rs1 + static_cast<std::uint64_t>(inst.imm))));
+        break;
+      case Opcode::kSlliw:
+        rd_value = static_cast<std::uint64_t>(static_cast<std::int64_t>(
+            static_cast<std::int32_t>(rs1 << (inst.imm & 31))));
+        break;
+      case Opcode::kSrliw:
+        rd_value = static_cast<std::uint64_t>(static_cast<std::int64_t>(
+            static_cast<std::int32_t>(static_cast<std::uint32_t>(rs1) >>
+                                      (inst.imm & 31))));
+        break;
+      case Opcode::kSraiw:
+        rd_value = static_cast<std::uint64_t>(static_cast<std::int64_t>(
+            static_cast<std::int32_t>(rs1) >> (inst.imm & 31)));
+        break;
+      case Opcode::kAdd:
+        rd_value = rs1 + rs2;
+        break;
+      case Opcode::kSub:
+        rd_value = rs1 - rs2;
+        break;
+      case Opcode::kSll:
+        rd_value = rs1 << (rs2 & 63);
+        break;
+      case Opcode::kSlt:
+        rd_value =
+            static_cast<std::int64_t>(rs1) < static_cast<std::int64_t>(rs2)
+                ? 1
+                : 0;
+        break;
+      case Opcode::kSltu:
+        rd_value = rs1 < rs2 ? 1 : 0;
+        break;
+      case Opcode::kXor:
+        rd_value = rs1 ^ rs2;
+        break;
+      case Opcode::kSrl:
+        rd_value = rs1 >> (rs2 & 63);
+        break;
+      case Opcode::kSra:
+        rd_value = static_cast<std::uint64_t>(static_cast<std::int64_t>(rs1) >>
+                                              (rs2 & 63));
+        break;
+      case Opcode::kOr:
+        rd_value = rs1 | rs2;
+        break;
+      case Opcode::kAnd:
+        rd_value = rs1 & rs2;
+        break;
+      case Opcode::kAddw:
+        rd_value = static_cast<std::uint64_t>(static_cast<std::int64_t>(
+            static_cast<std::int32_t>(rs1 + rs2)));
+        break;
+      case Opcode::kSubw:
+        rd_value = static_cast<std::uint64_t>(static_cast<std::int64_t>(
+            static_cast<std::int32_t>(rs1 - rs2)));
+        break;
+      case Opcode::kSllw:
+        rd_value = static_cast<std::uint64_t>(static_cast<std::int64_t>(
+            static_cast<std::int32_t>(rs1 << (rs2 & 31))));
+        break;
+      case Opcode::kSrlw:
+        rd_value = static_cast<std::uint64_t>(static_cast<std::int64_t>(
+            static_cast<std::int32_t>(static_cast<std::uint32_t>(rs1) >>
+                                      (rs2 & 31))));
+        break;
+      case Opcode::kSraw:
+        rd_value = static_cast<std::uint64_t>(static_cast<std::int64_t>(
+            static_cast<std::int32_t>(rs1) >> (rs2 & 31)));
+        break;
+      case Opcode::kMul:
+        extra_cycles += config_.mul_cycles;
+        rd_value = rs1 * rs2;
+        break;
+      case Opcode::kMulw:
+        extra_cycles += config_.mul_cycles;
+        rd_value = static_cast<std::uint64_t>(static_cast<std::int64_t>(
+            static_cast<std::int32_t>(rs1 * rs2)));
+        break;
+      case Opcode::kDiv: {
+        extra_cycles += config_.div_cycles;
+        const auto a = static_cast<std::int64_t>(rs1);
+        const auto b = static_cast<std::int64_t>(rs2);
+        if (b == 0) {
+          rd_value = ~std::uint64_t{0};
+        } else if (a == INT64_MIN && b == -1) {
+          rd_value = rs1;
+        } else {
+          rd_value = static_cast<std::uint64_t>(a / b);
+        }
+        break;
+      }
+      case Opcode::kDivu:
+        extra_cycles += config_.div_cycles;
+        rd_value = rs2 == 0 ? ~std::uint64_t{0} : rs1 / rs2;
+        break;
+      case Opcode::kRem: {
+        extra_cycles += config_.div_cycles;
+        const auto a = static_cast<std::int64_t>(rs1);
+        const auto b = static_cast<std::int64_t>(rs2);
+        if (b == 0) {
+          rd_value = rs1;
+        } else if (a == INT64_MIN && b == -1) {
+          rd_value = 0;
+        } else {
+          rd_value = static_cast<std::uint64_t>(a % b);
+        }
+        break;
+      }
+      case Opcode::kRemu:
+        extra_cycles += config_.div_cycles;
+        rd_value = rs2 == 0 ? rs1 : rs1 % rs2;
+        break;
+      case Opcode::kDivw: {
+        extra_cycles += config_.div_cycles;
+        const auto a = static_cast<std::int32_t>(rs1);
+        const auto b = static_cast<std::int32_t>(rs2);
+        std::int32_t q;
+        if (b == 0) {
+          q = -1;
+        } else if (a == INT32_MIN && b == -1) {
+          q = a;
+        } else {
+          q = a / b;
+        }
+        rd_value = static_cast<std::uint64_t>(static_cast<std::int64_t>(q));
+        break;
+      }
+      case Opcode::kRemw: {
+        extra_cycles += config_.div_cycles;
+        const auto a = static_cast<std::int32_t>(rs1);
+        const auto b = static_cast<std::int32_t>(rs2);
+        std::int32_t r;
+        if (b == 0) {
+          r = a;
+        } else if (a == INT32_MIN && b == -1) {
+          r = 0;
+        } else {
+          r = a % b;
+        }
+        rd_value = static_cast<std::uint64_t>(static_cast<std::int64_t>(r));
+        break;
+      }
+      case Opcode::kLui:
+        rd_value = static_cast<std::uint64_t>(inst.imm << 12);
+        break;
+      case Opcode::kAuipc:
+        rd_value = op.pc + static_cast<std::uint64_t>(inst.imm << 12);
+        break;
+      case Opcode::kBeq:
+      case Opcode::kBne:
+      case Opcode::kBlt:
+      case Opcode::kBge:
+      case Opcode::kBltu:
+      case Opcode::kBgeu: {
+        ++stats_.branches;
+        bool taken = false;
+        switch (inst.op) {
+          case Opcode::kBeq:
+            taken = rs1 == rs2;
+            break;
+          case Opcode::kBne:
+            taken = rs1 != rs2;
+            break;
+          case Opcode::kBlt:
+            taken = static_cast<std::int64_t>(rs1) <
+                    static_cast<std::int64_t>(rs2);
+            break;
+          case Opcode::kBge:
+            taken = static_cast<std::int64_t>(rs1) >=
+                    static_cast<std::int64_t>(rs2);
+            break;
+          case Opcode::kBltu:
+            taken = rs1 < rs2;
+            break;
+          case Opcode::kBgeu:
+            taken = rs1 >= rs2;
+            break;
+          default:
+            break;
+        }
+        std::uint64_t branch_pc = op.pc + inst.length;
+        if (taken) {
+          ++stats_.taken_branches;
+          extra_cycles += config_.taken_branch_cycles;
+          branch_pc = op.pc + static_cast<std::uint64_t>(inst.imm);
+        }
+        ++fast_ops;
+        if (i + 1 < count && branch_pc == ops[i + 1].pc) continue;
+        done = i + 1;
+        next_pc = branch_pc;
+        goto exit;  // diverged from the superblock (or block end)
+      }
+      case Opcode::kJal:
+        // Unconditional transfers end the superblock; retire inline and
+        // exit. The link register is written after the target is formed
+        // so jalr with rd == rs1 reads the pre-link value, exactly as the
+        // reference executor does.
+        if (inst.rd != 0) regs_[inst.rd] = op.pc + inst.length;
+        extra_cycles += config_.taken_branch_cycles;
+        ++fast_ops;
+        done = i + 1;
+        next_pc = op.pc + static_cast<std::uint64_t>(inst.imm);
+        goto exit;
+      case Opcode::kJalr: {
+        const std::uint64_t jalr_target =
+            (rs1 + static_cast<std::uint64_t>(inst.imm)) & ~std::uint64_t{1};
+        if (inst.rd != 0) regs_[inst.rd] = op.pc + inst.length;
+        extra_cycles += config_.taken_branch_cycles;
+        ++stats_.indirect_jumps;
+        ++fast_ops;
+        done = i + 1;
+        next_pc = jalr_target;
+        goto exit;
+      }
+      case Opcode::kLb:
+      case Opcode::kLh:
+      case Opcode::kLw:
+      case Opcode::kLd:
+      case Opcode::kLbu:
+      case Opcode::kLhu:
+      case Opcode::kLwu: {
+        const std::uint64_t addr = rs1 + static_cast<std::uint64_t>(inst.imm);
+        ++stats_.loads;
+        unsigned mem_cycles = 0;  // D-TLB walk + D-cache cycles beyond fetch
+        const unsigned bytes = op.mem_bytes;
+        if ((addr & (bytes - 1)) != 0) {
+          trap_exit(i, isa::TrapCause::kLoadAddressMisaligned, addr,
+                    fetch_cycles);
+          goto exit;
+        }
+        // Site-cached translation: re-prove the memoized entry (tag and
+        // permission bits — side-effect-free reads, so checking them up
+        // front commutes with the reference order) and replay the hit;
+        // otherwise run the generic lookup and re-arm the memo.
+        std::uint64_t phys;
+        tlb::Tlb::Entry* te = op.dtlb_memo;
+        if (te != nullptr && te->valid &&
+            te->vpn == (addr >> mem::kPageShift) && te->asid_root == root &&
+            te->pte.readable() && te->pte.user()) {
+          dtlb_.ReplaySiteHitAt<tlb::AccessType::kLoad>(
+              te, dtlb_base + ++dtlb_pending);
+          phys = (te->phys_page << mem::kPageShift) +
+                 (addr & (mem::kPageSize - 1));
+        } else {
+          flush_mem();
+          const auto xlat = dtlb_.TranslateFor<tlb::AccessType::kLoad>(
+              root, addr, inst.key);
+          op.dtlb_memo = dtlb_.site_hint(tlb::AccessType::kLoad);
+          dtlb_base = dtlb_.replay_base();
+          mem_cycles += xlat.cycles;
+          if (!xlat.ok) {
+            trap_exit(i, xlat.cause, addr, fetch_cycles + mem_cycles);
+            goto exit;
+          }
+          phys = xlat.phys_addr;
+        }
+        if (!memory->Contains(phys, bytes)) {
+          trap_exit(i, isa::TrapCause::kLoadAccessFault, addr,
+                    fetch_cycles + mem_cycles);
+          goto exit;
+        }
+        const std::uint64_t line_addr = dcache_.LineAddrOf(phys);
+        cache::Cache::Line* dl = op.dline_memo;
+        if (dl != nullptr && line_addr == op.dline_addr && dl->valid &&
+            dl->tag == op.dline_tag) {
+          mem_cycles += dcache_.ReplayDataHitAt(dl, line_addr,
+                                                /*write=*/false,
+                                                dc_base + ++dc_pending);
+        } else {
+          flush_mem();
+          mem_cycles += dcache_.Access(phys, /*write=*/false);
+          op.dline_memo = dcache_.site_hint();
+          op.dline_addr = line_addr;
+          op.dline_tag = dcache_.TagOf(phys);
+          dc_base = dcache_.replay_base();
+        }
+        std::uint64_t raw = unchecked_mem
+                                ? memory->ReadUncheckedWidth(phys, bytes)
+                                : memory->Read(phys, bytes);
+        if (!op.load_unsigned && bytes < 8) {
+          raw = static_cast<std::uint64_t>(SignExtend(raw, bytes * 8));
+        }
+        if (inst.rd != 0) regs_[inst.rd] = raw;
+        ++fast_ops;
+        extra_cycles += mem_cycles;
+        continue;
+      }
+      case Opcode::kLbRo:
+      case Opcode::kLhRo:
+      case Opcode::kLwRo:
+      case Opcode::kLdRo:
+      case Opcode::kCLdRo: {
+        if (ro_generic) {
+          goto generic_op;  // event stream live: reference path emits it
+        }
+        // ROLoad-family addresses are (rs1) with no offset; inst.imm is 0
+        // by decode construction. The key-checked permission datapath
+        // runs *after* the hit stamp (reference order) and exactly once
+        // per executed site — it mutates the key-check census.
+        const std::uint64_t addr = rs1 + static_cast<std::uint64_t>(inst.imm);
+        ++stats_.loads;
+        ++stats_.roload_loads;
+        unsigned mem_cycles = 0;
+        const unsigned bytes = op.mem_bytes;
+        if ((addr & (bytes - 1)) != 0) {
+          trap_exit(i, isa::TrapCause::kLoadAddressMisaligned, addr,
+                    fetch_cycles);
+          goto exit;
+        }
+        std::uint64_t phys;
+        tlb::Tlb::Entry* te = op.dtlb_memo;
+        if (te != nullptr && te->valid &&
+            te->vpn == (addr >> mem::kPageShift) && te->asid_root == root) {
+          dtlb_.ReplaySiteHitAt<tlb::AccessType::kRoLoad>(
+              te, dtlb_base + ++dtlb_pending);
+          tlb::RoLoadFailKind fail_kind = tlb::RoLoadFailKind::kNone;
+          if (auto cause =
+                  dtlb_.RoSitePermissions(te->pte, inst.key, &fail_kind)) {
+            // EmitRoLoadFault is structurally disabled here (ro_generic
+            // tested the same predicate above), so skipping it is exact;
+            // the trap itself is the reference failure path.
+            trap_exit(i, *cause, addr, fetch_cycles);
+            goto exit;
+          }
+          phys = (te->phys_page << mem::kPageShift) +
+                 (addr & (mem::kPageSize - 1));
+        } else {
+          flush_mem();
+          const auto xlat = dtlb_.TranslateFor<tlb::AccessType::kRoLoad>(
+              root, addr, inst.key);
+          op.dtlb_memo = dtlb_.site_hint(tlb::AccessType::kRoLoad);
+          dtlb_base = dtlb_.replay_base();
+          mem_cycles += xlat.cycles;
+          if (!xlat.ok) {
+            trap_exit(i, xlat.cause, addr, fetch_cycles + mem_cycles);
+            goto exit;
+          }
+          phys = xlat.phys_addr;
+        }
+        if (!memory->Contains(phys, bytes)) {
+          trap_exit(i, isa::TrapCause::kLoadAccessFault, addr,
+                    fetch_cycles + mem_cycles);
+          goto exit;
+        }
+        const std::uint64_t line_addr = dcache_.LineAddrOf(phys);
+        cache::Cache::Line* dl = op.dline_memo;
+        if (dl != nullptr && line_addr == op.dline_addr && dl->valid &&
+            dl->tag == op.dline_tag) {
+          mem_cycles += dcache_.ReplayDataHitAt(dl, line_addr,
+                                                /*write=*/false,
+                                                dc_base + ++dc_pending);
+        } else {
+          flush_mem();
+          mem_cycles += dcache_.Access(phys, /*write=*/false);
+          op.dline_memo = dcache_.site_hint();
+          op.dline_addr = line_addr;
+          op.dline_tag = dcache_.TagOf(phys);
+          dc_base = dcache_.replay_base();
+        }
+        std::uint64_t raw = unchecked_mem
+                                ? memory->ReadUncheckedWidth(phys, bytes)
+                                : memory->Read(phys, bytes);
+        if (!op.load_unsigned && bytes < 8) {
+          raw = static_cast<std::uint64_t>(SignExtend(raw, bytes * 8));
+        }
+        if (inst.rd != 0) regs_[inst.rd] = raw;
+        ++fast_ops;
+        extra_cycles += mem_cycles;
+        continue;
+      }
+      case Opcode::kSb:
+      case Opcode::kSh:
+      case Opcode::kSw:
+      case Opcode::kSd: {
+        const std::uint64_t addr = rs1 + static_cast<std::uint64_t>(inst.imm);
+        ++stats_.stores;
+        unsigned mem_cycles = 0;  // D-TLB walk + D-cache cycles beyond fetch
+        const unsigned bytes = op.mem_bytes;
+        if ((addr & (bytes - 1)) != 0) {
+          trap_exit(i, isa::TrapCause::kStoreAddressMisaligned, addr,
+                    fetch_cycles);
+          goto exit;
+        }
+        std::uint64_t phys;
+        tlb::Tlb::Entry* te = op.dtlb_memo;
+        if (te != nullptr && te->valid &&
+            te->vpn == (addr >> mem::kPageShift) && te->asid_root == root &&
+            te->pte.writable() && te->pte.user()) {
+          dtlb_.ReplaySiteHitAt<tlb::AccessType::kStore>(
+              te, dtlb_base + ++dtlb_pending);
+          phys = (te->phys_page << mem::kPageShift) +
+                 (addr & (mem::kPageSize - 1));
+        } else {
+          flush_mem();
+          const auto xlat = dtlb_.TranslateFor<tlb::AccessType::kStore>(
+              root, addr, inst.key);
+          op.dtlb_memo = dtlb_.site_hint(tlb::AccessType::kStore);
+          dtlb_base = dtlb_.replay_base();
+          mem_cycles += xlat.cycles;
+          if (!xlat.ok) {
+            trap_exit(i, xlat.cause, addr, fetch_cycles + mem_cycles);
+            goto exit;
+          }
+          phys = xlat.phys_addr;
+        }
+        if (!memory->Contains(phys, bytes)) {
+          trap_exit(i, isa::TrapCause::kStoreAccessFault, addr,
+                    fetch_cycles + mem_cycles);
+          goto exit;
+        }
+        const std::uint64_t line_addr = dcache_.LineAddrOf(phys);
+        cache::Cache::Line* dl = op.dline_memo;
+        if (dl != nullptr && line_addr == op.dline_addr && dl->valid &&
+            dl->tag == op.dline_tag) {
+          mem_cycles += dcache_.ReplayDataHitAt(dl, line_addr,
+                                                /*write=*/true,
+                                                dc_base + ++dc_pending);
+        } else {
+          flush_mem();
+          mem_cycles += dcache_.Access(phys, /*write=*/true);
+          op.dline_memo = dcache_.site_hint();
+          op.dline_addr = line_addr;
+          op.dline_tag = dcache_.TagOf(phys);
+          dc_base = dcache_.replay_base();
+        }
+        if (unchecked_mem) {
+          memory->WriteUncheckedWidth(phys, bytes, rs2);
+        } else {
+          memory->Write(phys, bytes, rs2);
+        }
+        code_table->OnWrite(phys);
+        ++fast_ops;
+        extra_cycles += mem_cycles;
+        if (code_table->Version(block->phys_page) != block->code_version) {
+          // The block stored into its own code page: everything executed
+          // so far is exact, but the remaining decodes are stale. Stop at
+          // this boundary; the next entry attempt rebuilds fresh.
+          translator_->Retire(block);
+          done = i + 1;
+          next_pc = op.pc + inst.length;
+          goto exit;
+        }
+        continue;
+      }
+      case Opcode::kFence:
+        ++fast_ops;
+        continue;
+      default:
+      generic_op: {
+        // Generic micro-op (ecall/ebreak, ld.ro with the event stream
+        // live): run the reference executor, which needs pc_ live, the
+        // pending D-side batches flushed, and accounts for itself.
+        flush_mem();
+        pc_ = op.pc;
+        const StepEvent event = ExecuteDecodedImpl<true>(inst, fetch_cycles);
+        rearm_bases();  // its data access moved the shared ticks
+        if (event != StepEvent::kRetired) {
+          result = event;  // trap or ecall: the op (and its fetch) happened
+          done = i + 1;
+          next_pc = pc_;
+          goto exit;
+        }
+        if (i + 1 < count && pc_ != ops[i + 1].pc) {
+          done = i + 1;
+          next_pc = pc_;
+          goto exit;
+        }
+        continue;
+      }
+    }
+    // Shared ALU retire tail (cases that `break` out of the switch).
+    if (inst.rd != 0) regs_[inst.rd] = rd_value;
+    ++fast_ops;
+  }
+  // Loop exhausted (block end or budget): every `continue` path above left
+  // the architectural pc at the straight-line successor of the op it
+  // executed — a branch or generic op only continues when its target
+  // equals the next op's pc, which for consecutive decodes is pc + length.
+  done = limit;
+  {
+    const TranslatedOp& last_op = ops[limit - 1];
+    next_pc = last_op.pc + last_op.inst.length;
+  }
+exit:
+  if (fast_ops != 0) {
+    stats_.instructions += fast_ops;
+    stats_.cycles += fast_ops * (fetch_cycles + 1) + extra_cycles;
+  }
+  flush_mem();
+  pc_ = next_pc;
+  if (done != 0) {
+    itlb_.ReplayFetchHits(block->itlb_entry, done);
+    icache_.CommitReplayBatch(done);
+    const TranslatedOp& last = ops[done - 1];
+    icache_.ReplayHint(lines[last.line_index].line, last.fetch_phys);
+    translator_->stats().ops_replayed += done;
+  }
+  return result;
+}
+
 bool Cpu::DebugReadVirt(std::uint64_t virt_addr, unsigned bytes,
                         std::uint64_t* value) {
   mem::PageWalker walker(memory_);
@@ -599,6 +1515,11 @@ bool Cpu::DebugWriteVirt(std::uint64_t virt_addr, unsigned bytes,
   auto walk = walker.Walk(root_ppn_, virt_addr);
   if (!walk || !memory_->Contains(walk->phys_addr, bytes)) return false;
   memory_->Write(walk->phys_addr, bytes, value);
+  if (code_table_ptr_ != nullptr) {
+    // Debug/attack writes need not be size-aligned; cover both end pages.
+    code_table_ptr_->OnWrite(walk->phys_addr);
+    code_table_ptr_->OnWrite(walk->phys_addr + bytes - 1);
+  }
   return true;
 }
 

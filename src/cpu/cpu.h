@@ -8,9 +8,13 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "cache/cache.h"
+#include "cpu/translate.h"
 #include "isa/encoding.h"
 #include "isa/instruction.h"
 #include "isa/registers.h"
@@ -42,7 +46,45 @@ struct CpuConfig {
   // access sits behind the Contains() test that the checked accessor would
   // merely repeat, so the values (and everything downstream) are identical.
   bool host_unchecked_mem = true;
+  // Host-only translation tier (src/cpu/translate.h): pre-decode hot
+  // superblocks into replayable micro-op form and execute them under
+  // TLB/I-cache/code-version guards, deopting to the interpreter on any
+  // guard miss. Only Run() uses blocks; Step() always interprets. Off by
+  // default — off reproduces the seed simulator bit-identically, on is
+  // pinned bit-identical by the differential suite in
+  // tests/test_translate.cpp.
+  bool host_translate = false;
+  // Visits of one pc before a block is built there (1 = translate eagerly;
+  // tests use 1 to force building on short fixtures). 2 is the sweet spot:
+  // building a block costs about as much as interpreting its ops once, so
+  // translating on the second visit never loses (one-shot code is skipped,
+  // anything re-entered amortizes immediately), while higher thresholds
+  // leave warm code (executed a handful of times) interpreting forever.
+  unsigned translate_threshold = 2;
+  // Superblock op cap and total live-block cap (reaching the block cap
+  // frees every block and starts over — a simple, safe flush policy).
+  unsigned translate_max_ops = 64;
+  unsigned translate_max_blocks = 4096;
 };
+
+// The three execute tiers, in increasing host speed: the reference
+// interpreter (every host fast path off), the PR 2 fast paths (decode
+// cache, indexed TLB, inline memory — the default), and the translation
+// tier on top of the fast paths. All three are bit-identical in cycles
+// and every architectural counter; only host speed differs.
+enum class ExecTier : std::uint8_t {
+  kInterp,
+  kFast,
+  kTranslated,
+};
+
+// Applies a tier to a config: kInterp disables every host fast path,
+// kFast enables them (the default config), kTranslated additionally turns
+// on the block translator.
+void SetExecTier(CpuConfig* config, ExecTier tier);
+std::string_view ExecTierName(ExecTier tier);
+// Parses "interp"/"fast"/"translated"; nullopt on anything else.
+std::optional<ExecTier> ParseExecTier(std::string_view name);
 
 // Toggles every host-only fast path in one call: the decode cache, the
 // indexed TLB lookup (both TLBs) and the cache index math (both caches).
@@ -80,7 +122,12 @@ class Cpu {
 
   // Address translation root (satp.PPN analogue). The kernel sets this on
   // process switch and must FlushTlbs() after page-table edits.
-  void set_root_ppn(std::uint64_t root_ppn) { root_ppn_ = root_ppn; }
+  void set_root_ppn(std::uint64_t root_ppn) {
+    root_ppn_ = root_ppn;
+    // A root switch invalidates every proven block guard (blocks are
+    // keyed and proven per root); stale the epoch fast path.
+    if (code_table_ptr_ != nullptr) code_table_ptr_->Advance();
+  }
   std::uint64_t root_ppn() const { return root_ppn_; }
   void FlushTlbs();
 
@@ -88,6 +135,18 @@ class Cpu {
   // the trap is in pending_trap(); the kernel decides what to do. On
   // kEcall pc() has already advanced past the ecall.
   StepEvent Step();
+
+  // Executes up to `budget` instructions (at least one attempt), stopping
+  // early on the first trap or ecall. Semantically identical to calling
+  // Step() in a loop and stopping once `budget` instructions retired —
+  // kRetired means exactly that the budget boundary was reached without a
+  // trap/ecall. This is the entry point that uses the translation tier
+  // when `host_translate` is on and the run is translation-transparent
+  // (no per-instruction trace hook, profiler or instruction events);
+  // otherwise it interprets. The kernel's scheduler calls this with the
+  // remaining quantum/limit so blocks can run without per-instruction
+  // scheduler checks.
+  StepEvent Run(std::uint64_t budget);
 
   const isa::Trap& pending_trap() const { return pending_trap_; }
 
@@ -125,6 +184,26 @@ class Cpu {
   // the TLB-shootdown IPI cost the kernel charges to the initiating hart.
   void ChargeStallCycles(unsigned cycles) { stats_.cycles += cycles; }
 
+  // Translation-tier introspection (empty stats when the tier is off).
+  const TranslatorStats& translator_stats() const {
+    static const TranslatorStats kEmpty{};
+    return translator_ != nullptr ? translator_->stats() : kEmpty;
+  }
+  bool translation_enabled() const { return translator_ != nullptr; }
+
+  // The per-physical-page code version table backing the self-modifying
+  // code guard; null when the tier is off. An SMP machine shares hart 0's
+  // table across all harts (ShareCodeTable) so cross-hart code writes
+  // retire the writing *and* the executing hart's blocks.
+  const std::shared_ptr<CodeVersionTable>& code_table() const {
+    return code_table_;
+  }
+  void ShareCodeTable(const std::shared_ptr<CodeVersionTable>& table) {
+    if (table == nullptr) return;
+    code_table_ = table;
+    code_table_ptr_ = code_table_.get();
+  }
+
   // Direct (debug/kernel) access to guest memory through the page tables,
   // bypassing caches and permission checks. Used by the loader, the syscall
   // layer, and the attack-injection harness (which models an arbitrary
@@ -153,6 +232,35 @@ class Cpu {
   // Executes a memory access; returns false with pending trap on fault.
   bool MemAccess(const isa::Instruction& inst, std::uint64_t virt_addr,
                  bool write, std::uint64_t* value, unsigned* cycles);
+  // The execute half of Step(): everything after fetch+decode, starting
+  // from `cycles` already charged by the fetch. Shared verbatim between
+  // Step() and the block executor, which is what makes the translated
+  // tier's semantics the interpreter's semantics by construction.
+  //
+  // kLean compiles out the profiler charges and the per-retire event
+  // emission. It is only ever instantiated by the block executor, which
+  // runs strictly under TranslationTransparent() — i.e. when profiling is
+  // off and kInstruction events are masked — so the stripped code is code
+  // that could not have executed anyway; simulated state is untouched.
+  template <bool kLean>
+  StepEvent ExecuteDecodedImpl(const isa::Instruction& inst, unsigned cycles);
+  StepEvent ExecuteDecoded(const isa::Instruction& inst, unsigned cycles);
+
+  // Translation tier (all no-ops unless config_.host_translate).
+  // True when a translated run is observationally equivalent to an
+  // interpreted one: no per-retire trace hook, no cycle profiler, no
+  // per-instruction event stream. TLB/cache/roload events stay exact
+  // under translation (hits emit no events; misses and the whole data
+  // side run the real paths), so those categories do not deopt.
+  bool TranslationTransparent() const;
+  // Builds a superblock at pc_ from the current I-TLB/I-cache contents;
+  // nullptr when the head is not fetchable from resident state.
+  TranslatedBlock* BuildBlock();
+  // Proves (or revalidates) a block's guards; false demands interpretation.
+  bool BlockGuardsPass(TranslatedBlock* block);
+  // Replays a guard-proven block until block end, divergence, trap,
+  // ecall, self-modifying store, or `target` total retired instructions.
+  StepEvent ExecuteBlock(TranslatedBlock* block, std::uint64_t target);
 
   void RaiseTrap(isa::TrapCause cause, std::uint64_t tval);
 
@@ -174,6 +282,13 @@ class Cpu {
   std::vector<DecodeSlot> decode_cache_;
   std::uint32_t decode_generation_ = 1;  // never matches the 0 in fresh slots
   void InvalidateDecodeCache();
+
+  // Translation tier state (null when host_translate is off). The raw
+  // code-table pointer keeps the store write barrier a single test on the
+  // hot path.
+  std::unique_ptr<Translator> translator_;
+  std::shared_ptr<CodeVersionTable> code_table_;
+  CodeVersionTable* code_table_ptr_ = nullptr;
 };
 
 }  // namespace roload::cpu

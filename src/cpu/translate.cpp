@@ -1,0 +1,56 @@
+#include "cpu/translate.h"
+
+namespace roload::cpu {
+
+TranslatedBlock* Translator::Lookup(std::uint64_t root_ppn, std::uint64_t pc) {
+  auto it = map_.find(KeyOf(root_ppn, pc));
+  if (it == map_.end()) return nullptr;
+  TranslatedBlock* block = it->second;
+  // The key is a hash of (root, pc); verify the block really is the one
+  // asked for and still alive.
+  if (block->dead || block->head_pc != pc || block->root_ppn != root_ppn) {
+    return nullptr;
+  }
+  return block;
+}
+
+bool Translator::NoteVisit(std::uint64_t root_ppn, std::uint64_t pc) {
+  VisitSlot& slot = visits_[(pc >> 1) & (kVisitSlots - 1)];
+  const std::uint64_t key = KeyOf(root_ppn, pc);
+  if (slot.key != key) {
+    slot.key = key;
+    slot.count = 1;
+  } else if (slot.count < threshold_) {
+    // Saturate at the threshold: the run loop calls this on every
+    // non-chained entry (hot or cold), so the count would otherwise grow
+    // without bound and eventually wrap.
+    ++slot.count;
+  }
+  return slot.count >= threshold_;
+}
+
+TranslatedBlock* Translator::Insert(std::unique_ptr<TranslatedBlock> block) {
+  TranslatedBlock* raw = block.get();
+  blocks_.push_back(std::move(block));
+  TranslatedBlock*& mapped = map_[KeyOf(raw->root_ppn, raw->head_pc)];
+  if (mapped != nullptr && mapped != raw) Retire(mapped);
+  mapped = raw;
+  ++stats_.blocks_built;
+  return raw;
+}
+
+void Translator::Retire(TranslatedBlock* block) {
+  if (block == nullptr || block->dead) return;
+  block->dead = true;
+  block->valid_epoch = 0;  // never epoch-fast-path a dead block
+  ++stats_.blocks_retired;
+}
+
+void Translator::InvalidateAll() {
+  blocks_.clear();
+  map_.clear();
+  for (VisitSlot& slot : visits_) slot = VisitSlot{};
+  ++stats_.invalidations;
+}
+
+}  // namespace roload::cpu

@@ -1,0 +1,249 @@
+// Translation tier: superblock dynamic binary translation with guard-based
+// deopt (the third execute tier, above the reference interpreter and the
+// PR 2 host fast paths).
+//
+// A TranslatedBlock pre-decodes a run of instructions from one guest code
+// page into replayable micro-op form. Entering a block first proves a set
+// of guards:
+//
+//   * the pinned I-TLB entry still maps the block's page with the same
+//     PTE bits and physical page (covers TLB flush/shootdown, mprotect
+//     re-key, process switch),
+//   * the block's code page version is unchanged (covers self-modifying
+//     and cross-hart code writes via the shared CodeVersionTable),
+//   * every pinned I-cache line is still resident with the same tag
+//     (covers evictions; fetch timing stays exact).
+//
+// With the guards proven, each op replays exactly the bookkeeping the
+// interpreter's all-hit fetch path performs (one I-TLB hit + one I-cache
+// hit per instruction, batched per block run — see Tlb::ReplayFetchHits
+// and the Cache replay-batch API) and then executes the pre-decoded
+// instruction through the same ExecuteDecoded body Step() uses. Data-side accesses, traps, the ld.ro
+// key check and the roload_check event stream all go through the
+// unmodified MemAccess path, so cycles and every counter are bit-identical
+// to the reference interpreter by construction. Any guard miss deopts to
+// Step() for at least one instruction (performing the *real* miss with its
+// real cost) and retries, so misses are never approximated.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.h"
+#include "isa/instruction.h"
+#include "mem/phys_memory.h"
+#include "tlb/tlb.h"
+
+namespace roload::cpu {
+
+// Per-physical-page code version table: the write barrier that catches
+// self-modifying (and, in SMP, cross-hart) code writes. Pages are marked
+// when the first block is built from them; every store through MemAccess
+// (and every DebugWriteVirt) bumps the version of a marked page, which
+// fails the version guard of any block translated from it. One table is
+// shared by all harts of an SMP machine so hart A patching hart B's code
+// retires B's blocks at B's next block entry.
+class CodeVersionTable {
+ public:
+  explicit CodeVersionTable(std::uint64_t memory_bytes)
+      : is_code_((memory_bytes + mem::kPageSize - 1) >> mem::kPageShift, 0),
+        versions_(is_code_.size(), 0) {}
+
+  // Store barrier (hot path): bump the page version iff the page holds
+  // translated code. Stores are size-aligned, so one page covers the
+  // whole access. A bump also advances the guard epoch, staling every
+  // block's one-compare entry fast path (see guard_epoch()).
+  void OnWrite(std::uint64_t phys_addr) {
+    const std::uint64_t page = phys_addr >> mem::kPageShift;
+    if (page < is_code_.size() && is_code_[page] != 0) {
+      ++versions_[page];
+      ++epoch_;
+    }
+  }
+
+  void MarkCode(std::uint64_t phys_page) {
+    if (phys_page < is_code_.size()) is_code_[phys_page] = 1;
+  }
+
+  std::uint64_t Version(std::uint64_t phys_page) const {
+    return phys_page < versions_.size() ? versions_[phys_page] : 0;
+  }
+
+  // Guard epoch: a counter that advances whenever machine state that any
+  // block guard could depend on may have changed — a code-page write
+  // (above), any interpreted Step (which can evict I-TLB entries and
+  // I-cache lines), a TLB flush/shootdown, or a root-page-table switch
+  // (callers bump via Advance()). A block whose guards were fully proven
+  // at epoch E needs only `valid_epoch == E` to re-enter while the epoch
+  // stands, turning steady-state block entry into one compare. The table
+  // (and thus the epoch) is shared across SMP harts, so a cross-hart code
+  // write stales every hart's fast path, not just the writer's. Starts at
+  // 1 so 0 can mean "never proven / retired".
+  std::uint64_t guard_epoch() const { return epoch_; }
+  void Advance() { ++epoch_; }
+
+ private:
+  std::vector<std::uint8_t> is_code_;
+  std::vector<std::uint64_t> versions_;
+  std::uint64_t epoch_ = 1;
+};
+
+// One pre-decoded instruction of a block.
+struct TranslatedOp {
+  isa::Instruction inst;
+  std::uint64_t pc = 0;          // virtual pc of this op
+  std::uint64_t fetch_phys = 0;  // physical address of the first parcel
+  std::uint32_t line_index = 0;  // index into TranslatedBlock::lines
+  bool is_store = false;         // run the mid-block SMC version check after
+  // Pre-resolved micro-op facts for the block executor's inline memory
+  // path (isa::MemAccessBytes / isa::LoadIsUnsigned / isa::IsRoLoad
+  // evaluated once at build time instead of per execution). Zero for
+  // non-memory ops.
+  std::uint8_t mem_bytes = 0;
+  bool load_unsigned = false;
+  bool is_roload = false;  // ld.ro family: key-checked load datapath
+  // Per-site inline caches: the D-TLB entry and D-cache line this op hit
+  // last time. Self-validating — the executor re-proves them against the
+  // current access before replaying the hit and falls back to the generic
+  // lookup (re-arming the memo) otherwise. The pointers target pool
+  // storage that never reallocates, so a stale memo is merely cold, never
+  // dangling.
+  tlb::Tlb::Entry* dtlb_memo = nullptr;
+  cache::Cache::Line* dline_memo = nullptr;
+  std::uint64_t dline_addr = 0;
+  std::uint64_t dline_tag = 0;
+};
+
+// One pinned I-cache line a block's fetches replay hits on. `line` may be
+// re-pointed during guard revalidation when the same tag moved to another
+// way; `phys`/`tag` identify what the line must hold.
+struct LineGuard {
+  cache::Cache::Line* line = nullptr;
+  std::uint64_t phys = 0;  // representative fetch address within the line
+  std::uint64_t tag = 0;
+};
+
+// A superblock: straight-line decode from head_pc within one page,
+// continuing through untaken conditional branches, ending at an
+// unconditional control transfer (jal/jalr/ecall/ebreak), a decode
+// failure, the page boundary, or the op cap. Execution exits early on
+// branch divergence, trap, ecall, quantum/limit expiry or a self-modifying
+// store — always at an instruction boundary.
+struct TranslatedBlock {
+  std::uint64_t head_pc = 0;
+  std::uint64_t root_ppn = 0;
+  std::uint64_t vpn = 0;
+  std::uint64_t pte_raw = 0;
+  std::uint64_t phys_page = 0;
+  std::uint64_t code_version = 0;
+  // Guard epoch at which the full guard set was last proven; re-entry
+  // under the same epoch needs no re-proof (see
+  // CodeVersionTable::guard_epoch). 0 = never proven; Retire resets to 0
+  // so a dead block can never take the fast path.
+  std::uint64_t valid_epoch = 0;
+  tlb::Tlb::Entry* itlb_entry = nullptr;
+  bool dead = false;  // retired: unreachable, freed at the next InvalidateAll
+  std::vector<LineGuard> lines;
+  std::vector<TranslatedOp> ops;
+
+  // Direct block chaining: the hot loop goes block -> successor without
+  // touching the translator's hash map. Two slots per block (fall-through
+  // and taken successor of the usual loop shapes), round-robin replaced.
+  struct ChainSlot {
+    std::uint64_t pc = ~std::uint64_t{0};
+    TranslatedBlock* block = nullptr;
+  };
+  ChainSlot chain[2];
+  std::uint8_t chain_rr = 0;
+
+  TranslatedBlock* ChainLookup(std::uint64_t pc, std::uint64_t root) {
+    for (const ChainSlot& slot : chain) {
+      if (slot.block != nullptr && slot.pc == pc && !slot.block->dead &&
+          slot.block->root_ppn == root) {
+        return slot.block;
+      }
+    }
+    return nullptr;
+  }
+
+  void ChainInstall(std::uint64_t pc, TranslatedBlock* block) {
+    chain[chain_rr] = ChainSlot{pc, block};
+    chain_rr ^= 1;
+  }
+};
+
+// Host-only translator telemetry. Deliberately NOT registered in the
+// trace counter registry: the registry snapshot is part of the
+// bit-identity contract between tiers, and these counters exist only in
+// the translated tier.
+struct TranslatorStats {
+  std::uint64_t blocks_built = 0;
+  std::uint64_t blocks_retired = 0;
+  std::uint64_t block_entries = 0;    // guard-proven block executions
+  std::uint64_t chained_entries = 0;  // of which via direct chaining
+  std::uint64_t guard_fails = 0;      // deopts to the interpreter
+  std::uint64_t ops_replayed = 0;
+  std::uint64_t invalidations = 0;    // InvalidateAll calls
+};
+
+// Owns the translated blocks of one hart: the (root, pc) -> block map, the
+// hot-pc visit counters that trigger building, and the block lifecycle
+// (retire marks a block dead in place; InvalidateAll frees everything and
+// is only called between blocks — TLB flush, capacity).
+class Translator {
+ public:
+  Translator(unsigned threshold, unsigned max_blocks)
+      : threshold_(threshold == 0 ? 1 : threshold),
+        max_blocks_(max_blocks == 0 ? 1 : max_blocks),
+        visits_(kVisitSlots) {}
+
+  // Block lookup; nullptr on miss (including dead or mismatching blocks).
+  TranslatedBlock* Lookup(std::uint64_t root_ppn, std::uint64_t pc);
+
+  // Bumps the visit counter for (root, pc); true once the pc is hot
+  // enough to build a block.
+  bool NoteVisit(std::uint64_t root_ppn, std::uint64_t pc);
+
+  // Takes ownership and makes the block reachable; retires any block the
+  // map already held for the same (root, pc). Returns the raw pointer
+  // (stable until InvalidateAll).
+  TranslatedBlock* Insert(std::unique_ptr<TranslatedBlock> block);
+
+  // Marks a block permanently dead (stale PTE, remap, self-modified
+  // code). Its memory stays valid until InvalidateAll so chain slots and
+  // the executor's current-block pointer never dangle.
+  void Retire(TranslatedBlock* block);
+
+  // Frees every block and resets the map and visit counters. Safe only
+  // between blocks (no block mid-execution, no live chain source).
+  void InvalidateAll();
+
+  bool AtCapacity() const { return blocks_.size() >= max_blocks_; }
+
+  TranslatorStats& stats() { return stats_; }
+  const TranslatorStats& stats() const { return stats_; }
+
+ private:
+  static constexpr std::size_t kVisitSlots = 4096;  // direct-mapped
+
+  static std::uint64_t KeyOf(std::uint64_t root_ppn, std::uint64_t pc) {
+    return pc ^ (root_ppn << 17);
+  }
+
+  struct VisitSlot {
+    std::uint64_t key = ~std::uint64_t{0};
+    std::uint32_t count = 0;
+  };
+
+  unsigned threshold_;
+  std::size_t max_blocks_;
+  std::deque<std::unique_ptr<TranslatedBlock>> blocks_;
+  std::unordered_map<std::uint64_t, TranslatedBlock*> map_;
+  std::vector<VisitSlot> visits_;
+  TranslatorStats stats_;
+};
+
+}  // namespace roload::cpu

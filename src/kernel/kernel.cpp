@@ -324,11 +324,17 @@ RunResult Kernel::Run(std::uint64_t max_instructions) {
   const std::uint64_t start_instructions = cpu_->stats().instructions;
   bool running = true;
   while (running) {
-    if (cpu_->stats().instructions - start_instructions >= max_instructions) {
+    const std::uint64_t executed =
+        cpu_->stats().instructions - start_instructions;
+    if (executed >= max_instructions) {
       result.kind = ExitKind::kInstructionLimit;
       break;
     }
-    switch (cpu_->Step()) {
+    // Batched execution: Run() retires up to the remaining budget before
+    // returning, so the scheduler check above happens at exactly the same
+    // instruction boundaries as the per-Step loop it replaced — and the
+    // translation tier gets a hot loop free of per-instruction checks.
+    switch (cpu_->Run(max_instructions - executed)) {
       case cpu::StepEvent::kRetired:
         break;
       case cpu::StepEvent::kEcall:
@@ -402,7 +408,11 @@ std::vector<RunResult> Kernel::RunSmp(std::uint64_t quantum,
       const std::uint64_t turn_start = cpu_->stats().instructions;
       bool running = true;
       while (running && cpu_->stats().instructions - turn_start < quantum) {
-        switch (cpu_->Step()) {
+        // Batched like Kernel::Run: the quantum boundary lands on exactly
+        // the same instruction as the per-Step loop, keeping the SMP
+        // round-robin interleaving bit-identical across execute tiers.
+        switch (cpu_->Run(quantum -
+                          (cpu_->stats().instructions - turn_start))) {
           case cpu::StepEvent::kRetired:
             break;
           case cpu::StepEvent::kEcall:

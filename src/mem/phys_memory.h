@@ -41,6 +41,61 @@ class PhysMemory {
     std::memcpy(bytes_.data() + addr, &value, bytes);
   }
 
+  // Width-dispatched unchecked accessors for the translated tier's inline
+  // memory micro-ops: same values and semantics as ReadUnchecked /
+  // WriteUnchecked, but each memcpy length is a compile-time constant so
+  // the access lowers to one host load/store instead of a variable-length
+  // copy. `bytes` is a decoded access width, always in {1, 2, 4, 8}.
+  std::uint64_t ReadUncheckedWidth(std::uint64_t addr, unsigned bytes) const {
+    const std::uint8_t* src = bytes_.data() + addr;
+    switch (bytes) {
+      case 1: {
+        std::uint8_t v;
+        std::memcpy(&v, src, 1);
+        return v;
+      }
+      case 2: {
+        std::uint16_t v;
+        std::memcpy(&v, src, 2);
+        return v;
+      }
+      case 4: {
+        std::uint32_t v;
+        std::memcpy(&v, src, 4);
+        return v;
+      }
+      default: {
+        std::uint64_t v;
+        std::memcpy(&v, src, 8);
+        return v;
+      }
+    }
+  }
+  void WriteUncheckedWidth(std::uint64_t addr, unsigned bytes,
+                           std::uint64_t value) {
+    std::uint8_t* dst = bytes_.data() + addr;
+    switch (bytes) {
+      case 1: {
+        const std::uint8_t v = static_cast<std::uint8_t>(value);
+        std::memcpy(dst, &v, 1);
+        return;
+      }
+      case 2: {
+        const std::uint16_t v = static_cast<std::uint16_t>(value);
+        std::memcpy(dst, &v, 2);
+        return;
+      }
+      case 4: {
+        const std::uint32_t v = static_cast<std::uint32_t>(value);
+        std::memcpy(dst, &v, 4);
+        return;
+      }
+      default:
+        std::memcpy(dst, &value, 8);
+        return;
+    }
+  }
+
   // Bulk copy used by the loader.
   void WriteBlock(std::uint64_t addr, const std::uint8_t* data,
                   std::uint64_t size);

@@ -178,7 +178,11 @@ StatusOr<AttackResult> RunAttack(AttackKind kind, core::Defense defense,
 
 StatusOr<AttackResult> RunAttackSmp(AttackKind kind, core::Defense defense,
                                     unsigned harts,
-                                    core::SystemVariant variant) {
+                                    core::SystemVariant variant,
+                                    unsigned inject_hart) {
+  if (inject_hart >= (harts == 0 ? 1u : harts)) {
+    return Status::InvalidArgument("inject_hart out of range");
+  }
   core::BuildOptions options;
   options.defense = defense;
   auto build = core::Build(MakeVictimModule(), options);
@@ -228,11 +232,12 @@ StatusOr<AttackResult> RunAttackSmp(AttackKind kind, core::Defense defense,
   }
 
   // Phase 2: the corruption, through the attacker's arbitrary-write
-  // primitive (the address space is shared; any hart's debug port sees
-  // the same memory).
-  auto write64 = [&machine](std::uint64_t addr,
-                            std::uint64_t value) -> Status {
-    if (!machine.cpu(0).DebugWriteVirt(addr, 8, value)) {
+  // primitive. The address space is shared, so whichever hart's debug port
+  // carries the write (`inject_hart`) lands on the same memory — the
+  // verdict must not depend on the choice.
+  auto write64 = [&machine, inject_hart](std::uint64_t addr,
+                                         std::uint64_t value) -> Status {
+    if (!machine.cpu(inject_hart).DebugWriteVirt(addr, 8, value)) {
       return Status::Internal("arbitrary write failed");
     }
     return Status::Ok();
@@ -288,6 +293,7 @@ StatusOr<AttackResult> RunAttackSmp(AttackKind kind, core::Defense defense,
   result.exit_code = phase3.exit_code;
   result.hart = phase3.hart;
   result.harts = harts;
+  result.inject_hart = inject_hart;
 
   std::uint64_t sentinel = 0;
   auto scratch = sym("scratch");

@@ -74,9 +74,11 @@ struct AttackResult {
   // SMP attribution: the hart the outcome was observed on (for a blocked
   // attack, the hart whose keyed dispatch caught it — not necessarily the
   // hart count minus one, the scheduler decides who dispatches first after
-  // the corruption lands) and the machine width the attack ran at.
+  // the corruption lands), the machine width the attack ran at, and the
+  // hart whose debug port performed the corruption.
   unsigned hart = 0;
   unsigned harts = 1;
+  unsigned inject_hart = 0;
 
   // End-of-run counter snapshot of the attacked system (census totals,
   // per-key TLB checks, ...) for cross-run aggregation via
@@ -103,9 +105,15 @@ StatusOr<AttackResult> RunAttack(AttackKind kind, core::Defense defense,
 // result records which hart's keyed dispatch caught the attack. With
 // harts == 1 this is exactly RunAttack — the single-hart machine is
 // bit-identical to the legacy System.
+//
+// `inject_hart` picks whose debug port the arbitrary write goes through
+// (must be < harts). The address space is shared, so the verdict, the
+// catching hart and the autopsy must not depend on it — the parity test in
+// tests/test_smp.cpp pins hart-0 vs hart-(N-1) injection equal.
 StatusOr<AttackResult> RunAttackSmp(AttackKind kind, core::Defense defense,
                                     unsigned harts,
                                     core::SystemVariant variant =
-                                        core::SystemVariant::kFullRoload);
+                                        core::SystemVariant::kFullRoload,
+                                    unsigned inject_hart = 0);
 
 }  // namespace roload::sec

@@ -126,6 +126,10 @@ Machine::Machine(const SmpConfig& config) : config_(config) {
     auto cpu = std::make_unique<cpu::Cpu>(cpu_config, memory_.get());
     if (l2_ != nullptr) cpu->set_next_level_cache(l2_.get());
     cpu->set_trace(trace_.get());
+    // One code-version table for the whole machine (block caches stay
+    // per-hart): a store on any hart must fail the self-modifying-code
+    // guard of blocks every other hart translated from that page.
+    if (h > 0) cpu->ShareCodeTable(cpus_[0]->code_table());
     cpus_.push_back(std::move(cpu));
   }
 
@@ -238,11 +242,13 @@ StatusOr<core::RunMetrics> RunBuildSmp(const core::BuildResult& build,
                                        core::SystemVariant variant,
                                        unsigned harts,
                                        std::uint64_t max_instructions,
-                                       const trace::TraceConfig& trace) {
+                                       const trace::TraceConfig& trace,
+                                       cpu::ExecTier exec) {
   SmpConfig config;
   config.variant = variant;
   config.harts = harts;
   config.trace = trace;
+  cpu::SetExecTier(&config.cpu, exec);
   Machine machine(config);
   ROLOAD_RETURN_IF_ERROR(machine.Load(build.image));
   const kernel::RunResult run = machine.Run(max_instructions);

@@ -101,6 +101,7 @@ class Machine {
 StatusOr<core::RunMetrics> RunBuildSmp(
     const core::BuildResult& build, core::SystemVariant variant,
     unsigned harts, std::uint64_t max_instructions = 1ull << 34,
-    const trace::TraceConfig& trace = {});
+    const trace::TraceConfig& trace = {},
+    cpu::ExecTier exec = cpu::ExecTier::kFast);
 
 }  // namespace roload::smp

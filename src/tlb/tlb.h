@@ -110,6 +110,20 @@ class Tlb {
  public:
   Tlb(const TlbConfig& config, mem::PhysMemory* memory);
 
+  // One TLB entry, public so the translation tier (src/cpu/translate.h)
+  // can pin an entry pointer inside a block guard. `entries_` never
+  // reallocates, so the pointer stays stable for the Tlb's lifetime;
+  // Flush() only clears `valid` in place. Guard holders must revalidate
+  // (valid + vpn + asid_root + pte bits) before every use.
+  struct Entry {
+    bool valid = false;
+    std::uint64_t vpn = 0;       // virtual page number (4 KiB granularity)
+    std::uint64_t asid_root = 0; // root ppn acts as the ASID in this model
+    mem::Pte pte;
+    std::uint64_t phys_page = 0;
+    std::uint64_t lru_tick = 0;
+  };
+
   // Translates `virt_addr` for `access` under root page table `root_ppn`.
   // `key` is only consulted for AccessType::kRoLoad.
   //
@@ -146,6 +160,143 @@ class Tlb {
     return TranslateSlow(root_ppn, virt_addr, access, key);
   }
 
+  // Compile-time-specialized Translate for the translated tier's inline
+  // data micro-ops (loads, stores, and the ld.ro family). It performs
+  // exactly the steps Translate performs — same hint register, same
+  // hit/LRU/permission/fault mutations in the same order — with the
+  // permission switch folded at compile time (CheckPermissions dispatches
+  // on the constant A, so kLoad/kStore reduce to two bit tests and
+  // kRoLoad keeps the full key-check datapath and its counters).
+  // EmitRoLoadFault only ever emits for kRoLoadPageFault, so the
+  // conditional call is exact for every A. Hint misses and the reference
+  // lookup delegate to TranslateSlow unchanged.
+  template <AccessType A>
+  TlbResult TranslateFor(std::uint64_t root_ppn, std::uint64_t virt_addr,
+                         std::uint32_t key) {
+    static_assert(A == AccessType::kLoad || A == AccessType::kStore ||
+                      A == AccessType::kRoLoad,
+                  "fetch accesses use Translate()");
+    if (config_.host_indexed_lookup) {
+      Entry* entry = last_translation_[static_cast<std::size_t>(A)];
+      if (entry != nullptr && entry->valid &&
+          entry->vpn == (virt_addr >> mem::kPageShift) &&
+          entry->asid_root == root_ppn) {
+        ++stats_.hits;
+        entry->lru_tick = ++tick_;
+        TlbResult result;
+        if (auto cause = CheckPermissions(entry->pte, A, key, &stats_,
+                                          &result.roload_fail_kind)) {
+          result.ok = false;
+          result.cause = *cause;
+          if (A == AccessType::kRoLoad) {
+            EmitRoLoadFault(result.cause, virt_addr, key);
+          }
+          return result;
+        }
+        result.ok = true;
+        result.phys_addr = (entry->phys_page << mem::kPageShift) +
+                           (virt_addr & (mem::kPageSize - 1));
+        result.cycles = 0;
+        return result;
+      }
+    }
+    return TranslateSlow(root_ppn, virt_addr, A, key);
+  }
+
+  // Guard-probe for the translation tier: returns the entry covering
+  // `virt_addr` under `root_ppn`, or nullptr. Pure query — no stats, no
+  // LRU tick, no hint update — so probing is invisible to the counter
+  // contract. A linear scan is fine here: it runs once per block build /
+  // guard revalidation, never per instruction.
+  Entry* Probe(std::uint64_t root_ppn, std::uint64_t virt_addr) {
+    const std::uint64_t vpn = virt_addr >> mem::kPageShift;
+    for (Entry& entry : entries_) {
+      if (entry.valid && entry.vpn == vpn && entry.asid_root == root_ppn) {
+        return &entry;
+      }
+    }
+    return nullptr;
+  }
+
+  // Replays the bookkeeping of `n` consecutive successful kFetch hits on
+  // `entry` without re-running the lookups: exactly the mutations n
+  // Translate fetch hits would perform (n hit counts, n LRU ticks — all
+  // landing on the same entry, so only the final tick is observable — and
+  // the lookup hint; CheckPermissions has no stat effect on a passing
+  // fetch). The translation tier calls this once per replayed block run,
+  // after its guard proved the entry covers the page and because nothing
+  // inside the run touches this TLB (data accesses go to the D-side).
+  void ReplayFetchHits(Entry* entry, std::uint64_t n) {
+    if (n == 0) return;
+    stats_.hits += n;
+    tick_ += n;
+    entry->lru_tick = tick_;
+    if (config_.host_indexed_lookup) {
+      last_translation_[static_cast<std::size_t>(AccessType::kFetch)] = entry;
+    } else {
+      last_entry_ = entry;
+    }
+  }
+
+  // Per-site inline-cache support for the translated tier's memory
+  // micro-ops. A block op that repeatedly touches the same page memoizes
+  // the entry it hit; once the caller has re-proven the entry (valid, vpn,
+  // asid_root) and its permission bits for access A, ReplaySiteHit applies
+  // exactly the mutations the reference lookup performs for that hit — one
+  // hit count, the LRU tick, and the lookup hint, which every reference
+  // hit path leaves pointing at the matched entry. site_hint() is what a
+  // memo re-arms from after a generic Translate: it holds the matched
+  // entry after any hit (after a refill it may lag one access, which only
+  // costs one more generic lookup).
+  template <AccessType A>
+  void ReplaySiteHit(Entry* entry) {
+    ++stats_.hits;
+    entry->lru_tick = ++tick_;
+    if (config_.host_indexed_lookup) {
+      last_translation_[static_cast<std::size_t>(A)] = entry;
+    } else {
+      last_entry_ = entry;
+    }
+  }
+  Entry* site_hint(AccessType access) {
+    return config_.host_indexed_lookup
+               ? last_translation_[static_cast<std::size_t>(access)]
+               : last_entry_;
+  }
+
+  // Batched form of ReplaySiteHit for a block run: the caller stamps each
+  // proven hit with `tick = replay_base() + k` (k = 1-based hit index
+  // since the last commit) and commits the hit count and tick advance in
+  // one CommitReplayBatch call, exactly as the fetch replay does. The
+  // split is observationally identical to per-hit ++tick_/++stats_.hits
+  // because nothing reads this TLB between the stamps and the commit —
+  // the executor flushes the pending batch before any generic lookup.
+  std::uint64_t replay_base() const { return tick_; }
+  void CommitReplayBatch(std::uint64_t hits) {
+    stats_.hits += hits;
+    tick_ += hits;
+  }
+  template <AccessType A>
+  void ReplaySiteHitAt(Entry* entry, std::uint64_t tick) {
+    entry->lru_tick = tick;
+    if (config_.host_indexed_lookup) {
+      last_translation_[static_cast<std::size_t>(A)] = entry;
+    } else {
+      last_entry_ = entry;
+    }
+  }
+
+  // Public permission datapath for the translated tier's per-site ld.ro
+  // micro-ops: exactly the CheckPermissions(kRoLoad) half of a Translate
+  // hit (key-check counters, per-key pass/fail census, fault kind), run
+  // after the caller proved the memoized entry covers the page. Nullopt
+  // when the checked load is allowed.
+  std::optional<isa::TrapCause> RoSitePermissions(const mem::Pte& pte,
+                                                 std::uint32_t key,
+                                                 RoLoadFailKind* fail_kind) {
+    return CheckPermissions(pte, AccessType::kRoLoad, key, &stats_, fail_kind);
+  }
+
   // Invalidates all entries (sfence.vma analogue). Must be called by the
   // kernel model after any PTE change.
   void Flush();
@@ -161,15 +312,6 @@ class Tlb {
   }
 
  private:
-  struct Entry {
-    bool valid = false;
-    std::uint64_t vpn = 0;       // virtual page number (4 KiB granularity)
-    std::uint64_t asid_root = 0; // root ppn acts as the ASID in this model
-    mem::Pte pte;
-    std::uint64_t phys_page = 0;
-    std::uint64_t lru_tick = 0;
-  };
-
   // The permission-check datapath (conventional + ROLoad in parallel).
   // Returns nullopt when access is allowed, else the trap cause; for
   // kRoLoad, *fail_kind reports why the check failed. Defined inline (it

@@ -22,11 +22,19 @@ void WriteCountersObject(JsonWriter* json, const CounterRegistry& counters) {
 
 }  // namespace
 
-std::string ExportCountersJson(const CounterRegistry& counters) {
+std::string ExportCountersJson(const CounterRegistry& counters,
+                               const HostRunStats* host) {
   JsonWriter json;
   json.BeginObject();
   json.KV("schema", "roload.counters.v1");
   WriteCountersObject(&json, counters);
+  if (host != nullptr) {
+    json.Key("host").BeginObject();
+    json.KV("exec_tier", host->exec_tier);
+    json.KV("wall_seconds", host->wall_seconds);
+    json.KV("simulated_mips", host->simulated_mips);
+    json.EndObject();
+  }
   json.EndObject();
   return json.str() + "\n";
 }

@@ -12,9 +12,21 @@
 
 namespace roload::trace {
 
+// Host-side measurements of a run, appended to the counters JSON as a
+// "host" object when provided. These are facts about the host machine
+// (wall-clock, simulated MIPS, execute tier), deliberately kept out of
+// the CounterRegistry so counter snapshots stay bit-identical across
+// execute tiers and host speeds.
+struct HostRunStats {
+  double wall_seconds = 0.0;
+  double simulated_mips = 0.0;
+  std::string exec_tier;  // "interp" | "fast" | "translated"
+};
+
 // {"schema":"roload.counters.v1","counters":{name:value,...}} with names
-// in sorted order.
-std::string ExportCountersJson(const CounterRegistry& counters);
+// in sorted order, plus "host":{...} when `host` is non-null.
+std::string ExportCountersJson(const CounterRegistry& counters,
+                               const HostRunStats* host = nullptr);
 
 // Counters plus the cycle-attribution breakdown:
 // {"schema":"roload.profile.v1","counters":{...},

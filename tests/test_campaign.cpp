@@ -295,6 +295,45 @@ TEST(CampaignRunnerTest, SmpGridIsBitIdenticalAcrossJobCounts) {
   EXPECT_LT(two->metrics.cycles, one->metrics.cycles);
 }
 
+TEST(CampaignRunnerTest, TranslatedGridIsBitIdenticalAcrossJobCounts) {
+  // The jobs-1-vs-N differential over a grid whose cells span all three
+  // execute tiers: host parallelism must not perturb any tier, and within
+  // one serial run the tiers must agree with each other cell-for-cell.
+  campaign::CampaignSpec spec;
+  spec.name = "translated";
+  spec.workloads = {workloads::SpecCppSubset(0.05)[0]};
+  spec.configs = {campaign::ForDefense(core::Defense::kVCall),
+                  campaign::ForDefense(core::Defense::kICall)};
+  spec.execs = {cpu::ExecTier::kInterp, cpu::ExecTier::kFast,
+                cpu::ExecTier::kTranslated};
+  const campaign::CampaignResult serial = campaign::Run(spec, {.jobs = 1});
+  const campaign::CampaignResult parallel = campaign::Run(spec, {.jobs = 4});
+  ASSERT_EQ(serial.outcomes().size(), 6u);
+  ASSERT_TRUE(serial.all_ok());
+  ASSERT_TRUE(parallel.all_ok());
+  for (std::size_t i = 0; i < serial.outcomes().size(); ++i) {
+    const auto& a = serial.outcomes()[i];
+    const auto& b = parallel.outcomes()[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.metrics.cycles, b.metrics.cycles);
+    EXPECT_EQ(a.metrics.instructions, b.metrics.instructions);
+    EXPECT_EQ(a.metrics.exit_code, b.metrics.exit_code);
+    EXPECT_EQ(a.metrics.counters, b.metrics.counters);
+  }
+  // Cross-tier identity inside the serial run: cells are expanded with
+  // the exec axis innermost, so tiers of one (workload, defense) cell are
+  // adjacent triples.
+  for (std::size_t cell = 0; cell < serial.outcomes().size(); cell += 3) {
+    const auto& interp = serial.outcomes()[cell];
+    for (std::size_t tier = 1; tier < 3; ++tier) {
+      const auto& other = serial.outcomes()[cell + tier];
+      EXPECT_EQ(interp.metrics.cycles, other.metrics.cycles) << other.name;
+      EXPECT_EQ(interp.metrics.counters, other.metrics.counters)
+          << other.name;
+    }
+  }
+}
+
 TEST(CampaignGridTest, ParsesHartsAxisAndRpcWorkload) {
   campaign::CampaignSpec spec;
   ASSERT_TRUE(campaign::ParseGrid(

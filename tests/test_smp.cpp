@@ -281,6 +281,45 @@ TEST(SmpAttackTest, UndefendedHijackStillWorksUnderLoad) {
   EXPECT_EQ(result->harts, 2u);
 }
 
+TEST(SmpAttackTest, InjectingFromHart3MatchesHart0Injection) {
+  // The arbitrary write lands on shared memory whichever hart's debug port
+  // carries it, so the verdict, the catching hart, the autopsy and the
+  // whole counter snapshot must be independent of the injecting hart.
+  for (const auto& [kind, defense] :
+       {std::pair{sec::AttackKind::kVtableInjection, core::Defense::kVCall},
+        {sec::AttackKind::kFnPtrCorruptToEvil, core::Defense::kICall},
+        {sec::AttackKind::kFnPtrReuseSameType, core::Defense::kICall}}) {
+    const auto h0 = sec::RunAttackSmp(kind, defense, /*harts=*/4,
+                                      core::SystemVariant::kFullRoload,
+                                      /*inject_hart=*/0);
+    const auto h3 = sec::RunAttackSmp(kind, defense, /*harts=*/4,
+                                      core::SystemVariant::kFullRoload,
+                                      /*inject_hart=*/3);
+    ASSERT_TRUE(h0.ok()) << h0.status().ToString();
+    ASSERT_TRUE(h3.ok()) << h3.status().ToString();
+    EXPECT_EQ(h3->inject_hart, 3u);
+    EXPECT_EQ(h0->inject_hart, 0u);
+    EXPECT_EQ(h0->outcome, h3->outcome);
+    EXPECT_EQ(h0->hart, h3->hart);
+    EXPECT_EQ(h0->classification, h3->classification);
+    EXPECT_EQ(h0->exit_code, h3->exit_code);
+    EXPECT_EQ(h0->has_autopsy, h3->has_autopsy);
+    EXPECT_EQ(h0->fault_pc, h3->fault_pc);
+    EXPECT_EQ(h0->fault_va, h3->fault_va);
+    EXPECT_EQ(h0->inst_key, h3->inst_key);
+    EXPECT_EQ(h0->pte_key, h3->pte_key);
+    EXPECT_EQ(h0->counters, h3->counters);
+  }
+}
+
+TEST(SmpAttackTest, InjectHartOutOfRangeIsRejected) {
+  const auto result = sec::RunAttackSmp(sec::AttackKind::kVtableInjection,
+                                        core::Defense::kVCall, /*harts=*/2,
+                                        core::SystemVariant::kFullRoload,
+                                        /*inject_hart=*/2);
+  EXPECT_FALSE(result.ok());
+}
+
 TEST(SmpAttackTest, SingleHartOverloadMatchesLegacyRunAttack) {
   const auto legacy = sec::RunAttack(sec::AttackKind::kVtableInjection,
                                      core::Defense::kVCall);

@@ -45,7 +45,7 @@ int Usage() {
                "[--profile] [--scale S] [--name NAME] "
                "[--emit-images DIR] [--quiet]\n"
                "grid keys: workloads, defenses, variants, scale, seed, "
-               "max-instructions, profile\n");
+               "max-instructions, harts, exec, profile\n");
   return 2;
 }
 

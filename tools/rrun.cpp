@@ -2,7 +2,8 @@
 // ROLoad machine.
 //
 //   rrun program.rimg|program.s [--variant baseline|proc|full]
-//        [--harts N] [--max-instructions N] [--trace] [--stats] [--verify]
+//        [--harts N] [--exec interp|fast|translated]
+//        [--max-instructions N] [--trace] [--stats] [--verify]
 //        [--stats-json FILE] [--profile FILE] [--trace-events FILE]
 //        [--audit FILE]
 //
@@ -11,6 +12,12 @@
 //                 Every hart boots at _start with a0 = hartid, a1 = N;
 //                 the exit-code contract below is machine-level: a ROLoad
 //                 kill on ANY hart exits 99, whichever hart it was
+// --exec          host execute tier (default fast): "interp" is the
+//                 reference interpreter, "fast" adds the host fast paths,
+//                 "translated" adds the superblock translation tier on
+//                 top. Tiers change only host speed — simulated cycles,
+//                 counters and the exit code are bit-identical across all
+//                 three (--stats reports the host-side MIPS difference)
 //
 // --verify        run the static pointee-integrity verifier (src/verify)
 //                 on the image first, then cross-check the loader: every
@@ -40,6 +47,7 @@
 //               — the stderr "[ROLoad violation]" line disambiguates.
 //  128+signal   guest killed by any other fatal signal (shell convention)
 //  otherwise    the guest's own exit code (low 8 bits)
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -68,6 +76,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: rrun program.rimg|program.s "
                "[--variant baseline|proc|full] [--harts N] "
+               "[--exec interp|fast|translated] "
                "[--max-instructions N] "
                "[--trace] [--stats] [--verify] [--stats-json FILE] "
                "[--profile FILE] [--trace-events FILE] [--audit FILE]\n");
@@ -96,6 +105,7 @@ bool FlagValue(int argc, char** argv, int* i, const char* flag,
 int main(int argc, char** argv) {
   std::string input;
   core::SystemVariant variant = core::SystemVariant::kFullRoload;
+  cpu::ExecTier exec = cpu::ExecTier::kFast;
   unsigned harts = 1;
   std::uint64_t max_instructions = 1ull << 32;
   bool trace = false;
@@ -125,6 +135,10 @@ int main(int argc, char** argv) {
       } else {
         return Usage();
       }
+    } else if (arg == "--exec" && i + 1 < argc) {
+      const auto parsed = cpu::ParseExecTier(argv[++i]);
+      if (!parsed) return Usage();
+      exec = *parsed;
     } else if (arg == "--harts" && i + 1 < argc) {
       const unsigned long parsed = std::strtoul(argv[++i], nullptr, 0);
       if (parsed == 0 || parsed > 64) return Usage();
@@ -186,6 +200,7 @@ int main(int argc, char** argv) {
   smp::SmpConfig config;
   config.variant = variant;
   config.harts = harts;
+  cpu::SetExecTier(&config.cpu, exec);
   config.trace.profile = !profile_path.empty();
   config.trace.audit = !audit_path.empty();
   if (!trace_events_path.empty()) {
@@ -235,11 +250,23 @@ int main(int argc, char** argv) {
     }
   }
 
+  const auto host_start = std::chrono::steady_clock::now();
   const kernel::RunResult result = system.Run(max_instructions);
+  const double host_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    host_start)
+          .count();
   if (!result.stdout_text.empty()) {
     std::fwrite(result.stdout_text.data(), 1, result.stdout_text.size(),
                 stdout);
   }
+
+  // Host-side speed: simulated instructions retired per host second.
+  // Machine-level (sums across harts), so SMP runs report aggregate MIPS.
+  const double simulated_mips =
+      host_seconds > 0.0 ? static_cast<double>(result.instructions) /
+                               host_seconds / 1e6
+                         : 0.0;
 
   if (stats) {
     const auto& cpu = system.cpu().stats();
@@ -264,6 +291,14 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(
                      system.cpu().dtlb_stats().misses),
                  static_cast<unsigned long long>(result.peak_mem_kib));
+    // Host-side speed (not simulated state): how fast the host executed
+    // the run, and under which tier.
+    std::fprintf(stderr,
+                 "exec tier    %.*s\nhost wall    %.3f s\n"
+                 "sim MIPS     %.2f\n",
+                 static_cast<int>(cpu::ExecTierName(exec).size()),
+                 cpu::ExecTierName(exec).data(), host_seconds,
+                 simulated_mips);
     // SMP runs append the per-hart split (the block above is hart 0) and
     // the machine totals the merged result reports.
     if (harts > 1) {
@@ -281,9 +316,13 @@ int main(int argc, char** argv) {
   }
 
   if (!stats_json_path.empty()) {
+    trace::HostRunStats host;
+    host.wall_seconds = host_seconds;
+    host.simulated_mips = simulated_mips;
+    host.exec_tier = std::string(cpu::ExecTierName(exec));
     if (Status status = trace::WriteFile(
             stats_json_path,
-            trace::ExportCountersJson(system.trace().counters()));
+            trace::ExportCountersJson(system.trace().counters(), &host));
         !status.ok()) {
       std::fprintf(stderr, "rrun: %s\n", status.ToString().c_str());
       return 1;
